@@ -1,0 +1,123 @@
+"""Ablation A3 — fluid model vs packet-level model.
+
+The fluid data plane is where Horse's speed comes from; this bench
+quantifies the trade on the same workload:
+
+* **speed** — events processed and wall seconds for a fat-tree
+  permutation, fluid vs per-packet;
+* **accuracy** — on an *uncongested* workload both must agree on the
+  delivered rate (the packet model has no queueing, so congested
+  comparisons would not be apples-to-apples; the fluid model's
+  congested behaviour is validated against max-min fairness in the
+  property suite instead).
+
+Run:  pytest benchmarks/bench_ablation_fluid_vs_packet.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.api import Experiment
+from repro.baseline import PacketLevelEmulator
+from repro.controllers import ProactiveShortestPathApp
+from repro.topology import FatTreeTopo, star_topo
+from repro.traffic import TrafficSpec, permutation_pairs
+
+from conftest import record_rows
+
+_speed = {}
+
+K = 4
+DURATION = 10.0
+PPS = 200.0
+PACKET_BYTES = 1500
+
+
+def run_fluid() -> dict:
+    exp = Experiment("fluid-a3")
+    exp.load_topo(FatTreeTopo(k=K))
+    app = ProactiveShortestPathApp(exp.topology_view())
+    exp.use_controller(apps=[app])
+    pairs = permutation_pairs([h.name for h in exp.network.hosts()], seed=42)
+    # Uncongested: rate far below capacity.
+    rate = PPS * PACKET_BYTES * 8
+    exp.add_traffic(pairs, spec=TrafficSpec(rate_bps=rate, start_time=0.5,
+                                            duration=DURATION))
+    start = time.perf_counter()
+    result = exp.run(until=DURATION + 1.0)
+    wall = time.perf_counter() - start
+    per_host = {
+        host.name: host.rx_bytes * 8.0 / DURATION
+        for host in exp.network.hosts()
+    }
+    return {
+        "wall": wall,
+        "events": result.report.events_fired,
+        "per_host_bps": per_host,
+        "expected_bps": rate,
+    }
+
+
+def run_packet() -> dict:
+    topo = FatTreeTopo(k=K)
+    emulator = PacketLevelEmulator(topo, time_scale=0.0)
+    emulator.setup()
+    pairs = permutation_pairs(topo.hosts(), seed=42)
+    start = time.perf_counter()
+    report = emulator.run_udp_workload(pairs, duration=DURATION,
+                                       packets_per_second=PPS)
+    wall = time.perf_counter() - start
+    per_host = {
+        host: emulator.host_rx_rate_bps(host, DURATION)
+        for host in topo.hosts()
+    }
+    return {
+        "wall": wall,
+        "events": report.events_processed,
+        "per_host_bps": per_host,
+        "expected_bps": PPS * PACKET_BYTES * 8,
+    }
+
+
+def test_a3_fluid(benchmark):
+    _speed["fluid"] = benchmark.pedantic(run_fluid, rounds=1, iterations=1)
+
+
+def test_a3_packet(benchmark):
+    _speed["packet"] = benchmark.pedantic(run_packet, rounds=1, iterations=1)
+
+
+def test_a3_report(benchmark):
+    benchmark(lambda: None)  # report-only test; table assembly below
+    if len(_speed) < 2:
+        pytest.skip("both models must run first")
+    fluid, packet = _speed["fluid"], _speed["packet"]
+    rows = [
+        f"{'fluid':<8} {fluid['events']:>10} {fluid['wall']:>9.3f}",
+        f"{'packet':<8} {packet['events']:>10} {packet['wall']:>9.3f}",
+        "",
+        f"event ratio packet/fluid: "
+        f"{packet['events'] / max(fluid['events'], 1):.0f}x",
+    ]
+    # Accuracy: every receiving host sees the same rate under both
+    # models (within the packet model's quantisation).
+    worst_error = 0.0
+    for host, fluid_rate in fluid["per_host_bps"].items():
+        packet_rate = packet["per_host_bps"].get(host, 0.0)
+        if fluid_rate <= 0:
+            continue
+        error = abs(packet_rate - fluid_rate) / fluid_rate
+        worst_error = max(worst_error, error)
+    rows.append(f"worst per-host rate disagreement (uncongested): "
+                f"{worst_error * 100:.2f}%")
+    record_rows(
+        "ablation_a3_fluid_vs_packet",
+        f"{'model':<8} {'events':>10} {'wall_s':>9}   "
+        f"(k={K}, {DURATION:.0f}s, {PPS:.0f} pps/flow)",
+        rows,
+    )
+    # The fluid model does orders of magnitude less work...
+    assert packet["events"] > fluid["events"] * 50
+    # ...while agreeing on uncongested rates within a few percent.
+    assert worst_error < 0.05

@@ -1,0 +1,80 @@
+"""The demo's closing graph: aggregate rate at the hosts per TE scheme.
+
+"At the end of each execution, we show a graph of the aggregated rate
+of all flows arriving at the hosts for each TE case."  This bench
+regenerates that graph for the default k=4 fat-tree (one bench per TE
+scheme) and records both the steady-state mean and the time series.
+
+Expected shape: Hedera converges to the highest aggregate rate once
+its first 5 s poll fires; the two ECMP variants plateau lower because
+hash collisions leave capacity idle.
+
+Run:  pytest benchmarks/bench_demo_throughput.py --benchmark-only
+"""
+
+import pytest
+
+from repro.api.demo import (
+    DemoSettings,
+    run_bgp_ecmp,
+    run_hedera,
+    run_sdn_ecmp,
+)
+
+from conftest import bench_duration, record_rows
+
+K = 4
+_results = {}
+
+SCHEMES = {
+    "bgp_ecmp": run_bgp_ecmp,
+    "hedera": run_hedera,
+    "sdn_ecmp": run_sdn_ecmp,
+}
+
+
+def settings() -> DemoSettings:
+    return DemoSettings(k=K, duration=bench_duration(),
+                        settle=bench_duration() / 3)
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_demo_throughput(benchmark, scheme):
+    runner = SCHEMES[scheme]
+    result = benchmark.pedantic(runner, args=(settings(),),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["aggregate_gbps"] = result.mean_aggregate_rx_bps / 1e9
+    _results[scheme] = result
+    assert result.flows_delivered == result.flows_total
+
+
+def test_demo_throughput_report(benchmark):
+    benchmark(lambda: None)  # report-only test; table assembly below
+    if len(_results) < len(SCHEMES):
+        pytest.skip("not all schemes measured")
+    max_gbps = K ** 3 // 4  # hosts x 1 Gbps
+    rows = []
+    for scheme, result in sorted(
+        _results.items(), key=lambda item: -item[1].mean_aggregate_rx_bps
+    ):
+        gbps = result.mean_aggregate_rx_bps / 1e9
+        bar = "#" * int(40 * gbps / max_gbps)
+        rows.append(f"{scheme:<10} {gbps:>7.2f} Gbps |{bar}")
+    rows.append("")
+    rows.append("time series (aggregate Gbps):")
+    times = [f"{t:>6.1f}" for t, __ in _results["hedera"].aggregate_series]
+    rows.append("t        " + " ".join(times))
+    for scheme, result in sorted(_results.items()):
+        series = [f"{bps / 1e9:>6.2f}" for __, bps in result.aggregate_series]
+        rows.append(f"{scheme:<9}" + " ".join(series))
+    record_rows(
+        "demo_throughput",
+        f"aggregate rate of all flows arriving at the hosts, fat-tree k={K} "
+        f"(max {max_gbps} Gbps)",
+        rows,
+    )
+    # The demo's qualitative result: Hedera on top.
+    assert (_results["hedera"].mean_aggregate_rx_bps
+            > _results["sdn_ecmp"].mean_aggregate_rx_bps)
+    assert (_results["hedera"].mean_aggregate_rx_bps
+            > _results["bgp_ecmp"].mean_aggregate_rx_bps)

@@ -1,0 +1,125 @@
+"""Figure 3 — execution time of the demonstration: Horse vs Mininet.
+
+The paper's only quantitative figure: wall-clock time to create each
+fat-tree topology (k = 4, 6, 8) and execute the three TE experiments,
+on Horse and on Mininet.  Here:
+
+* **Horse** — this library, FTI mode paced against the wall clock at
+  the bench scale (the emulated control plane runs in real time in
+  the paper's Horse, so FTI episodes cost real seconds there too);
+* **Mininet** — the packet-level baseline (``repro.baseline``): real
+  per-element setup costs, real-time-bound experiment execution, and
+  genuine per-packet event processing, all at the same scale.
+
+Both run the same topology description, the same permutation workload
+and the same experiment durations.  Expected shape (paper): execution
+time grows with k on both tools, with the baseline several times
+slower at every size (5x at k=8 in the paper).
+
+Run:  pytest benchmarks/bench_fig3_execution_time.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.api.demo import DemoSettings, run_full_demonstration
+from repro.baseline import PacketLevelEmulator
+from repro.topology import FatTreeTopo
+from repro.traffic import permutation_pairs
+
+from conftest import (
+    bench_duration,
+    bench_pps,
+    bench_scale,
+    bench_sizes,
+    record_rows,
+)
+
+_results = {}
+
+
+def run_horse(k: int) -> dict:
+    """The full demonstration on Horse; returns timing + throughput."""
+    settings = DemoSettings(
+        k=k,
+        duration=bench_duration(),
+        realtime_factor=bench_scale(),
+        settle=bench_duration() / 3,
+    )
+    start = time.perf_counter()
+    report = run_full_demonstration(settings)
+    wall = time.perf_counter() - start
+    return {
+        "wall": wall,
+        "setup": report.setup_wall_seconds,
+        "agg": report.aggregate_gbps(),
+    }
+
+
+def run_baseline(k: int) -> dict:
+    """The same demonstration shape on the Mininet-style baseline.
+
+    Three experiment runs (one per TE scheme — the baseline's static
+    ECMP plays all three roles; it gets its control plane for free,
+    which only *understates* the real Mininet's cost)."""
+    topo = FatTreeTopo(k=k)
+    emulator = PacketLevelEmulator(topo, time_scale=bench_scale())
+    start = time.perf_counter()
+    emulator.setup()
+    pairs = permutation_pairs(topo.hosts(), seed=42)
+    modeled = emulator.modeled_setup_seconds
+    for __ in range(3):  # the three TE experiments
+        report = emulator.run_udp_workload(
+            pairs, duration=bench_duration(), packets_per_second=bench_pps()
+        )
+        modeled += report.modeled_seconds
+    emulator.teardown()
+    wall = time.perf_counter() - start
+    return {"wall": wall, "modeled": modeled,
+            "events": emulator.engine.events_processed}
+
+
+@pytest.mark.parametrize("k", bench_sizes())
+def test_fig3_horse(benchmark, k):
+    outcome = benchmark.pedantic(run_horse, args=(k,), rounds=1, iterations=1)
+    benchmark.extra_info["wall_seconds"] = outcome["wall"]
+    _results[("horse", k)] = outcome
+
+
+@pytest.mark.parametrize("k", bench_sizes())
+def test_fig3_baseline(benchmark, k):
+    outcome = benchmark.pedantic(run_baseline, args=(k,), rounds=1, iterations=1)
+    benchmark.extra_info["wall_seconds"] = outcome["wall"]
+    benchmark.extra_info["modeled_seconds"] = outcome["modeled"]
+    _results[("baseline", k)] = outcome
+
+
+def test_fig3_report(benchmark):
+    """Assemble the Figure 3 table from the measured runs."""
+    benchmark(lambda: None)  # report-only test; table assembly below
+    sizes = [k for k in bench_sizes() if ("horse", k) in _results
+             and ("baseline", k) in _results]
+    if not sizes:
+        pytest.skip("no measurements collected")
+    rows = []
+    for k in sizes:
+        horse = _results[("horse", k)]
+        base = _results[("baseline", k)]
+        ratio = base["wall"] / horse["wall"] if horse["wall"] > 0 else 0.0
+        rows.append(
+            f"{k:>2} {horse['wall']:>12.2f} {base['wall']:>14.2f} "
+            f"{ratio:>7.1f}x {base['modeled']:>16.0f}"
+        )
+        # The paper's qualitative claim: the baseline is several times
+        # slower at every size (5x at the largest in the paper).
+        assert base["wall"] > horse["wall"], (
+            f"baseline should be slower than Horse at k={k}"
+        )
+    record_rows(
+        "fig3_execution_time",
+        f"{'k':>2} {'horse_s':>12} {'baseline_s':>14} {'ratio':>8} "
+        f"{'baseline_unscaled_s':>16}   (scale={bench_scale()}, "
+        f"duration={bench_duration()}s x3, pps={bench_pps()})",
+        rows,
+    )

@@ -1,0 +1,131 @@
+"""Engine micro-benchmarks.
+
+Throughput of the primitives everything else is built on: the event
+queue, the LPM trie, the max-min solver, and the BGP/OpenFlow codecs.
+These give the per-operation costs behind the Figure 3 numbers.
+
+Run:  pytest benchmarks/bench_micro_engine.py --benchmark-only
+"""
+
+import random
+
+from repro.bgp.messages import (
+    BGPUpdate,
+    PathAttributes,
+    decode_bgp_message,
+)
+from repro.core.events import CallbackEvent
+from repro.core.queue import EventQueue
+from repro.core.simulation import Simulation
+from repro.dataplane.fluid import max_min_allocation
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.netproto.trie import PrefixTrie
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, decode_message
+
+
+def test_event_queue_throughput(benchmark):
+    """Push + pop 10k events through the heap."""
+    rng = random.Random(1)
+    times = [rng.uniform(0, 100) for __ in range(10_000)]
+
+    def churn():
+        queue = EventQueue()
+        for t in times:
+            queue.push(CallbackEvent(t, lambda: None))
+        while queue.pop() is not None:
+            pass
+
+    benchmark(churn)
+
+
+def test_simulation_event_rate(benchmark):
+    """Fire 10k no-op events through the full hybrid loop."""
+
+    def run():
+        sim = Simulation()
+        for i in range(10_000):
+            sim.scheduler.at(i * 0.001, lambda: None)
+        sim.run()
+
+    benchmark(run)
+
+
+def test_trie_lookup_rate(benchmark):
+    """LPM over a 1k-prefix table (a busy DC RIB), 10k lookups."""
+    rng = random.Random(2)
+    trie = PrefixTrie()
+    for __ in range(1000):
+        network = rng.randrange(0, 2 ** 32)
+        length = rng.randrange(8, 33)
+        trie.insert(IPv4Prefix.from_network(network, length), length)
+    probes = [rng.randrange(0, 2 ** 32) for __ in range(10_000)]
+
+    def lookups():
+        for probe in probes:
+            trie.lookup_value(probe)
+
+    benchmark(lookups)
+
+
+def test_maxmin_k8_sized_instance(benchmark):
+    """One reallocation at fat-tree k=8 scale: 128 flows, 6-hop paths."""
+    rng = random.Random(3)
+    links = [f"l{i}" for i in range(384 * 2)]
+    paths = {
+        f: [rng.choice(links) for __ in range(6)] for f in range(128)
+    }
+    demands = {f: 1e9 for f in paths}
+    capacities = {l: 1e9 for l in links}
+
+    benchmark(max_min_allocation, paths, demands, capacities)
+
+
+def test_bgp_update_codec_rate(benchmark):
+    """Encode + decode a 20-prefix UPDATE, 1000 times."""
+    update = BGPUpdate(
+        attributes=PathAttributes(as_path=(65001, 65002, 65003),
+                                  next_hop=IPv4Address("10.0.0.1")),
+        nlri=[IPv4Prefix.from_network(0x0A000000 + (i << 8), 24)
+              for i in range(20)],
+    )
+
+    def codec():
+        for __ in range(1000):
+            decode_bgp_message(update.encode())
+
+    benchmark(codec)
+
+
+def test_flow_mod_codec_rate(benchmark):
+    """Encode + decode an exact-match FLOW_MOD, 1000 times."""
+    message = FlowMod(
+        match=Match(nw_src=IPv4Prefix("10.0.0.1/32"),
+                    nw_dst=IPv4Prefix("10.1.0.1/32"),
+                    nw_proto=17, tp_src=4000, tp_dst=9000),
+        actions=[ActionOutput(3)],
+        priority=300,
+    )
+
+    def codec():
+        for __ in range(1000):
+            decode_message(message.encode())
+
+    benchmark(codec)
+
+
+def test_fattree_path_walk_rate(benchmark):
+    """Recompute paths + rates for a converged k=4 BGP fat-tree."""
+    from repro.api import Experiment, setup_bgp_for_routers
+    from repro.topology import FatTreeTopo
+
+    exp = Experiment("walk-rate")
+    topo = FatTreeTopo(k=4, device="router")
+    exp.load_topo(topo)
+    setup_bgp_for_routers(exp, asn_map=topo.asn, max_paths=2)
+    exp.add_demo_traffic(rate_bps=1e9, duration=1e6)
+    exp.run(until=5.0)
+    network = exp.network
+
+    benchmark(network.recompute, network.now)

@@ -1,0 +1,78 @@
+"""Topology creation time — the demo shows it per network size.
+
+"For each experiment, we show the amount of time required to create
+the topology and the consolidated time to execute..."  This bench
+measures topology creation alone, on both tools:
+
+* Horse: building the declarative Topo + realising it onto the
+  simulated data plane (pure in-memory object construction);
+* baseline: the same Topo realised as an emulated network, paying
+  per-namespace/veth/bridge costs (scaled).
+
+Expected shape: both grow with k; the emulator's creation time is
+orders of magnitude larger and grows linearly in elements.
+
+Run:  pytest benchmarks/bench_topology_creation.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.api import Experiment
+from repro.baseline import PacketLevelEmulator
+from repro.topology import FatTreeTopo
+
+from conftest import bench_scale, bench_sizes, record_rows
+
+_results = {}
+
+
+def create_horse(k: int) -> float:
+    start = time.perf_counter()
+    exp = Experiment(f"create-k{k}")
+    exp.load_topo(FatTreeTopo(k=k))
+    return time.perf_counter() - start
+
+
+def create_baseline(k: int) -> dict:
+    emulator = PacketLevelEmulator(FatTreeTopo(k=k), time_scale=bench_scale())
+    wall = emulator.setup()
+    return {"wall": wall, "modeled": emulator.modeled_setup_seconds}
+
+
+@pytest.mark.parametrize("k", bench_sizes())
+def test_topology_creation_horse(benchmark, k):
+    wall = benchmark.pedantic(create_horse, args=(k,), rounds=3, iterations=1)
+    _results[("horse", k)] = wall
+
+
+@pytest.mark.parametrize("k", bench_sizes())
+def test_topology_creation_baseline(benchmark, k):
+    outcome = benchmark.pedantic(create_baseline, args=(k,),
+                                 rounds=1, iterations=1)
+    _results[("baseline", k)] = outcome
+
+
+def test_topology_creation_report(benchmark):
+    benchmark(lambda: None)  # report-only test; table assembly below
+    sizes = [k for k in bench_sizes()
+             if ("horse", k) in _results and ("baseline", k) in _results]
+    if not sizes:
+        pytest.skip("no measurements collected")
+    rows = []
+    for k in sizes:
+        horse = _results[("horse", k)]
+        base = _results[("baseline", k)]
+        topo = FatTreeTopo(k=k)
+        rows.append(
+            f"{k:>2} {topo.num_hosts:>6} {topo.num_switches:>9} "
+            f"{horse:>10.4f} {base['wall']:>13.3f} {base['modeled']:>15.1f}"
+        )
+        assert base["wall"] > horse
+    record_rows(
+        "topology_creation",
+        f"{'k':>2} {'hosts':>6} {'switches':>9} {'horse_s':>10} "
+        f"{'baseline_s':>13} {'unscaled_s':>15}   (scale={bench_scale()})",
+        rows,
+    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Watch the control plane: trace every message the CM carries.
+
+Runs a small BGP fabric (a leaf-spine of routers) with a message
+tracer attached to the Connection Manager, then prints:
+
+* the first messages of the conversation (OPENs, KEEPALIVEs, the
+  UPDATE storm);
+* message counts by protocol;
+* the control-plane "activity windows" — contiguous bursts of traffic
+  separated by quiet gaps, which is exactly what the hybrid clock's
+  FTI episodes track;
+* convergence metrics (when every session established, message cost).
+
+Run:  python examples/control_plane_trace.py
+"""
+
+from repro.api import (
+    Experiment,
+    MessageTrace,
+    bgp_convergence,
+    fti_share,
+    setup_bgp_for_routers,
+)
+from repro.core import SimulationConfig
+
+
+def main() -> None:
+    exp = Experiment(
+        "trace-tour",
+        config=SimulationConfig(fti_increment=0.001, des_fallback_timeout=0.1),
+    )
+
+    # A 2-spine / 3-leaf router fabric with one host per leaf.
+    for spine in ("spine0", "spine1"):
+        exp.add_router(spine)
+    for index, leaf in enumerate(("leaf0", "leaf1", "leaf2")):
+        exp.add_router(leaf)
+        host = exp.add_host(f"h{index}", f"10.{index}.0.10",
+                            gateway=f"10.{index}.0.1")
+        exp.add_link(host, leaf)
+        for spine in ("spine0", "spine1"):
+            exp.add_link(leaf, spine)
+
+    asn_map = {"spine0": 64601, "spine1": 64602,
+               "leaf0": 64701, "leaf1": 64702, "leaf2": 64703}
+    setup_bgp_for_routers(exp, asn_map=asn_map, max_paths=2,
+                          keepalive_interval=5.0, hold_time=15.0)
+
+    trace = MessageTrace(exp.sim)
+    exp.add_flow("h0", "h2", rate_bps=3e8, start_time=0.0, duration=20.0)
+    exp.run(until=21.0)
+
+    print("=== first 12 control-plane messages ===")
+    for line in trace.summary_lines(limit=12):
+        print(f"  {line}")
+
+    print("\n=== message counts by protocol ===")
+    for protocol, count in trace.by_protocol().items():
+        print(f"  {protocol}: {count}")
+
+    print("\n=== activity windows (quiet gap > 1s) ===")
+    for start, end, count in trace.activity_windows(quiet_gap=1.0):
+        print(f"  {start:7.3f}s .. {end:7.3f}s : {count} messages")
+    print("  (compare: the clock's FTI episodes)")
+    for line in exp.sim.mode_transition_log():
+        print(f"  {line}")
+
+    print("\n=== convergence ===")
+    print(f"  {bgp_convergence(exp).summary()}")
+    share = fti_share(exp)
+    print(f"  time share: DES {share['des'] * 100:.1f}% / "
+          f"FTI {share['fti'] * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

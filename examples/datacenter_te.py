@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The SIGCOMM demonstration: three TE schemes on a fat-tree.
+
+Reproduces the paper's demo: a k-pod fat-tree (1 Gbps links) where
+every server sends one UDP flow at 1 Gbps to another server, under
+three traffic-engineering approaches:
+
+1. BGP + ECMP (hash of IP src/dst) — every switch is a BGP router;
+2. Hedera — statistics polled every 5 s, large flows placed by
+   Global First Fit;
+3. SDN 5-tuple ECMP — reactive OpenFlow controller.
+
+Prints the time to create each topology, the consolidated execution
+time (the Figure 3 measurement) and the closing graph of the demo:
+aggregate rate of all flows arriving at the hosts, per TE case.
+
+Run:  python examples/datacenter_te.py [--k 4] [--duration 20]
+"""
+
+import argparse
+
+from repro.api.demo import DemoSettings, run_full_demonstration
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k", type=int, default=4,
+                        help="fat-tree pods (paper: 4, 6, 8)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="traffic duration in simulated seconds")
+    parser.add_argument("--rate-gbps", type=float, default=1.0,
+                        help="per-server UDP rate")
+    args = parser.parse_args()
+
+    settings = DemoSettings(
+        k=args.k, duration=args.duration, rate_bps=args.rate_gbps * 1e9
+    )
+    report = run_full_demonstration(settings)
+
+    hosts = args.k ** 3 // 4
+    print(f"=== demonstration: fat-tree k={args.k} "
+          f"({hosts} hosts, max aggregate {hosts * args.rate_gbps:.0f} Gbps) ===\n")
+
+    print(f"{'TE scheme':<12} {'setup(s)':>9} {'exec(s)':>9} {'total(s)':>9} "
+          f"{'delivered':>10} {'agg Gbps':>9}")
+    for name, result in report.results.items():
+        print(
+            f"{name:<12} {result.setup_wall_seconds:>9.3f} "
+            f"{result.report.wall_seconds:>9.3f} "
+            f"{result.total_wall_seconds:>9.3f} "
+            f"{result.flows_delivered:>4}/{result.flows_total:<5} "
+            f"{result.mean_aggregate_rx_bps / 1e9:>9.2f}"
+        )
+    print(f"\nconsolidated wall time (Figure 3 measurement): "
+          f"{report.total_wall_seconds:.3f}s")
+
+    print("\naggregate rate of all flows arriving at the hosts "
+          "(the demo's closing graph):")
+    width = 40
+    peak = max(report.aggregate_gbps().values()) or 1.0
+    for name, gbps in sorted(report.aggregate_gbps().items(),
+                             key=lambda item: -item[1]):
+        bar = "#" * int(width * gbps / (hosts * args.rate_gbps))
+        print(f"  {name:<12} {gbps:6.2f} Gbps |{bar}")
+
+    print("\nwhy Hedera wins: ECMP hashes collide and leave capacity idle; "
+          "Hedera detects large flows every 5 s and moves them to "
+          "non-conflicting paths (Global First Fit).")
+
+
+if __name__ == "__main__":
+    main()

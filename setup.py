@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This
+shim lets ``python setup.py develop`` provide the same editable
+install with the stdlib-only toolchain.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""The user-facing experiment API (Horse's Python API equivalent).
+
+:class:`~repro.api.experiment.Experiment` assembles the pieces — a
+topology, an OpenFlow controller with apps, BGP/OSPF daemons, traffic,
+statistics — and runs them under the hybrid clock::
+
+    from repro.api import Experiment
+    from repro.topology import FatTreeTopo
+    from repro.controllers import FiveTupleEcmpApp
+
+    exp = Experiment("ecmp-demo")
+    exp.load_topo(FatTreeTopo(k=4))
+    app = FiveTupleEcmpApp(exp.topology_view())
+    exp.use_controller(apps=[app])
+    exp.add_demo_traffic(rate_bps=1e9, duration=10.0)
+    stats = exp.add_stats(interval=0.5)
+    report = exp.run(until=12.0)
+"""
+
+from repro.api.experiment import Experiment, ExperimentResult
+from repro.api.control_setup import (
+    setup_bgp_for_routers,
+    setup_ospf_for_routers,
+    link_addresses,
+)
+from repro.api.demo import (
+    DemoSettings,
+    DemonstrationReport,
+    run_sdn_ecmp,
+    run_hedera,
+    run_bgp_ecmp,
+    run_full_demonstration,
+)
+from repro.api.tracing import MessageTrace, TraceRecord, classify
+from repro.api.metrics import (
+    ConvergenceReport,
+    bgp_convergence,
+    ospf_convergence,
+    fti_share,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "setup_bgp_for_routers",
+    "setup_ospf_for_routers",
+    "link_addresses",
+    "DemoSettings",
+    "DemonstrationReport",
+    "run_sdn_ecmp",
+    "run_hedera",
+    "run_bgp_ecmp",
+    "run_full_demonstration",
+    "MessageTrace",
+    "TraceRecord",
+    "classify",
+    "ConvergenceReport",
+    "bgp_convergence",
+    "ospf_convergence",
+    "fti_share",
+]

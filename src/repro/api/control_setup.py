@@ -1,0 +1,245 @@
+"""Automatic control-plane wiring for router topologies.
+
+Given a realised network whose forwarding devices are routers, these
+helpers do what a person configuring Quagga on every box would do:
+
+* number every router-router link out of 172.16.0.0/12;
+* install connected host routes (/32 per attached host);
+* create one BGP (or OSPF) daemon per router, one session per link,
+  with the right ports, addresses and AS numbers;
+* originate each router's host subnets.
+
+The fat-tree BGP demo is this wiring plus the AS map that
+:class:`~repro.topology.fattree.FatTreeTopo` provides.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.bgp.daemon import BGPConfig, BGPDaemon, BGPPeerConfig
+from repro.core.errors import TopologyError
+from repro.dataplane.host import Host
+from repro.dataplane.router import Router
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.ospf.daemon import OSPFConfig, OSPFDaemon, OSPFPeerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.experiment import Experiment
+    from repro.dataplane.link import Link
+    from repro.dataplane.network import Network
+
+
+def link_addresses(index: int) -> Tuple[IPv4Address, IPv4Address]:
+    """Deterministic /31-style endpoint addresses for link ``index``.
+
+    Carves 172.16.0.0/12 into pairs; supports ~500k links, far beyond
+    any experiment here.
+    """
+    base = (172 << 24) | (16 << 16)
+    offset = index * 2
+    return IPv4Address(base + offset), IPv4Address(base + offset + 1)
+
+
+def _router_links(network: "Network") -> List["Link"]:
+    """Router-to-router links in creation order."""
+    result = []
+    for link in network.links:
+        a, b = link.endpoints()
+        if isinstance(a, Router) and isinstance(b, Router):
+            result.append(link)
+    return result
+
+
+def _host_subnets(network: "Network") -> Dict[str, List[IPv4Prefix]]:
+    """Router name -> /24 subnets of its attached hosts (deduplicated).
+
+    Also installs connected /32 host routes and interface addresses on
+    the router.
+    """
+    subnets: Dict[str, List[IPv4Prefix]] = {}
+    for host in network.hosts():
+        peer = host.uplink_port.peer()
+        if peer is None or not isinstance(peer.node, Router):
+            continue
+        router: Router = peer.node
+        router.fib.install(
+            IPv4Prefix.from_network(host.ip, 32), [(peer.number, None)]
+        )
+        if host.gateway is not None and router.interface(peer.number) is None:
+            router.set_interface(peer.number, host.gateway)
+        subnet = IPv4Prefix.from_network(host.ip, 24)
+        bucket = subnets.setdefault(router.name, [])
+        if subnet not in bucket:
+            bucket.append(subnet)
+    return subnets
+
+
+def setup_bgp_for_routers(
+    exp: "Experiment",
+    asn_map: "Dict[str, int] | None" = None,
+    max_paths: int = 1,
+    hold_time: float = 90.0,
+    keepalive_interval: float = 30.0,
+    advertisement_interval: float = 0.03,
+    connect_delay_range: Tuple[float, float] = (0.02, 0.08),
+    seed: int = 7,
+) -> Dict[str, BGPDaemon]:
+    """Create and wire one BGP daemon per router; returns them by name.
+
+    ``asn_map`` assigns AS numbers (default: 65001 + router index).
+    Every router-router link becomes an eBGP session (routers sharing
+    an AS — e.g. the fat-tree core — simply do not peer with each
+    other, as iBGP is out of scope and unnecessary on a Clos).
+    """
+    network = exp.network
+    routers = network.routers()
+    if not routers:
+        raise TopologyError("setup_bgp_for_routers: the topology has no routers")
+    if asn_map is None:
+        asn_map = {router.name: 65001 + i for i, router in enumerate(routers)}
+    rng = random.Random(seed)
+    subnets = _host_subnets(network)
+
+    daemons: Dict[str, BGPDaemon] = {}
+    for index, router in enumerate(routers):
+        router_id = router.router_id or IPv4Address(0x0A000000 + index + 1)
+        daemons[router.name] = BGPDaemon(
+            router.name,
+            BGPConfig(
+                asn=asn_map[router.name],
+                router_id=IPv4Address(router_id),
+                networks=list(subnets.get(router.name, [])),
+                max_paths=max_paths,
+                advertisement_interval=advertisement_interval,
+            ),
+        )
+
+    for link_index, link in enumerate(_router_links(network)):
+        node_a, node_b = link.endpoints()
+        if asn_map[node_a.name] == asn_map[node_b.name]:
+            continue  # same AS: no eBGP session (see docstring)
+        addr_a, addr_b = link_addresses(link_index)
+        if node_a.interface(link.port_a.number) is None:
+            node_a.set_interface(link.port_a.number, addr_a)
+        if node_b.interface(link.port_b.number) is None:
+            node_b.set_interface(link.port_b.number, addr_b)
+        daemon_a = daemons[node_a.name]
+        daemon_b = daemons[node_b.name]
+        channel = exp.sim.cm.open_channel(
+            daemon_a, daemon_b, latency=link.delay,
+            label=f"bgp {node_a.name}-{node_b.name}",
+        )
+        exp.register_link_channel(node_a.name, node_b.name, channel)
+        delay_a = rng.uniform(*connect_delay_range)
+        delay_b = rng.uniform(*connect_delay_range)
+        daemon_a.add_peer(
+            BGPPeerConfig(
+                peer_name=node_b.name,
+                remote_asn=asn_map[node_b.name],
+                local_port=link.port_a.number,
+                peer_address=addr_b,
+                local_address=addr_a,
+                hold_time=hold_time,
+                keepalive_interval=keepalive_interval,
+                connect_delay=delay_a,
+            ),
+            channel,
+        )
+        daemon_b.add_peer(
+            BGPPeerConfig(
+                peer_name=node_a.name,
+                remote_asn=asn_map[node_a.name],
+                local_port=link.port_b.number,
+                peer_address=addr_a,
+                local_address=addr_b,
+                hold_time=hold_time,
+                keepalive_interval=keepalive_interval,
+                connect_delay=delay_b,
+            ),
+            channel,
+        )
+
+    for daemon in daemons.values():
+        exp.sim.add_process(daemon)
+    exp.bgp_daemons = daemons
+    return daemons
+
+
+def setup_ospf_for_routers(
+    exp: "Experiment",
+    hello_interval: float = 2.0,
+    dead_interval: float = 8.0,
+    spf_delay: float = 0.05,
+    cost_map: "Dict[Tuple[str, str], int] | None" = None,
+) -> Dict[str, OSPFDaemon]:
+    """Create and wire one OSPF daemon per router; returns them by name.
+
+    ``cost_map`` optionally assigns link costs by (router, router)
+    pair (both orders checked); default cost is 1 everywhere.
+    """
+    network = exp.network
+    routers = network.routers()
+    if not routers:
+        raise TopologyError("setup_ospf_for_routers: the topology has no routers")
+    subnets = _host_subnets(network)
+
+    daemons: Dict[str, OSPFDaemon] = {}
+    for index, router in enumerate(routers):
+        router_id = router.router_id or IPv4Address(0x0A000000 + index + 1)
+        daemons[router.name] = OSPFDaemon(
+            router.name,
+            OSPFConfig(
+                router_id=IPv4Address(router_id),
+                networks=[(s, 0) for s in subnets.get(router.name, [])],
+                hello_interval=hello_interval,
+                dead_interval=dead_interval,
+                spf_delay=spf_delay,
+            ),
+        )
+
+    def cost_for(a: str, b: str) -> int:
+        if cost_map is None:
+            return 1
+        return cost_map.get((a, b), cost_map.get((b, a), 1))
+
+    for link_index, link in enumerate(_router_links(network)):
+        node_a, node_b = link.endpoints()
+        addr_a, addr_b = link_addresses(link_index)
+        if node_a.interface(link.port_a.number) is None:
+            node_a.set_interface(link.port_a.number, addr_a)
+        if node_b.interface(link.port_b.number) is None:
+            node_b.set_interface(link.port_b.number, addr_b)
+        daemon_a = daemons[node_a.name]
+        daemon_b = daemons[node_b.name]
+        channel = exp.sim.cm.open_channel(
+            daemon_a, daemon_b, latency=link.delay,
+            label=f"ospf {node_a.name}-{node_b.name}",
+        )
+        exp.register_link_channel(node_a.name, node_b.name, channel)
+        daemon_a.add_neighbor(
+            OSPFPeerConfig(
+                peer_name=node_b.name,
+                peer_router_id=daemon_b.config.router_id,
+                local_port=link.port_a.number,
+                peer_address=addr_b,
+                cost=cost_for(node_a.name, node_b.name),
+            ),
+            channel,
+        )
+        daemon_b.add_neighbor(
+            OSPFPeerConfig(
+                peer_name=node_a.name,
+                peer_router_id=daemon_a.config.router_id,
+                local_port=link.port_b.number,
+                peer_address=addr_a,
+                cost=cost_for(node_a.name, node_b.name),
+            ),
+            channel,
+        )
+
+    for daemon in daemons.values():
+        exp.sim.add_process(daemon)
+    exp.ospf_daemons = daemons
+    return daemons

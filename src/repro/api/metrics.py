@@ -1,0 +1,102 @@
+"""Convergence and control-plane metrics.
+
+Helpers that answer the questions a control-plane experimenter asks
+after a run: when did the protocol converge, how many messages did it
+take, how long were the control-plane bursts — the quantities Horse
+exists to measure quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.experiment import Experiment
+
+
+@dataclass
+class ConvergenceReport:
+    """When and how the routing control plane converged."""
+
+    all_sessions_up_at: Optional[float]
+    last_route_change_at: Optional[float]
+    sessions: int
+    routes_installed: int
+    control_messages: int
+    control_bytes: int
+
+    @property
+    def converged(self) -> bool:
+        return self.all_sessions_up_at is not None
+
+    def summary(self) -> str:
+        if not self.converged:
+            return "not converged"
+        return (
+            f"sessions up at t={self.all_sessions_up_at:.3f}s, "
+            f"last route change t={self.last_route_change_at:.3f}s, "
+            f"{self.sessions} sessions, {self.routes_installed} installs, "
+            f"{self.control_messages} msgs / {self.control_bytes} bytes"
+        )
+
+
+def bgp_convergence(exp: "Experiment") -> ConvergenceReport:
+    """Convergence metrics for an experiment wired with BGP daemons.
+
+    ``all_sessions_up_at`` is the latest ESTABLISHED transition across
+    every session; ``last_route_change_at`` approximates end of
+    convergence as the last FTI-relevant control activity seen by the
+    clock before the current time.
+    """
+    established_times = []
+    sessions = 0
+    for daemon in exp.bgp_daemons.values():
+        for state in daemon.peers.values():
+            sessions += 1
+            if state.fsm.established_at is not None:
+                established_times.append(state.fsm.established_at)
+            else:
+                established_times.append(None)
+    if established_times and all(t is not None for t in established_times):
+        up_at = max(established_times)
+    else:
+        up_at = None
+    cm_stats = exp.sim.cm.stats()
+    return ConvergenceReport(
+        all_sessions_up_at=up_at,
+        last_route_change_at=exp.sim.clock.last_control_activity,
+        sessions=sessions,
+        routes_installed=cm_stats["route_installs"],
+        control_messages=cm_stats["control_messages"],
+        control_bytes=cm_stats["control_bytes"],
+    )
+
+
+def ospf_convergence(exp: "Experiment") -> ConvergenceReport:
+    """Convergence metrics for an experiment wired with OSPF daemons."""
+    full = 0
+    expected = 0
+    for daemon in exp.ospf_daemons.values():
+        expected += len(daemon.neighbors)
+        full += len(daemon.full_neighbors())
+    cm_stats = exp.sim.cm.stats()
+    converged = expected > 0 and full == expected
+    return ConvergenceReport(
+        all_sessions_up_at=exp.sim.clock.last_control_activity
+        if converged else None,
+        last_route_change_at=exp.sim.clock.last_control_activity,
+        sessions=expected,
+        routes_installed=cm_stats["route_installs"],
+        control_messages=cm_stats["control_messages"],
+        control_bytes=cm_stats["control_bytes"],
+    )
+
+
+def fti_share(exp: "Experiment") -> Dict[str, float]:
+    """Fraction of simulated time spent in each clock mode."""
+    spent = exp.sim.clock.time_in_modes()
+    total = spent["des"] + spent["fti"]
+    if total <= 0:
+        return {"des": 0.0, "fti": 0.0}
+    return {mode: seconds / total for mode, seconds in spent.items()}

@@ -1,0 +1,58 @@
+"""A minimal, fast discrete-event engine for per-packet simulation.
+
+Deliberately separate from :mod:`repro.core`: the baseline has no
+hybrid clock and no control plane — it exists to pay the per-packet
+cost that packet-level tools pay, as cheaply as Python allows, so the
+Figure 3 comparison does not overstate the baseline's slowness.
+Events are plain tuples on a heap; handlers are direct callables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+PacketEvent = Tuple[float, int, Callable[[], None]]
+
+
+class PacketEngine:
+    """Heap-based DES: (time, seq, thunk) tuples, no frills."""
+
+    def __init__(self) -> None:
+        self._heap: List[PacketEvent] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, time: float, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` at absolute simulated ``time``."""
+        heapq.heappush(self._heap, (time, next(self._seq), thunk))
+
+    def schedule_after(self, delay: float, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` after ``delay`` simulated seconds."""
+        self.schedule(self.now + delay, thunk)
+
+    def run(self, until: "float | None" = None) -> int:
+        """Drain the heap (up to ``until``); returns events processed."""
+        processed_before = self.events_processed
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                break
+            time, __, thunk = heapq.heappop(heap)
+            self.now = time
+            self.events_processed += 1
+            thunk()
+        if until is not None and self.now < until:
+            self.now = until
+        return self.events_processed - processed_before
+
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._heap)
+
+    def reset(self) -> None:
+        """Forget everything (between experiments)."""
+        self._heap.clear()
+        self.now = 0.0

@@ -1,0 +1,78 @@
+"""The BGP decision process with ECMP multipath.
+
+The classic preference ladder (RFC 4271 §9.1, trimmed to the
+attributes this library carries — everything here is eBGP):
+
+1. highest LOCAL_PREF (absent treated as 100);
+2. locally originated beats learned;
+3. shortest AS_PATH;
+4. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+5. lowest MED (absent treated as 0, compared across all paths —
+   Quagga's ``bgp always-compare-med``);
+6. lowest peer router id (final deterministic tie-break).
+
+**Multipath** (Quagga/FRR ``maximum-paths``): every candidate equal to
+the winner on steps 1-5 joins the ECMP set, capped at ``max_paths``.
+This is what gives the fat-tree demo its ECMP fan-out: the k/2 uplink
+routes tie on AS-path length and all get installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.bgp.rib import RIBRoute
+
+DEFAULT_LOCAL_PREF = 100
+
+
+@dataclass
+class RouteComparison:
+    """Outcome of the decision process for one prefix."""
+
+    best: Optional[RIBRoute]
+    multipath: Tuple[RIBRoute, ...]
+
+    @property
+    def has_route(self) -> bool:
+        return self.best is not None
+
+
+def preference_key(route: RIBRoute) -> tuple:
+    """Sort key: smaller is better (steps 1-5 of the ladder)."""
+    attrs = route.attributes
+    local_pref = attrs.local_pref if attrs.local_pref is not None else DEFAULT_LOCAL_PREF
+    med = attrs.med if attrs.med is not None else 0
+    return (
+        -local_pref,                      # 1. highest local-pref
+        0 if route.is_local else 1,       # 2. local origination wins
+        len(attrs.as_path),               # 3. shortest AS path
+        int(attrs.origin),                # 4. lowest origin
+        med,                              # 5. lowest MED
+    )
+
+
+def tie_break_key(route: RIBRoute) -> tuple:
+    """Step 6: deterministic final ordering inside an equal-cost group."""
+    return (int(route.peer_router_id), route.peer_name)
+
+
+def decide(candidates: Iterable[RIBRoute], max_paths: int = 1) -> RouteComparison:
+    """Run the decision process over candidate routes for one prefix.
+
+    Returns the best route and the ECMP multipath set (size capped at
+    ``max_paths``; 1 reproduces plain single-path BGP).
+    """
+    if max_paths < 1:
+        raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+    pool: List[RIBRoute] = list(candidates)
+    if not pool:
+        return RouteComparison(best=None, multipath=())
+
+    pool.sort(key=lambda route: (preference_key(route), tie_break_key(route)))
+    best = pool[0]
+    best_pref = preference_key(best)
+    equal_cost = [route for route in pool if preference_key(route) == best_pref]
+    multipath = tuple(equal_cost[:max_paths])
+    return RouteComparison(best=best, multipath=multipath)

@@ -1,0 +1,364 @@
+"""BGP-4 message codecs (RFC 4271 wire format).
+
+Every message starts with the 19-byte header::
+
+    marker(16, all ones) | length(2) | type(1)
+
+Types: OPEN(1), UPDATE(2), NOTIFICATION(3), KEEPALIVE(4).
+
+The UPDATE layout is the full RFC 4271 structure — withdrawn routes,
+path attributes (ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF) and NLRI,
+with variable-length prefix encoding.  AS numbers are 2 bytes (classic
+BGP-4; 4-octet AS capability is out of scope and documented as such).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+
+BGP_MARKER = b"\xff" * 16
+BGP_HEADER_LEN = 19
+BGP_VERSION = 4
+
+TYPE_OPEN = 1
+TYPE_UPDATE = 2
+TYPE_NOTIFICATION = 3
+TYPE_KEEPALIVE = 4
+
+ATTR_ORIGIN = 1
+ATTR_AS_PATH = 2
+ATTR_NEXT_HOP = 3
+ATTR_MED = 4
+ATTR_LOCAL_PREF = 5
+
+FLAG_OPTIONAL = 0x80
+FLAG_TRANSITIVE = 0x40
+FLAG_EXTENDED = 0x10
+
+AS_SEQUENCE = 2
+
+
+class BGPDecodeError(ValueError):
+    """Raised when bytes cannot be parsed as a BGP message."""
+
+
+class Origin(enum.IntEnum):
+    """The ORIGIN attribute values."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The path attributes carried by an UPDATE.
+
+    Frozen so routes can share attribute objects and RIBs can use them
+    as part of comparison keys.
+    """
+
+    origin: Origin = Origin.IGP
+    as_path: Tuple[int, ...] = ()
+    next_hop: Optional[IPv4Address] = None
+    med: Optional[int] = None
+    local_pref: Optional[int] = None
+
+    def with_prepended(self, asn: int) -> "PathAttributes":
+        """A copy with ``asn`` prepended to the AS path (eBGP export)."""
+        return PathAttributes(
+            origin=self.origin,
+            as_path=(asn,) + self.as_path,
+            next_hop=self.next_hop,
+            med=self.med,
+            local_pref=self.local_pref,
+        )
+
+    def with_next_hop(self, next_hop: IPv4Address) -> "PathAttributes":
+        """A copy with the NEXT_HOP rewritten (next-hop-self)."""
+        return PathAttributes(
+            origin=self.origin,
+            as_path=self.as_path,
+            next_hop=next_hop,
+            med=self.med,
+            local_pref=self.local_pref,
+        )
+
+    def contains_as(self, asn: int) -> bool:
+        """AS-path loop check."""
+        return asn in self.as_path
+
+    def encode(self) -> bytes:
+        """Serialise to the RFC 4271 path-attribute list."""
+        chunks: List[bytes] = []
+
+        def attr(flags: int, code: int, body: bytes) -> bytes:
+            if len(body) > 255:
+                return struct.pack("!BBH", flags | FLAG_EXTENDED, code, len(body)) + body
+            return struct.pack("!BBB", flags, code, len(body)) + body
+
+        chunks.append(
+            attr(FLAG_TRANSITIVE, ATTR_ORIGIN, struct.pack("!B", int(self.origin)))
+        )
+        if self.as_path:
+            segment = struct.pack("!BB", AS_SEQUENCE, len(self.as_path))
+            segment += b"".join(struct.pack("!H", asn) for asn in self.as_path)
+        else:
+            segment = b""
+        chunks.append(attr(FLAG_TRANSITIVE, ATTR_AS_PATH, segment))
+        if self.next_hop is not None:
+            chunks.append(attr(FLAG_TRANSITIVE, ATTR_NEXT_HOP, self.next_hop.packed()))
+        if self.med is not None:
+            chunks.append(
+                attr(FLAG_OPTIONAL, ATTR_MED, struct.pack("!I", self.med))
+            )
+        if self.local_pref is not None:
+            chunks.append(
+                attr(FLAG_TRANSITIVE, ATTR_LOCAL_PREF, struct.pack("!I", self.local_pref))
+            )
+        return b"".join(chunks)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PathAttributes":
+        """Parse a path-attribute list."""
+        origin = Origin.IGP
+        as_path: Tuple[int, ...] = ()
+        next_hop: Optional[IPv4Address] = None
+        med: Optional[int] = None
+        local_pref: Optional[int] = None
+
+        offset = 0
+        while offset < len(data):
+            if offset + 3 > len(data):
+                raise BGPDecodeError("truncated path attribute header")
+            flags = data[offset]
+            code = data[offset + 1]
+            if flags & FLAG_EXTENDED:
+                if offset + 4 > len(data):
+                    raise BGPDecodeError("truncated extended attribute length")
+                (length,) = struct.unpack_from("!H", data, offset + 2)
+                body_start = offset + 4
+            else:
+                length = data[offset + 2]
+                body_start = offset + 3
+            body = data[body_start : body_start + length]
+            if len(body) != length:
+                raise BGPDecodeError("truncated attribute body")
+            offset = body_start + length
+
+            if code == ATTR_ORIGIN:
+                origin = Origin(body[0])
+            elif code == ATTR_AS_PATH:
+                path: List[int] = []
+                seg_offset = 0
+                while seg_offset < len(body):
+                    seg_type, count = struct.unpack_from("!BB", body, seg_offset)
+                    seg_offset += 2
+                    if seg_type != AS_SEQUENCE:
+                        raise BGPDecodeError(f"unsupported AS segment type {seg_type}")
+                    for __ in range(count):
+                        (asn,) = struct.unpack_from("!H", body, seg_offset)
+                        path.append(asn)
+                        seg_offset += 2
+                as_path = tuple(path)
+            elif code == ATTR_NEXT_HOP:
+                next_hop = IPv4Address.from_bytes(body)
+            elif code == ATTR_MED:
+                (med,) = struct.unpack("!I", body)
+            elif code == ATTR_LOCAL_PREF:
+                (local_pref,) = struct.unpack("!I", body)
+            # Unknown attributes are silently skipped (optional transit).
+        return cls(
+            origin=origin,
+            as_path=as_path,
+            next_hop=next_hop,
+            med=med,
+            local_pref=local_pref,
+        )
+
+    def __str__(self) -> str:
+        path = " ".join(str(asn) for asn in self.as_path) or "(local)"
+        return f"as_path=[{path}] next_hop={self.next_hop}"
+
+
+def encode_prefix(prefix: IPv4Prefix) -> bytes:
+    """NLRI encoding: length byte + the minimum prefix octets."""
+    octets = (prefix.length + 7) // 8
+    return bytes([prefix.length]) + prefix.network.packed()[:octets]
+
+
+def decode_prefixes(data: bytes) -> List[IPv4Prefix]:
+    """Parse a run of NLRI-encoded prefixes."""
+    prefixes: List[IPv4Prefix] = []
+    offset = 0
+    while offset < len(data):
+        length = data[offset]
+        if length > 32:
+            raise BGPDecodeError(f"prefix length {length} > 32")
+        octets = (length + 7) // 8
+        raw = data[offset + 1 : offset + 1 + octets]
+        if len(raw) != octets:
+            raise BGPDecodeError("truncated NLRI prefix")
+        padded = raw + b"\x00" * (4 - octets)
+        prefixes.append(
+            IPv4Prefix.from_network(IPv4Address.from_bytes(padded), length)
+        )
+        offset += 1 + octets
+    return prefixes
+
+
+@dataclass
+class BGPMessage:
+    """Base class for all BGP messages."""
+
+    msg_type: int = 0
+
+    def body(self) -> bytes:
+        return b""
+
+    def encode(self) -> bytes:
+        """Serialise header + body."""
+        payload = self.body()
+        header = BGP_MARKER + struct.pack(
+            "!HB", BGP_HEADER_LEN + len(payload), self.msg_type
+        )
+        return header + payload
+
+
+@dataclass
+class BGPOpen(BGPMessage):
+    """The OPEN message: version, AS, hold time, BGP identifier."""
+
+    msg_type: int = TYPE_OPEN
+    version: int = BGP_VERSION
+    asn: int = 0
+    hold_time: int = 90
+    bgp_id: IPv4Address = field(default_factory=lambda: IPv4Address(0))
+
+    def body(self) -> bytes:
+        return struct.pack(
+            "!BHH4sB",
+            self.version,
+            self.asn,
+            self.hold_time,
+            self.bgp_id.packed(),
+            0,  # no optional parameters
+        )
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "BGPOpen":
+        version, asn, hold_time, bgp_id_raw, opt_len = struct.unpack_from("!BHH4sB", data)
+        if version != BGP_VERSION:
+            raise BGPDecodeError(f"unsupported BGP version {version}")
+        return cls(
+            version=version,
+            asn=asn,
+            hold_time=hold_time,
+            bgp_id=IPv4Address.from_bytes(bgp_id_raw),
+        )
+
+
+@dataclass
+class BGPUpdate(BGPMessage):
+    """The UPDATE message: withdrawals + attributes + NLRI."""
+
+    msg_type: int = TYPE_UPDATE
+    withdrawn: List[IPv4Prefix] = field(default_factory=list)
+    attributes: Optional[PathAttributes] = None
+    nlri: List[IPv4Prefix] = field(default_factory=list)
+
+    def body(self) -> bytes:
+        withdrawn_bytes = b"".join(encode_prefix(p) for p in self.withdrawn)
+        attr_bytes = self.attributes.encode() if self.attributes is not None else b""
+        nlri_bytes = b"".join(encode_prefix(p) for p in self.nlri)
+        return (
+            struct.pack("!H", len(withdrawn_bytes))
+            + withdrawn_bytes
+            + struct.pack("!H", len(attr_bytes))
+            + attr_bytes
+            + nlri_bytes
+        )
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "BGPUpdate":
+        (withdrawn_len,) = struct.unpack_from("!H", data)
+        offset = 2
+        withdrawn = decode_prefixes(data[offset : offset + withdrawn_len])
+        offset += withdrawn_len
+        (attr_len,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        attr_bytes = data[offset : offset + attr_len]
+        offset += attr_len
+        attributes = PathAttributes.decode(attr_bytes) if attr_bytes else None
+        nlri = decode_prefixes(data[offset:])
+        return cls(withdrawn=withdrawn, attributes=attributes, nlri=nlri)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.nlri:
+            parts.append(f"announce {[str(p) for p in self.nlri]}")
+        if self.withdrawn:
+            parts.append(f"withdraw {[str(p) for p in self.withdrawn]}")
+        return f"UPDATE({'; '.join(parts)})"
+
+
+@dataclass
+class BGPKeepalive(BGPMessage):
+    """The KEEPALIVE message (header only)."""
+
+    msg_type: int = TYPE_KEEPALIVE
+
+
+@dataclass
+class BGPNotification(BGPMessage):
+    """The NOTIFICATION message: error code/subcode + data."""
+
+    msg_type: int = TYPE_NOTIFICATION
+    code: int = 0
+    subcode: int = 0
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        return struct.pack("!BB", self.code, self.subcode) + self.data
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "BGPNotification":
+        code, subcode = struct.unpack_from("!BB", data)
+        return cls(code=code, subcode=subcode, data=data[2:])
+
+
+def decode_bgp_message(data: bytes) -> BGPMessage:
+    """Parse exactly one BGP message."""
+    message, rest = decode_bgp_stream(data)
+    if rest:
+        raise BGPDecodeError(f"{len(rest)} trailing bytes")
+    return message
+
+
+def decode_bgp_stream(data: bytes) -> Tuple[BGPMessage, bytes]:
+    """Parse the first BGP message from a byte stream; returns (msg, rest)."""
+    if len(data) < BGP_HEADER_LEN:
+        raise BGPDecodeError("truncated BGP header")
+    if data[:16] != BGP_MARKER:
+        raise BGPDecodeError("bad BGP marker")
+    length, msg_type = struct.unpack_from("!HB", data, 16)
+    if length < BGP_HEADER_LEN or length > len(data):
+        raise BGPDecodeError(f"bad BGP length {length}")
+    body = data[BGP_HEADER_LEN:length]
+    rest = data[length:]
+    if msg_type == TYPE_OPEN:
+        return BGPOpen.decode_body(body), rest
+    if msg_type == TYPE_UPDATE:
+        return BGPUpdate.decode_body(body), rest
+    if msg_type == TYPE_KEEPALIVE:
+        if body:
+            raise BGPDecodeError("KEEPALIVE with a body")
+        return BGPKeepalive(), rest
+    if msg_type == TYPE_NOTIFICATION:
+        return BGPNotification.decode_body(body), rest
+    raise BGPDecodeError(f"unknown BGP message type {msg_type}")

@@ -1,0 +1,151 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+* ``demo``  — the full demonstration (three TE schemes) on one
+  fat-tree size; prints the timing and throughput table.
+* ``fig1``  — the two-router BGP scenario; prints the mode-transition
+  timeline of Figure 1.
+* ``fig3``  — the Horse-vs-baseline execution-time comparison for a
+  list of fat-tree sizes.
+
+Examples::
+
+    python -m repro.cli demo --k 4 --duration 20
+    python -m repro.cli fig1
+    python -m repro.cli fig3 --sizes 4,6 --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.api.demo import DemoSettings, run_full_demonstration
+
+    settings = DemoSettings(
+        k=args.k,
+        duration=args.duration,
+        rate_bps=args.rate_gbps * 1e9,
+        seed=args.seed,
+    )
+    report = run_full_demonstration(settings)
+    hosts = args.k ** 3 // 4
+    print(f"fat-tree k={args.k} ({hosts} hosts), "
+          f"{args.duration:.0f}s per scheme, seed {args.seed}")
+    print(f"{'scheme':<10} {'wall_s':>8} {'delivered':>10} {'agg_gbps':>9}")
+    for name, result in report.results.items():
+        print(f"{name:<10} {result.total_wall_seconds:>8.3f} "
+              f"{result.flows_delivered:>4}/{result.flows_total:<5} "
+              f"{result.mean_aggregate_rx_bps / 1e9:>9.2f}")
+    print(f"consolidated wall time: {report.total_wall_seconds:.3f}s")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.api import Experiment, setup_bgp_for_routers
+    from repro.core import SimulationConfig
+
+    exp = Experiment("fig1", config=SimulationConfig(
+        fti_increment=args.fti_increment,
+        des_fallback_timeout=args.des_timeout,
+    ))
+    r1 = exp.add_router("r1", router_id="1.1.1.1")
+    r2 = exp.add_router("r2", router_id="2.2.2.2")
+    h1 = exp.add_host("h1", "10.1.0.10")
+    h2 = exp.add_host("h2", "10.2.0.10")
+    exp.add_link(h1, r1)
+    exp.add_link(h2, r2)
+    exp.add_link(r1, r2)
+    daemons = setup_bgp_for_routers(exp, asn_map={"r1": 65001, "r2": 65002})
+    exp.add_flow("h1", "h2", rate_bps=5e8, start_time=0.0,
+                 duration=args.horizon - 1.0)
+    result = exp.run(until=args.horizon)
+    print(result.report.summary())
+    print(f"sessions established: "
+          f"{all(d.all_established() for d in daemons.values())}")
+    print("mode transitions:")
+    for line in exp.sim.mode_transition_log():
+        print(f"  {line}")
+    in_modes = exp.sim.clock.time_in_modes()
+    print(f"time in DES {in_modes['des']:.2f}s / FTI {in_modes['fti']:.2f}s")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.api.demo import DemoSettings, run_full_demonstration
+    from repro.baseline import PacketLevelEmulator
+    from repro.topology import FatTreeTopo
+    from repro.traffic import permutation_pairs
+
+    sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    print(f"{'k':>2} {'horse_s':>9} {'baseline_s':>11} {'ratio':>7}")
+    for k in sizes:
+        start = time.perf_counter()
+        run_full_demonstration(DemoSettings(
+            k=k, duration=args.duration, realtime_factor=args.scale,
+            settle=args.duration / 3, seed=args.seed,
+        ))
+        horse = time.perf_counter() - start
+
+        topo = FatTreeTopo(k=k)
+        emulator = PacketLevelEmulator(topo, time_scale=args.scale,
+                                       seed=args.seed)
+        start = time.perf_counter()
+        emulator.setup()
+        pairs = permutation_pairs(topo.hosts(), seed=args.seed)
+        for __ in range(3):
+            emulator.run_udp_workload(pairs, duration=args.duration,
+                                      packets_per_second=args.pps)
+        emulator.teardown()
+        baseline = time.perf_counter() - start
+        ratio = baseline / horse if horse > 0 else float("inf")
+        print(f"{k:>2} {horse:>9.2f} {baseline:>11.2f} {ratio:>6.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the three-TE-scheme demonstration")
+    demo.add_argument("--k", type=int, default=4)
+    demo.add_argument("--duration", type=float, default=20.0)
+    demo.add_argument("--rate-gbps", type=float, default=1.0)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=_cmd_demo)
+
+    fig1 = sub.add_parser("fig1", help="two-router BGP mode transitions")
+    fig1.add_argument("--horizon", type=float, default=10.0)
+    fig1.add_argument("--fti-increment", type=float, default=0.001)
+    fig1.add_argument("--des-timeout", type=float, default=0.1)
+    fig1.set_defaults(func=_cmd_fig1)
+
+    fig3 = sub.add_parser("fig3", help="Horse vs baseline execution time")
+    fig3.add_argument("--sizes", default="4,6,8")
+    fig3.add_argument("--duration", type=float, default=30.0)
+    fig3.add_argument("--scale", type=float, default=0.02)
+    fig3.add_argument("--pps", type=float, default=150.0)
+    fig3.add_argument("--seed", type=int, default=42)
+    fig3.set_defaults(func=_cmd_fig3)
+
+    return parser
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

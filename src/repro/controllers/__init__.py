@@ -1,0 +1,39 @@
+"""Controller applications — the demo's traffic-engineering schemes.
+
+The paper's demonstration runs three TE approaches on a fat-tree:
+
+* **BGP + ECMP** — not here; that one lives in :mod:`repro.bgp` (each
+  switch is a BGP router and the data plane hashes src/dst IP);
+* **SDN 5-tuple ECMP** — :class:`~repro.controllers.ecmp.FiveTupleEcmpApp`,
+  a reactive app that hashes the full five-tuple over the equal-cost
+  paths and installs exact-match entries along the chosen path;
+* **Hedera** — :class:`~repro.controllers.hedera.HederaApp`, the
+  NSDI'10 dynamic flow scheduler: poll edge statistics every 5 s,
+  estimate flow demands, place large flows with Global First Fit.
+
+Plus two classics for examples and tests: a learning L2 switch and a
+proactive shortest-path router.
+"""
+
+from repro.controllers.topology_view import TopologyView, HostLocation
+from repro.controllers.learning import LearningSwitchApp
+from repro.controllers.shortest_path import ProactiveShortestPathApp
+from repro.controllers.ecmp import FiveTupleEcmpApp
+from repro.controllers.proactive_ecmp import ProactiveGroupEcmpApp
+from repro.controllers.hedera import (
+    HederaApp,
+    estimate_demands,
+    GlobalFirstFit,
+)
+
+__all__ = [
+    "TopologyView",
+    "HostLocation",
+    "LearningSwitchApp",
+    "ProactiveShortestPathApp",
+    "FiveTupleEcmpApp",
+    "ProactiveGroupEcmpApp",
+    "HederaApp",
+    "estimate_demands",
+    "GlobalFirstFit",
+]

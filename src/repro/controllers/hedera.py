@@ -1,0 +1,331 @@
+"""Hedera — dynamic flow scheduling (Al-Fares et al., NSDI 2010).
+
+TE scheme (ii) of the demonstration.  The app runs the Hedera control
+loop on top of default five-tuple ECMP routing:
+
+1. **poll** — every ``poll_interval`` (the paper's demo uses 5 s, and
+   notes this periodic control traffic repeatedly wakes the hybrid
+   clock into FTI mode) request flow statistics from every edge
+   switch;
+2. **estimate** — run Hedera's iterative max-min *demand estimator*
+   over the observed (src host, dst host) flows: what rate would each
+   flow achieve if only host NICs constrained it?
+3. **schedule** — flows whose estimated demand exceeds 10% of NIC
+   bandwidth are "large"; place each with **Global First Fit**: scan
+   the equal-cost paths and reserve the first one with headroom for
+   the flow's demand, installing higher-priority path entries.
+
+Small flows keep riding ECMP, exactly as in the original system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.controllers.ecmp import FiveTupleEcmpApp
+from repro.controllers.topology_view import TopologyView
+from repro.netproto.packet import FiveTuple
+from repro.openflow.actions import ActionOutput
+from repro.openflow.controller import Datapath
+from repro.openflow.match import Match
+from repro.openflow.messages import StatsReply
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulation import Simulation
+
+
+def estimate_demands(
+    flows: List[Tuple[str, str]], max_iterations: int = 50
+) -> Dict[Tuple[str, str, int], float]:
+    """Hedera's demand estimator.
+
+    ``flows`` lists (src host, dst host) pairs — duplicates are
+    distinct flows.  Returns demand per (src, dst, occurrence index)
+    as a *fraction of NIC bandwidth* in [0, 1].
+
+    The algorithm alternates:
+
+    * Est_Src — each sender divides its spare NIC capacity equally
+      among its not-yet-converged flows;
+    * Est_Dst — each overloaded receiver caps its senders to an equal
+      share, marking those flows converged;
+
+    until a fixed point (guaranteed within O(flows) rounds).
+    """
+    keys: List[Tuple[str, str, int]] = []
+    seen: Dict[Tuple[str, str], int] = {}
+    for src, dst in flows:
+        occurrence = seen.get((src, dst), 0)
+        seen[(src, dst)] = occurrence + 1
+        keys.append((src, dst, occurrence))
+
+    demand = {key: 0.0 for key in keys}
+    converged = {key: False for key in keys}
+    senders: Dict[str, List[Tuple[str, str, int]]] = {}
+    receivers: Dict[str, List[Tuple[str, str, int]]] = {}
+    for key in keys:
+        senders.setdefault(key[0], []).append(key)
+        receivers.setdefault(key[1], []).append(key)
+
+    for __ in range(max_iterations):
+        previous = dict(demand)
+
+        # Est_Src: spread spare sender capacity over unconverged flows.
+        for host, flow_keys in senders.items():
+            fixed = sum(demand[k] for k in flow_keys if converged[k])
+            free = [k for k in flow_keys if not converged[k]]
+            if not free:
+                continue
+            share = max(0.0, 1.0 - fixed) / len(free)
+            for key in free:
+                demand[key] = share
+
+        # Est_Dst: receivers over 1.0 cap their senders fairly.
+        for host, flow_keys in receivers.items():
+            total = sum(demand[k] for k in flow_keys)
+            if total <= 1.0 + 1e-12:
+                continue
+            limited = {k: True for k in flow_keys}
+            effective_share = 1.0 / len(flow_keys)
+            changed = True
+            while changed:
+                changed = False
+                still_limited = 0
+                small_total = 0.0
+                for key in flow_keys:
+                    if not limited[key]:
+                        small_total += demand[key]
+                        continue
+                    if demand[key] < effective_share - 1e-12:
+                        limited[key] = False
+                        small_total += demand[key]
+                        changed = True
+                    else:
+                        still_limited += 1
+                if still_limited:
+                    effective_share = max(0.0, 1.0 - small_total) / still_limited
+            for key in flow_keys:
+                if limited[key]:
+                    demand[key] = effective_share
+                    converged[key] = True
+
+        if all(abs(demand[k] - previous[k]) < 1e-9 for k in keys):
+            break
+
+    return demand
+
+
+class GlobalFirstFit:
+    """Hedera's placement heuristic.
+
+    Keeps per-link reservations (as NIC-bandwidth fractions) and, for
+    each large flow in turn, linearly searches the equal-cost paths
+    for the first whose links can all absorb the flow's demand.
+    """
+
+    def __init__(self, topology: TopologyView):
+        self.topology = topology
+        self._reserved: Dict[Tuple[str, str], float] = {}
+
+    def reset(self) -> None:
+        """Forget all reservations (start of a scheduling round)."""
+        self._reserved.clear()
+
+    def place(self, src_switch: str, dst_switch: str,
+              demand: float) -> Optional[List[str]]:
+        """First equal-cost path with headroom, reserving it; or None."""
+        for path in self.topology.equal_cost_paths(src_switch, dst_switch):
+            if self._fits(path, demand):
+                self._reserve(path, demand)
+                return path
+        return None
+
+    def _links(self, path: List[str]):
+        return zip(path, path[1:])
+
+    def _fits(self, path: List[str], demand: float) -> bool:
+        return all(
+            self._reserved.get(link, 0.0) + demand <= 1.0 + 1e-9
+            for link in self._links(path)
+        )
+
+    def _reserve(self, path: List[str], demand: float) -> None:
+        for link in self._links(path):
+            self._reserved[link] = self._reserved.get(link, 0.0) + demand
+
+    def reserved_on(self, a: str, b: str) -> float:
+        """Current reservation on the directed link a -> b."""
+        return self._reserved.get((a, b), 0.0)
+
+
+@dataclass
+class _PollRound:
+    """In-flight statistics poll."""
+
+    outstanding: Set[int] = field(default_factory=set)  # xids awaited
+    flow_bytes: Dict[FiveTuple, int] = field(default_factory=dict)
+
+
+class HederaApp(FiveTupleEcmpApp):
+    """ECMP default routing + Hedera large-flow scheduling."""
+
+    name = "hedera"
+
+    def __init__(
+        self,
+        topology: TopologyView,
+        poll_interval: float = 5.0,
+        nic_bps: float = 1_000_000_000.0,
+        large_flow_fraction: float = 0.1,
+        priority: int = 300,
+        large_priority: int = 400,
+        hash_seed: int = 0,
+    ):
+        super().__init__(topology, priority=priority, hash_seed=hash_seed)
+        self.poll_interval = poll_interval
+        self.nic_bps = nic_bps
+        self.large_flow_fraction = large_flow_fraction
+        self.large_priority = large_priority
+        self.gff = GlobalFirstFit(topology)
+        self.polls = 0
+        self.scheduling_rounds = 0
+        self.large_flow_moves = 0
+        self.large_placements: Dict[FiveTuple, List[str]] = {}
+        self.measured_rates: Dict[FiveTuple, float] = {}
+        self._round: Optional[_PollRound] = None
+        self._last_bytes: Dict[FiveTuple, int] = {}
+
+    # -- control loop -------------------------------------------------------------
+
+    def on_start(self, sim: "Simulation") -> None:
+        sim.scheduler.periodic(
+            self.poll_interval, self.poll_stats, label="hedera poll"
+        )
+
+    def edge_switches(self) -> List[str]:
+        """Switches with at least one attached host."""
+        return sorted({loc.switch_name for loc in self.topology.hosts()})
+
+    def poll_stats(self) -> None:
+        """Fire one statistics poll at every edge switch."""
+        self.polls += 1
+        poll = _PollRound()
+        for switch_name in self.edge_switches():
+            dp = self.controller.datapath_by_name(switch_name)
+            if dp is None or not dp.ready:
+                continue
+            xid = dp.request_flow_stats()
+            poll.outstanding.add(xid)
+        if poll.outstanding:
+            self._round = poll
+
+    def on_stats_reply(self, dp: Datapath, message: StatsReply) -> None:
+        poll = self._round
+        if poll is None or message.xid not in poll.outstanding:
+            return
+        poll.outstanding.discard(message.xid)
+        for entry in message.flow_stats:
+            flow = self._flow_from_match(entry.match)
+            if flow is None:
+                continue
+            # Edge switches see each flow twice (ingress at the source
+            # edge, egress at the destination edge); keep the max.
+            poll.flow_bytes[flow] = max(
+                poll.flow_bytes.get(flow, 0), entry.byte_count
+            )
+        if not poll.outstanding:
+            self._round = None
+            self._schedule_round(poll)
+
+    @staticmethod
+    def _flow_from_match(match: Match) -> Optional[FiveTuple]:
+        if (
+            match.nw_src is None or match.nw_dst is None
+            or match.nw_src.length != 32 or match.nw_dst.length != 32
+            or match.nw_proto is None
+        ):
+            return None
+        return FiveTuple(
+            src_ip=match.nw_src.network,
+            dst_ip=match.nw_dst.network,
+            protocol=match.nw_proto,
+            src_port=match.tp_src or 0,
+            dst_port=match.tp_dst or 0,
+        )
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _schedule_round(self, poll: _PollRound) -> None:
+        """Demand estimation + Global First Fit over the polled flows."""
+        self.scheduling_rounds += 1
+
+        active: List[FiveTuple] = []
+        for flow, byte_count in sorted(
+            poll.flow_bytes.items(), key=lambda item: item[0].as_tuple()
+        ):
+            delta = byte_count - self._last_bytes.get(flow, 0)
+            self._last_bytes[flow] = byte_count
+            rate_bps = delta * 8.0 / self.poll_interval
+            self.measured_rates[flow] = rate_bps
+            if delta > 0:
+                active.append(flow)
+
+        if not active:
+            return
+
+        pairs: List[Tuple[str, str]] = []
+        located: List[FiveTuple] = []
+        for flow in active:
+            src = self.topology.locate_ip(flow.src_ip)
+            dst = self.topology.locate_ip(flow.dst_ip)
+            if src is None or dst is None:
+                continue
+            pairs.append((src.host_name, dst.host_name))
+            located.append(flow)
+        demands = estimate_demands(pairs)
+
+        # Deterministic large-flow order: biggest demand first, then key.
+        large: List[Tuple[FiveTuple, float]] = []
+        occurrence: Dict[Tuple[str, str], int] = {}
+        for flow, pair in zip(located, pairs):
+            index = occurrence.get(pair, 0)
+            occurrence[pair] = index + 1
+            demand = demands[(pair[0], pair[1], index)]
+            if demand >= self.large_flow_fraction:
+                large.append((flow, demand))
+        large.sort(key=lambda item: (-item[1], item[0].as_tuple()))
+
+        self.gff.reset()
+        for flow, demand in large:
+            src = self.topology.locate_ip(flow.src_ip)
+            dst = self.topology.locate_ip(flow.dst_ip)
+            path = self.gff.place(src.switch_name, dst.switch_name, demand)
+            if path is None:
+                continue  # stays on its current (ECMP or previous) path
+            if self.large_placements.get(flow) == path:
+                continue  # already pinned there
+            self.install_large(flow, path, dst.switch_port)
+            self.large_placements[flow] = path
+            self.large_flow_moves += 1
+
+    def install_large(self, flow: FiveTuple, path: List[str],
+                      last_hop_port: int) -> None:
+        """Pin a large flow: path-wide entries above the ECMP priority."""
+        match = Match.exact_five_tuple(flow)
+        for position, switch_name in enumerate(path):
+            dp = self.controller.datapath_by_name(switch_name)
+            if dp is None:
+                continue
+            if position + 1 < len(path):
+                out_port = self.topology.port_toward(switch_name, path[position + 1])
+            else:
+                out_port = last_hop_port
+            if out_port is None:
+                continue
+            self.entries_installed += 1
+            dp.flow_mod(
+                match=match,
+                actions=[ActionOutput(out_port)],
+                priority=self.large_priority,
+            )

@@ -1,0 +1,70 @@
+"""Proactive shortest-path routing.
+
+When every switch has joined, install destination-based /32 entries
+along one deterministic shortest path per (switch, host) pair.  No
+reaction to traffic at all — the ablation benches use this app to show
+what "control-plane events concentrated at the very beginning" looks
+like in its purest form, and it serves as the single-path baseline the
+ECMP apps are compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.controllers.topology_view import TopologyView
+from repro.netproto.addr import IPv4Prefix
+from repro.openflow.actions import ActionOutput
+from repro.openflow.controller import ControllerApp, Datapath
+from repro.openflow.match import Match
+
+
+class ProactiveShortestPathApp(ControllerApp):
+    """Installs all routes up-front, first equal-cost path always."""
+
+    name = "shortest-path"
+
+    def __init__(self, topology: TopologyView, priority: int = 200):
+        super().__init__()
+        self.topology = topology
+        self.priority = priority
+        self._joined: Set[str] = set()
+        self.programmed = False
+        self.entries_installed = 0
+
+    def on_switch_join(self, dp: Datapath) -> None:
+        self._joined.add(dp.name)
+        if self.programmed:
+            return
+        expected = set(self.topology.switches())
+        if expected and self._joined >= expected:
+            self._program_all()
+            self.programmed = True
+
+    def _program_all(self) -> None:
+        for host in self.topology.hosts():
+            for switch_name in self.topology.switches():
+                dp = self.controller.datapath_by_name(switch_name)
+                if dp is None:
+                    continue
+                out_port = self._port_for(switch_name, host)
+                if out_port is None:
+                    continue
+                self.entries_installed += 1
+                dp.flow_mod(
+                    match=Match(
+                        dl_type=0x0800,
+                        nw_dst=IPv4Prefix.from_network(host.ip, 32),
+                    ),
+                    actions=[ActionOutput(out_port)],
+                    priority=self.priority,
+                )
+
+    def _port_for(self, switch_name: str, host) -> "int | None":
+        if switch_name == host.switch_name:
+            return host.switch_port
+        paths = self.topology.equal_cost_paths(switch_name, host.switch_name)
+        if not paths:
+            return None
+        first_path = paths[0]
+        return self.topology.port_toward(switch_name, first_path[1])

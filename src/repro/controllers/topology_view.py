@@ -1,0 +1,126 @@
+"""The controller's view of the topology.
+
+Real SDN controllers discover topology with LLDP; here the view is
+handed to the apps by the experiment (the Hedera paper likewise
+assumes the controller knows the fat-tree wiring).  The view answers
+the questions TE apps ask:
+
+* where is the host with this IP attached?
+* what are the equal-cost switch-level paths between two switches?
+* which port on switch A faces switch B?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.netproto.addr import IPv4Address, MACAddress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.network import Network
+
+
+@dataclass(frozen=True)
+class HostLocation:
+    """Where a host hangs off the fabric."""
+
+    host_name: str
+    ip: IPv4Address
+    mac: MACAddress
+    switch_name: str
+    switch_port: int
+
+
+class TopologyView:
+    """Immutable topology knowledge shared by controller apps."""
+
+    def __init__(self, network: "Network"):
+        self._switch_graph = nx.Graph()
+        self._ports: Dict[Tuple[str, str], int] = {}
+        self._hosts_by_ip: Dict[int, HostLocation] = {}
+        self._hosts_by_mac: Dict[int, HostLocation] = {}
+        self._path_cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+        switch_names = {s.name for s in network.switches()}
+        for link in network.links:
+            a, b = link.endpoints()
+            if a.name in switch_names and b.name in switch_names:
+                self._switch_graph.add_edge(a.name, b.name,
+                                            capacity=link.capacity_bps)
+                self._ports[(a.name, b.name)] = link.port_a.number
+                self._ports[(b.name, a.name)] = link.port_b.number
+        for name in switch_names:
+            self._switch_graph.add_node(name)
+
+        for host in network.hosts():
+            peer = host.uplink_port.peer()
+            if peer is None or peer.node.name not in switch_names:
+                continue
+            location = HostLocation(
+                host_name=host.name,
+                ip=host.ip,
+                mac=host.mac,
+                switch_name=peer.node.name,
+                switch_port=peer.number,
+            )
+            self._hosts_by_ip[int(host.ip)] = location
+            self._hosts_by_mac[int(host.mac)] = location
+
+    # -- hosts -----------------------------------------------------------------
+
+    def locate_ip(self, ip: "IPv4Address | int | str") -> Optional[HostLocation]:
+        """Where the host with this IP is attached, if known."""
+        return self._hosts_by_ip.get(int(IPv4Address(ip)))
+
+    def locate_mac(self, mac: "MACAddress | int") -> Optional[HostLocation]:
+        """Where the host with this MAC is attached, if known."""
+        return self._hosts_by_mac.get(int(mac) if not isinstance(mac, int) else mac)
+
+    def hosts(self) -> List[HostLocation]:
+        """All known host locations, sorted by IP."""
+        return [self._hosts_by_ip[key] for key in sorted(self._hosts_by_ip)]
+
+    # -- fabric ----------------------------------------------------------------
+
+    def switches(self) -> List[str]:
+        """All switch names, sorted."""
+        return sorted(self._switch_graph.nodes)
+
+    def port_toward(self, from_switch: str, to_switch: str) -> Optional[int]:
+        """The port on ``from_switch`` that faces ``to_switch``."""
+        return self._ports.get((from_switch, to_switch))
+
+    def equal_cost_paths(self, src_switch: str, dst_switch: str) -> List[List[str]]:
+        """All shortest switch-level paths, deterministically ordered.
+
+        Cached: the fat-tree demo asks for the same pairs once per
+        flow, and path enumeration dominates otherwise.
+        """
+        key = (src_switch, dst_switch)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        if src_switch == dst_switch:
+            paths = [[src_switch]]
+        else:
+            try:
+                paths = sorted(
+                    nx.all_shortest_paths(self._switch_graph, src_switch, dst_switch)
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                paths = []
+        self._path_cache[key] = paths
+        return paths
+
+    def graph(self) -> "nx.Graph":
+        """The raw switch-level graph (read-only by convention)."""
+        return self._switch_graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TopologyView switches={self._switch_graph.number_of_nodes()} "
+            f"hosts={len(self._hosts_by_ip)}>"
+        )

@@ -1,0 +1,68 @@
+"""The hybrid simulation engine — Horse's core contribution.
+
+The engine couples an *emulated control plane* (protocol daemons and SDN
+controllers exchanging real wire-format messages) with a *simulated data
+plane* (a fluid-rate discrete-event model).  The glue is:
+
+* :class:`~repro.core.clock.HybridClock` — switches between Fixed Time
+  Increment (FTI) mode while control-plane messages are in flight and
+  classic Discrete Event Simulation (DES) time-jumping when the control
+  plane has been quiet for a configurable timeout (paper Fig. 1);
+* :class:`~repro.core.connection_manager.ConnectionManager` — the bridge
+  between emulation and simulation: it carries control-plane bytes,
+  notifies the clock of control activity, and programs routes/flow
+  table entries into the simulated data plane (paper Fig. 2);
+* :class:`~repro.core.simulation.Simulation` — the event loop driving
+  both planes in a single experiment timeline.
+"""
+
+from repro.core.errors import (
+    SimulationError,
+    ConfigurationError,
+    SchedulingError,
+)
+from repro.core.events import (
+    Event,
+    CallbackEvent,
+    PRIORITY_CONTROL,
+    PRIORITY_DEFAULT,
+    PRIORITY_STATS,
+)
+from repro.core.queue import EventQueue
+from repro.core.clock import (
+    ClockMode,
+    ClockPolicy,
+    HybridClock,
+    ModeTransition,
+)
+from repro.core.config import SimulationConfig
+from repro.core.scheduler import Scheduler, PeriodicTimer
+from repro.core.connection_manager import (
+    ConnectionManager,
+    ControlChannel,
+    ControlEndpoint,
+)
+from repro.core.simulation import Simulation
+
+__all__ = [
+    "SimulationError",
+    "ConfigurationError",
+    "SchedulingError",
+    "Event",
+    "CallbackEvent",
+    "PRIORITY_CONTROL",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_STATS",
+    "EventQueue",
+    "ClockMode",
+    "ClockPolicy",
+    "HybridClock",
+    "ModeTransition",
+    "SimulationConfig",
+    "Scheduler",
+    "PeriodicTimer",
+    "ConnectionManager",
+    "ControlChannel",
+    "ControlEndpoint",
+    "Simulation",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+class ConfigurationError(SimulationError):
+    """An experiment or engine parameter is invalid."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or otherwise illegally."""
+
+
+class TopologyError(SimulationError):
+    """The network topology is malformed (unknown node, duplicate link...)."""
+
+
+class DataPlaneError(SimulationError):
+    """The simulated data plane was driven into an invalid state."""
+
+
+class ControlPlaneError(SimulationError):
+    """An emulated control-plane component misbehaved."""

@@ -1,0 +1,140 @@
+"""Events and their ordering.
+
+Every occurrence in the experiment — a flow starting, a BGP message
+arriving, a statistics sample — is an :class:`Event` with a firing time,
+a priority and a monotonically increasing sequence number.  The triple
+``(time, priority, seq)`` gives a total, deterministic order: ties in
+time break by priority (control plane first, statistics last), ties in
+priority break by insertion order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulation import Simulation
+
+# Lower value fires first among same-time events.
+PRIORITY_CONTROL = 0
+PRIORITY_DEFAULT = 10
+PRIORITY_STATS = 20
+
+_seq_counter = itertools.count()
+
+
+def _next_seq() -> int:
+    return next(_seq_counter)
+
+
+class Event:
+    """A schedulable occurrence in simulated time.
+
+    Subclasses override :meth:`fire`.  Events support lazy cancellation:
+    a cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "cancelled")
+
+    def __init__(self, time: float, priority: int = PRIORITY_DEFAULT):
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        self.time = float(time)
+        self.priority = priority
+        self.seq = _next_seq()
+        self.cancelled = False
+
+    def sort_key(self) -> tuple:
+        """The deterministic total-order key."""
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+    def fire(self, sim: "Simulation") -> None:
+        """Execute the event's effect.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<{type(self).__name__} t={self.time:.6f} prio={self.priority}{state}>"
+
+
+class CallbackEvent(Event):
+    """The workhorse event: fires a callable, optionally with the sim.
+
+    ``callback`` is invoked as ``callback(sim)`` when it accepts an
+    argument was requested via ``pass_sim=True``, else as ``callback()``.
+    """
+
+    __slots__ = ("callback", "pass_sim", "label")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        priority: int = PRIORITY_DEFAULT,
+        pass_sim: bool = False,
+        label: str = "",
+    ):
+        super().__init__(time, priority)
+        self.callback = callback
+        self.pass_sim = pass_sim
+        self.label = label
+
+    def fire(self, sim: "Simulation") -> None:
+        if self.pass_sim:
+            self.callback(sim)
+        else:
+            self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.label}" if self.label else ""
+        return f"<CallbackEvent t={self.time:.6f}{label}>"
+
+
+class ControlDeliveryEvent(Event):
+    """Delivery of control-plane bytes to an emulated endpoint.
+
+    Fired by the Connection Manager; always runs at control priority so
+    the control plane observes a message before any same-instant
+    data-plane consequence.
+    """
+
+    __slots__ = ("channel", "receiver", "data", "metadata")
+
+    def __init__(self, time: float, channel, receiver, data: bytes, metadata=None):
+        super().__init__(time, priority=PRIORITY_CONTROL)
+        self.channel = channel
+        self.receiver = receiver
+        self.data = data
+        self.metadata = metadata
+
+    def fire(self, sim: "Simulation") -> None:
+        # Arrival of control bytes is itself control activity: it must
+        # keep the clock in FTI mode (paper: "as long as both parties
+        # exchange updates, the experiment remains in FTI mode").
+        sim.clock.notify_control_activity(self.time)
+        self.receiver.receive(self.channel, self.data, self.metadata)
+
+
+class ProcessWakeupEvent(Event):
+    """Wakes an emulated control-plane process so its timers can run.
+
+    Emulated daemons (BGP, OSPF, controllers) expose a ``tick(now)``
+    method; the engine wakes them at their requested times.
+    """
+
+    __slots__ = ("process",)
+
+    def __init__(self, time: float, process):
+        super().__init__(time, priority=PRIORITY_CONTROL)
+        self.process = process
+
+    def fire(self, sim: "Simulation") -> None:
+        self.process.tick(self.time)

@@ -1,0 +1,102 @@
+"""The future event list: a binary heap with lazy cancellation.
+
+The queue is the heart of the DES half of the engine.  It orders events
+by ``(time, priority, seq)`` and supports O(log n) push/pop plus O(1)
+cancellation (cancelled events are dropped when they surface).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.core.errors import SchedulingError
+from repro.core.events import Event
+
+
+class EventQueue:
+    """A priority queue of :class:`~repro.core.events.Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._pushed = 0
+        self._popped = 0
+        self._cancelled_seen = 0
+
+    def push(self, event: Event) -> Event:
+        """Insert an event; returns it for chaining/cancel handles."""
+        heapq.heappush(self._heap, event)
+        self._pushed += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when empty.
+
+        Cancelled events encountered on the way are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self._cancelled_seen += 1
+                continue
+            self._popped += 1
+            return event
+        return None
+
+    def peek(self) -> Optional[Event]:
+        """The earliest live event without removing it, or None."""
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled_seen += 1
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the earliest live event, or None when empty."""
+        event = self.peek()
+        if event is None:
+            return None
+        return event.time
+
+    def __len__(self) -> int:
+        # Live length is approximate while cancelled events linger;
+        # compact on demand if the exact count matters.
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek() is not None
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over live events in firing order (non-destructive)."""
+        return iter(sorted(e for e in self._heap if not e.cancelled))
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def compact(self) -> None:
+        """Physically remove cancelled events (occasionally useful when
+        millions of timers get cancelled, e.g. BGP keepalive churn)."""
+        live = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+
+    @property
+    def stats(self) -> dict:
+        """Counters for tests and benchmarks."""
+        return {
+            "pushed": self._pushed,
+            "popped": self._popped,
+            "cancelled_seen": self._cancelled_seen,
+            "pending_raw": len(self._heap),
+        }
+
+    def validate_not_past(self, event: Event, now: float) -> None:
+        """Guard against scheduling into the past."""
+        if event.time < now - 1e-12:
+            raise SchedulingError(
+                f"event at t={event.time} is before current time t={now}"
+            )

@@ -1,0 +1,107 @@
+"""The Forwarding Information Base of a simulated router.
+
+The FIB is what the Connection Manager programs when an emulated
+routing daemon's RIB changes (the "Install routes" arrow of Fig. 1).
+Entries map prefixes to one or more next hops; multiple next hops mean
+ECMP, resolved per-flow by hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import DataPlaneError
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.netproto.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """One forwarding choice: egress port and (optional) gateway IP."""
+
+    port: int
+    gateway: Optional[IPv4Address] = None
+
+    def __str__(self) -> str:
+        via = f" via {self.gateway}" if self.gateway is not None else ""
+        return f"port {self.port}{via}"
+
+
+@dataclass
+class FIBEntry:
+    """A prefix and its ECMP next-hop set."""
+
+    prefix: IPv4Prefix
+    next_hops: Tuple[NextHop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.next_hops:
+            raise DataPlaneError(f"FIB entry for {self.prefix} has no next hops")
+
+
+class FIB:
+    """Longest-prefix-match forwarding table with ECMP entries."""
+
+    def __init__(self) -> None:
+        self._trie = PrefixTrie()
+        self.installs = 0
+        self.withdrawals = 0
+
+    def install(
+        self,
+        prefix: "IPv4Prefix | str",
+        next_hops: "Sequence[NextHop | Tuple[int, IPv4Address | None]]",
+    ) -> FIBEntry:
+        """Install (or replace) the entry for ``prefix``.
+
+        ``next_hops`` entries may be :class:`NextHop` or raw
+        ``(port, gateway)`` tuples.  Next hops are stored sorted by
+        port so ECMP hashing is deterministic regardless of
+        announcement order.
+        """
+        normalized: List[NextHop] = []
+        for hop in next_hops:
+            if isinstance(hop, NextHop):
+                normalized.append(hop)
+            else:
+                port, gateway = hop
+                normalized.append(
+                    NextHop(port=port, gateway=IPv4Address(gateway) if gateway is not None else None)
+                )
+        normalized.sort(key=lambda h: (h.port, int(h.gateway) if h.gateway else 0))
+        entry = FIBEntry(prefix=IPv4Prefix(prefix), next_hops=tuple(normalized))
+        self._trie.insert(entry.prefix, entry)
+        self.installs += 1
+        return entry
+
+    def withdraw(self, prefix: "IPv4Prefix | str") -> bool:
+        """Remove the entry for ``prefix``; True when present."""
+        removed = self._trie.delete(IPv4Prefix(prefix))
+        if removed:
+            self.withdrawals += 1
+        return removed
+
+    def lookup(self, dst: "IPv4Address | str | int") -> Optional[FIBEntry]:
+        """Longest-prefix-match lookup."""
+        return self._trie.lookup_value(
+            dst if type(dst) is int else int(IPv4Address(dst))
+        )
+
+    def get(self, prefix: "IPv4Prefix | str") -> Optional[FIBEntry]:
+        """Exact-match lookup."""
+        return self._trie.get(IPv4Prefix(prefix))
+
+    def entries(self) -> List[FIBEntry]:
+        """Every entry, in (network, length) order."""
+        return [entry for __, entry in self._trie.items()]
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def clear(self) -> None:
+        """Flush the table."""
+        self._trie.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FIB entries={len(self)}>"

@@ -1,0 +1,191 @@
+"""Max-min fair rate allocation — the fluid traffic model.
+
+This is Horse's speed trick: instead of simulating packets, the data
+plane assigns each flow a rate.  We use the classic *progressive
+filling* (water-filling) algorithm:
+
+1. all active flows start at rate 0 and grow together;
+2. a flow freezes when it reaches its demand, or when some link on its
+   path saturates;
+3. repeat until every flow is frozen.
+
+The result is the unique max-min fair allocation subject to demands
+and directional link capacities.  ``validate_allocation`` checks the
+defining properties and is used heavily by the property-based tests:
+
+* feasibility — no link carries more than its capacity;
+* demand-boundedness — no flow exceeds its demand;
+* bottleneck justification — every flow not meeting its demand crosses
+  at least one saturated link where it receives a maximal share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+EPSILON = 1e-9
+
+
+def max_min_allocation(
+    flow_paths: Mapping[Hashable, Sequence[Hashable]],
+    flow_demands: Mapping[Hashable, float],
+    link_capacities: Mapping[Hashable, float],
+) -> Dict[Hashable, float]:
+    """Compute the max-min fair allocation.
+
+    Parameters
+    ----------
+    flow_paths:
+        flow id -> sequence of link ids the flow crosses.  A flow with
+        an empty path is only demand-limited.
+    flow_demands:
+        flow id -> desired rate (bps).  Must cover every flow.
+    link_capacities:
+        link id -> capacity (bps).  Must cover every link referenced.
+
+    Returns
+    -------
+    dict
+        flow id -> allocated rate.
+    """
+    rates: Dict[Hashable, float] = {}
+    active: set = set()
+    for flow_id in flow_paths:
+        demand = flow_demands[flow_id]
+        if demand < 0:
+            raise ValueError(f"negative demand for flow {flow_id!r}")
+        rates[flow_id] = 0.0
+        if demand > EPSILON:
+            active.add(flow_id)
+        # zero-demand flows are born frozen at 0
+
+    residual: Dict[Hashable, float] = {}
+    link_members: Dict[Hashable, set] = {}
+    for flow_id, path in flow_paths.items():
+        for link_id in path:
+            if link_id not in residual:
+                capacity = link_capacities[link_id]
+                if capacity < 0:
+                    raise ValueError(f"negative capacity for link {link_id!r}")
+                residual[link_id] = float(capacity)
+                link_members[link_id] = set()
+            if flow_id in active:
+                link_members[link_id].add(flow_id)
+
+    # Progressive filling: every round raises all active flows by the
+    # largest uniform increment any constraint allows, then freezes the
+    # flows that hit their constraint.  Each round freezes at least one
+    # flow, so the loop runs at most len(flows) times.
+    while active:
+        increment = min(flow_demands[f] - rates[f] for f in active)
+        limiting_links: List[Hashable] = []
+        for link_id, members in link_members.items():
+            live = len(members)
+            if live == 0:
+                continue
+            share = residual[link_id] / live
+            if share < increment - EPSILON:
+                increment = share
+                limiting_links = [link_id]
+            elif share <= increment + EPSILON:
+                limiting_links.append(link_id)
+        if increment < 0:
+            increment = 0.0
+
+        for flow_id in active:
+            rates[flow_id] += increment
+        for link_id, members in link_members.items():
+            if members:
+                residual[link_id] -= increment * len(members)
+                if residual[link_id] < 0:
+                    residual[link_id] = 0.0
+
+        frozen = set()
+        for flow_id in active:
+            if rates[flow_id] >= flow_demands[flow_id] - EPSILON:
+                rates[flow_id] = flow_demands[flow_id]
+                frozen.add(flow_id)
+        for link_id in limiting_links:
+            saturated = residual[link_id] <= EPSILON * max(
+                1.0, link_capacities[link_id]
+            )
+            if saturated:
+                frozen.update(link_members[link_id])
+        if not frozen:
+            # Zero-increment round with nothing freezing would spin
+            # forever; freeze the flows on the tightest link outright.
+            if limiting_links:
+                for link_id in limiting_links:
+                    frozen.update(link_members[link_id])
+            else:
+                frozen = set(active)
+        active -= frozen
+        for members in link_members.values():
+            members -= frozen
+
+    return rates
+
+
+def validate_allocation(
+    flow_paths: Mapping[Hashable, Sequence[Hashable]],
+    flow_demands: Mapping[Hashable, float],
+    link_capacities: Mapping[Hashable, float],
+    rates: Mapping[Hashable, float],
+    tolerance: float = 1e-6,
+) -> List[str]:
+    """Check the max-min fairness properties; returns violation strings.
+
+    An empty list means the allocation is a valid max-min fair
+    assignment.  Tolerance is relative to each constraint's scale.
+    """
+    problems: List[str] = []
+
+    loads: Dict[Hashable, float] = {}
+    for flow_id, path in flow_paths.items():
+        rate = rates[flow_id]
+        if rate < -tolerance:
+            problems.append(f"flow {flow_id!r} has negative rate {rate}")
+        if rate > flow_demands[flow_id] * (1 + tolerance) + tolerance:
+            problems.append(
+                f"flow {flow_id!r} exceeds demand: {rate} > {flow_demands[flow_id]}"
+            )
+        for link_id in path:
+            loads[link_id] = loads.get(link_id, 0.0) + rate
+
+    for link_id, load in loads.items():
+        capacity = link_capacities[link_id]
+        if load > capacity * (1 + tolerance) + tolerance:
+            problems.append(
+                f"link {link_id!r} over capacity: load {load} > {capacity}"
+            )
+
+    # Bottleneck justification: a flow below its demand must cross a
+    # saturated link on which no co-flow gets a strictly larger rate.
+    for flow_id, path in flow_paths.items():
+        rate = rates[flow_id]
+        if rate >= flow_demands[flow_id] * (1 - tolerance) - tolerance:
+            continue  # demand met
+        justified = False
+        for link_id in path:
+            capacity = link_capacities[link_id]
+            saturated = loads.get(link_id, 0.0) >= capacity * (1 - tolerance) - tolerance
+            if not saturated:
+                continue
+            max_share = max(
+                (
+                    rates[other]
+                    for other, other_path in flow_paths.items()
+                    if link_id in set(other_path)
+                ),
+                default=0.0,
+            )
+            if rate >= max_share * (1 - tolerance) - tolerance:
+                justified = True
+                break
+        if not justified:
+            problems.append(
+                f"flow {flow_id!r} below demand ({rate} < {flow_demands[flow_id]}) "
+                "with no justifying bottleneck"
+            )
+
+    return problems

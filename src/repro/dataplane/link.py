@@ -1,0 +1,123 @@
+"""Links: capacity, delay, directionality and counters.
+
+A :class:`Link` is the bidirectional cable between two ports.  The
+fluid solver and the counters work on :class:`LinkDirection` — each
+link exposes two, one per direction — because congestion is inherently
+directional (a fat-tree uplink can saturate upstream while idle
+downstream).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.node import Node, Port
+
+GBPS = 1_000_000_000
+MBPS = 1_000_000
+
+
+class LinkDirection:
+    """One direction of a link: src port -> dst port."""
+
+    __slots__ = ("link", "src_port", "dst_port", "bytes_carried", "current_load_bps")
+
+    def __init__(self, link: "Link", src_port: "Port", dst_port: "Port"):
+        self.link = link
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.bytes_carried = 0.0
+        self.current_load_bps = 0.0
+
+    @property
+    def capacity_bps(self) -> float:
+        """Capacity of this direction in bits per second."""
+        return self.link.capacity_bps
+
+    @property
+    def delay(self) -> float:
+        """Propagation delay in seconds."""
+        return self.link.delay
+
+    @property
+    def up(self) -> bool:
+        """Whether the parent link is up."""
+        return self.link.up
+
+    def utilization(self) -> float:
+        """Current load as a fraction of capacity (0..1)."""
+        if self.capacity_bps <= 0:
+            return 0.0
+        return self.current_load_bps / self.capacity_bps
+
+    def key(self) -> tuple:
+        """Hashable identity used by the fluid solver."""
+        return (self.link.id, self.src_port is self.link.port_a)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LinkDirection {self.src_port.node.name}:{self.src_port.number} -> "
+            f"{self.dst_port.node.name}:{self.dst_port.number}>"
+        )
+
+
+class Link:
+    """A bidirectional point-to-point link between two node ports."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        port_a: "Port",
+        port_b: "Port",
+        capacity_bps: float = GBPS,
+        delay: float = 0.000_05,
+    ):
+        if capacity_bps <= 0:
+            raise TopologyError(f"link capacity must be positive: {capacity_bps}")
+        if delay < 0:
+            raise TopologyError(f"link delay must be non-negative: {delay}")
+        self.id = next(self._ids)
+        self.port_a = port_a
+        self.port_b = port_b
+        self.capacity_bps = float(capacity_bps)
+        self.delay = float(delay)
+        self.up = True
+        self.forward = LinkDirection(self, port_a, port_b)
+        self.reverse = LinkDirection(self, port_b, port_a)
+        port_a.link = self
+        port_b.link = self
+
+    def direction_from(self, port: "Port") -> LinkDirection:
+        """The direction whose source is ``port``."""
+        if port is self.port_a:
+            return self.forward
+        if port is self.port_b:
+            return self.reverse
+        raise TopologyError(f"port {port!r} is not on link {self.id}")
+
+    def other_port(self, port: "Port") -> "Port":
+        """The opposite end of the cable."""
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise TopologyError(f"port {port!r} is not on link {self.id}")
+
+    def endpoints(self) -> tuple:
+        """(node_a, node_b) convenience accessor."""
+        return (self.port_a.node, self.port_b.node)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/fail the link (failure injection)."""
+        self.up = up
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        a = f"{self.port_a.node.name}:{self.port_a.number}"
+        b = f"{self.port_b.node.name}:{self.port_b.number}"
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.id} {a}<->{b} {self.capacity_bps / GBPS:.1f}Gbps {state}>"

@@ -1,0 +1,441 @@
+"""The simulated network: topology container and fluid-traffic engine.
+
+:class:`Network` owns the nodes and links, tracks the set of active
+fluid flows, walks the forwarding state to compute each flow's path,
+and drives the max-min fair solver whenever something changes:
+
+* a flow starts or ends;
+* the control plane reprograms forwarding state (FIB installs and
+  OpenFlow flow-mods invalidate routing through the Connection
+  Manager).
+
+Recomputations triggered within the same instant are coalesced into a
+single event, so a burst of BGP route installs or a path-wide set of
+flow-mods costs one reallocation, not one per message.
+
+The network also forwards *individual* packets (first packets of
+missing flows, PACKET_OUT frames) hop by hop with per-link delays.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.core.errors import DataPlaneError, TopologyError
+from repro.dataplane.flow import FluidFlow, PathResult, PathStatus
+from repro.dataplane.fluid import max_min_allocation
+from repro.dataplane.host import Host
+from repro.dataplane.link import Link, LinkDirection
+from repro.dataplane.node import ForwardingDecision, Node
+from repro.dataplane.router import Router
+from repro.dataplane.switch import Switch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulation import Simulation
+    from repro.netproto.packet import Packet
+
+MAX_HOPS = 128
+
+
+class Network:
+    """Topology + fluid flows + packet events."""
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self.flows: List[FluidFlow] = []
+        self.sim: Optional["Simulation"] = None
+        self.recomputations = 0
+        self.packets_forwarded = 0
+        self._recompute_pending = False
+        self._last_accrual = 0.0
+        self._last_recompute = -float("inf")
+        self._routing_epoch = 0
+        # Minimum spacing between reallocations, in simulated seconds.
+        # 0 recomputes at every distinct change instant (exact).  A few
+        # milliseconds models FIB/TCAM programming latency and lets a
+        # convergence burst of route installs coalesce — large BGP
+        # experiments run several times faster with ~5 ms here.
+        self.recompute_min_interval = 0.0
+        # Hooks fired after every reallocation; stats and tests use them.
+        self.on_reallocation: List[Callable[[float], None]] = []
+
+    # -- topology construction ------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register a node; names must be unique."""
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        node.network = self
+        self.nodes[node.name] = node
+        return node
+
+    def add_host(self, name: str, ip, gateway=None) -> Host:
+        """Create and register a host."""
+        host = Host(name, ip, gateway)
+        self.add_node(host)
+        return host
+
+    def add_switch(self, name: str, dpid: "int | None" = None) -> Switch:
+        """Create and register an OpenFlow switch."""
+        switch = Switch(name, dpid=dpid)
+        self.add_node(switch)
+        return switch
+
+    def add_router(self, name: str, router_id=None) -> Router:
+        """Create and register a router."""
+        router = Router(name, router_id=router_id)
+        self.add_node(router)
+        return router
+
+    def get_node(self, name: str) -> Node:
+        """Look a node up by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def add_link(
+        self,
+        node_a: "Node | str",
+        node_b: "Node | str",
+        capacity_bps: float = 1_000_000_000,
+        delay: float = 0.000_05,
+        port_a: "int | None" = None,
+        port_b: "int | None" = None,
+    ) -> Link:
+        """Connect two nodes with a new link, allocating ports as needed."""
+        a = self.get_node(node_a) if isinstance(node_a, str) else node_a
+        b = self.get_node(node_b) if isinstance(node_b, str) else node_b
+        pa = self._pick_port(a, port_a)
+        pb = self._pick_port(b, port_b)
+        link = Link(pa, pb, capacity_bps=capacity_bps, delay=delay)
+        self.links.append(link)
+        return link
+
+    @staticmethod
+    def _pick_port(node: Node, requested: "int | None"):
+        if requested is not None:
+            port = node.ports.get(requested) or node.add_port(requested)
+        else:
+            port = next(
+                (p for p in sorted(node.ports.values(), key=lambda p: p.number)
+                 if not p.connected()),
+                None,
+            ) or node.add_port()
+        if port.connected():
+            raise TopologyError(f"port {node.name}:{port.number} already wired")
+        return port
+
+    def hosts(self) -> List[Host]:
+        """All hosts, sorted by name."""
+        return sorted(
+            (n for n in self.nodes.values() if isinstance(n, Host)),
+            key=lambda n: n.name,
+        )
+
+    def switches(self) -> List[Switch]:
+        """All switches, sorted by name."""
+        return sorted(
+            (n for n in self.nodes.values() if isinstance(n, Switch)),
+            key=lambda n: n.name,
+        )
+
+    def routers(self) -> List[Router]:
+        """All routers, sorted by name."""
+        return sorted(
+            (n for n in self.nodes.values() if isinstance(n, Router)),
+            key=lambda n: n.name,
+        )
+
+    def host_by_ip(self, ip) -> Optional[Host]:
+        """Find the host owning an IP, if any."""
+        for host in self.hosts():
+            if host.ip == ip:
+                return host
+        return None
+
+    def graph(self) -> "nx.Graph":
+        """A networkx view of the topology (for controllers and tests)."""
+        graph = nx.Graph()
+        for name in self.nodes:
+            graph.add_node(name, kind=self.nodes[name].kind)
+        for link in self.links:
+            a, b = link.endpoints()
+            graph.add_edge(
+                a.name,
+                b.name,
+                capacity=link.capacity_bps,
+                delay=link.delay,
+                port_a=link.port_a.number,
+                port_b=link.port_b.number,
+                up=link.up,
+            )
+        return graph
+
+    # -- simulation binding ----------------------------------------------------
+
+    def bind(self, sim: "Simulation") -> None:
+        """Attach this network to a simulation (called by the sim)."""
+        self.sim = sim
+        self._last_accrual = sim.clock.now
+
+    def _require_sim(self) -> "Simulation":
+        if self.sim is None:
+            raise DataPlaneError("network is not attached to a simulation")
+        return self.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._require_sim().clock.now
+
+    # -- flows -------------------------------------------------------------------
+
+    def add_flow(self, flow: FluidFlow) -> FluidFlow:
+        """Register a flow and schedule its start/end events."""
+        sim = self._require_sim()
+        self.flows.append(flow)
+        sim.scheduler.at(flow.start_time, lambda: self.start_flow(flow),
+                         label=f"start {flow.name}")
+        if flow.end_time is not None:
+            sim.scheduler.at(flow.end_time, lambda: self.stop_flow(flow),
+                             label=f"stop {flow.name}")
+        return flow
+
+    def start_flow(self, flow: FluidFlow) -> None:
+        """Activate a flow now and trigger reallocation."""
+        if flow.active:
+            return
+        flow.active = True
+        self.invalidate_routing()
+
+    def stop_flow(self, flow: FluidFlow) -> None:
+        """Deactivate a flow now and trigger reallocation."""
+        if not flow.active:
+            return
+        self.accrue(self.now)
+        flow.active = False
+        flow.rate_bps = 0.0
+        self.invalidate_routing()
+
+    def active_flows(self) -> List[FluidFlow]:
+        """Flows currently sending."""
+        return [flow for flow in self.flows if flow.active]
+
+    # -- path computation ----------------------------------------------------------
+
+    def compute_path(self, flow: FluidFlow) -> PathResult:
+        """Walk the forwarding state from src to dst for one flow."""
+        node: Node = flow.src
+        in_port: Optional[int] = None
+        hops: List[LinkDirection] = []
+        entries = []
+        macs = (flow.src.mac, flow.dst.mac)
+        for __ in range(MAX_HOPS):
+            decision = node.forward_flow(flow.key, in_port, macs=macs)
+            if decision.action == ForwardingDecision.DELIVER:
+                return PathResult(PathStatus.DELIVERED, hops=hops, entries=entries)
+            if decision.action == ForwardingDecision.MISS:
+                return PathResult(
+                    PathStatus.MISS, hops=hops, entries=entries,
+                    miss_node=node.name, detail=decision.reason,
+                )
+            if decision.action == ForwardingDecision.NO_ROUTE:
+                return PathResult(
+                    PathStatus.NO_ROUTE, hops=hops, entries=entries,
+                    miss_node=node.name, detail=decision.reason,
+                )
+            if decision.action == ForwardingDecision.DROP:
+                return PathResult(
+                    PathStatus.DROPPED, hops=hops, entries=entries,
+                    miss_node=node.name, detail=decision.reason,
+                )
+            # FORWARD
+            port = node.port(decision.out_port)
+            if not port.connected():
+                return PathResult(
+                    PathStatus.DROPPED, hops=hops, entries=entries,
+                    miss_node=node.name,
+                    detail=f"port {port.number} not connected",
+                )
+            if not port.link.up:
+                return PathResult(
+                    PathStatus.DROPPED, hops=hops, entries=entries,
+                    miss_node=node.name, detail="link down",
+                )
+            direction = port.link.direction_from(port)
+            hops.append(direction)
+            if decision.entry is not None and isinstance(node, Switch):
+                entries.append((node, decision.entry))
+            peer = port.peer()
+            node = peer.node
+            in_port = peer.number
+        return PathResult(PathStatus.LOOP, hops=hops, entries=entries,
+                          detail=f"no delivery within {MAX_HOPS} hops")
+
+    # -- reallocation ------------------------------------------------------------------
+
+    def invalidate_routing(self) -> None:
+        """Request a reallocation; requests inside the same instant (or
+        the same ``recompute_min_interval`` window) coalesce."""
+        sim = self._require_sim()
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        when = sim.clock.now
+        if self.recompute_min_interval > 0:
+            when = max(when, self._last_recompute + self.recompute_min_interval)
+        sim.scheduler.at(when, self._recompute, label="recompute")
+
+    def _recompute(self) -> None:
+        self._recompute_pending = False
+        self.recompute(self.now)
+
+    def recompute(self, now: float) -> None:
+        """Recompute paths and rates for every active flow, at ``now``."""
+        self.accrue(now)
+        self.recomputations += 1
+        self._routing_epoch += 1
+        self._last_recompute = now
+
+        flow_paths = {}
+        demands = {}
+        capacities = {}
+        delivered: List[FluidFlow] = []
+        for flow in self.active_flows():
+            result = self.compute_path(flow)
+            flow.path = result
+            if result.status is PathStatus.MISS:
+                self._report_miss(flow, result, now)
+            if result.delivered:
+                delivered.append(flow)
+                path_keys = [hop.key() for hop in result.hops]
+                flow_paths[flow.id] = path_keys
+                demands[flow.id] = flow.demand_bps
+                for hop in result.hops:
+                    capacities[hop.key()] = hop.capacity_bps
+            else:
+                flow.rate_bps = 0.0
+
+        rates = max_min_allocation(flow_paths, demands, capacities)
+
+        for direction in self._all_directions():
+            direction.current_load_bps = 0.0
+        for host in self.hosts():
+            host.rx_rate_bps = 0.0
+            host.tx_rate_bps = 0.0
+        for flow in delivered:
+            flow.rate_bps = rates[flow.id]
+            for hop in flow.path.hops:
+                hop.current_load_bps += flow.rate_bps
+            flow.dst.rx_rate_bps += flow.rate_bps
+            flow.src.tx_rate_bps += flow.rate_bps
+
+        for hook in self.on_reallocation:
+            hook(now)
+
+    def _report_miss(self, flow: FluidFlow, result: PathResult, now: float) -> None:
+        """Raise a PACKET_IN for a table miss, at most once per (flow,
+        switch, table version).
+
+        A real switch punts every missing packet; in the fluid model
+        the flow re-misses on each recompute, so a guard is needed —
+        but it must reset when the switch's table changes, otherwise a
+        flow that missed before the relevant entry existed could never
+        trigger the controller again (e.g. the reverse direction of a
+        learning-switch conversation).
+        """
+        switch = self.nodes.get(result.miss_node)
+        if not isinstance(switch, Switch) or switch.agent is None:
+            return
+        version_seen = flow.reported_misses.get(switch.name)
+        if version_seen is not None and version_seen >= switch.table.version:
+            return
+        flow.reported_misses[switch.name] = switch.table.version
+        if result.hops:
+            in_port = result.hops[-1].dst_port.number
+        else:
+            in_port = 0
+        switch.agent.packet_in(in_port, flow.first_packet(), now)
+
+    def _all_directions(self) -> Iterable[LinkDirection]:
+        for link in self.links:
+            yield link.forward
+            yield link.reverse
+
+    # -- byte accounting -----------------------------------------------------------------
+
+    def accrue(self, now: float) -> None:
+        """Integrate flow rates into byte counters up to ``now``."""
+        dt = now - self._last_accrual
+        if dt <= 0:
+            return
+        self._last_accrual = now
+        for flow in self.flows:
+            if not flow.active or flow.path is None or not flow.path.delivered:
+                continue
+            if flow.rate_bps <= 0:
+                continue
+            transferred = flow.rate_bps * dt / 8.0  # bits -> bytes
+            flow.delivered_bytes += transferred
+            flow.src.tx_bytes += transferred
+            flow.dst.rx_bytes += transferred
+            for hop in flow.path.hops:
+                hop.bytes_carried += transferred
+                hop.src_port.tx_bytes += transferred
+                hop.dst_port.rx_bytes += transferred
+            for __, entry in flow.path.entries:
+                entry.byte_count += transferred
+                entry.last_used_at = now
+
+    def aggregate_rx_rate(self) -> float:
+        """Total rate arriving at all hosts (bps) — the demo's metric."""
+        return sum(host.rx_rate_bps for host in self.hosts())
+
+    # -- packet events --------------------------------------------------------------------
+
+    def inject_packet(self, node: "Node | str", in_port: "int | None",
+                      packet: "Packet") -> None:
+        """Run a packet through a node's pipeline, then across links."""
+        origin = self.get_node(node) if isinstance(node, str) else node
+        outputs = origin.handle_packet(in_port, packet, self.now)
+        self.transmit(origin, outputs)
+
+    def transmit(self, origin: "Node", outputs) -> None:
+        """Send (port, packet) pairs out of a node across its links.
+
+        Also the entry point for PACKET_OUT: the switch agent resolves
+        the action list to concrete ports and hands the result here.
+        """
+        sim = self._require_sim()
+        many = len(outputs) > 1
+        for port_no, out_packet in outputs:
+            port = origin.ports.get(port_no)
+            if port is None or not port.connected() or not port.link.up:
+                continue
+            to_send = copy.deepcopy(out_packet) if many else out_packet
+            port.tx_packets += 1
+            port.tx_bytes += to_send.size
+            peer = port.peer()
+            self.packets_forwarded += 1
+            sim.scheduler.after(
+                port.link.delay,
+                lambda p=peer, pkt=to_send: self._packet_arrives(p, pkt),
+                label="packet hop",
+            )
+
+    def _packet_arrives(self, peer_port, packet: "Packet") -> None:
+        peer_port.rx_packets += 1
+        peer_port.rx_bytes += packet.size
+        self.inject_packet(peer_port.node, peer_port.number, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network {self.name!r} nodes={len(self.nodes)} links={len(self.links)} "
+            f"flows={len(self.flows)}>"
+        )

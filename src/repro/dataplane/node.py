@@ -1,0 +1,173 @@
+"""Base node and port models.
+
+Every device in the simulated topology — host, switch, router — is a
+:class:`Node` with numbered :class:`Port` objects.  Subclasses override
+the two forwarding hooks:
+
+* :meth:`Node.forward_flow` — fluid-path computation: given a flow's
+  five-tuple arriving on a port, decide the egress port(s);
+* :meth:`Node.handle_packet` — individual packet events (control-plane
+  first packets, PACKET_OUT frames).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.errors import TopologyError
+from repro.netproto.addr import MACAddress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.link import Link
+    from repro.dataplane.network import Network
+    from repro.netproto.packet import FiveTuple, Packet
+
+_mac_counter = itertools.count(0x0200_0000_0001)
+
+
+def next_auto_mac() -> MACAddress:
+    """Allocate a locally administered MAC address."""
+    return MACAddress(next(_mac_counter))
+
+
+class Port:
+    """A numbered attachment point on a node."""
+
+    __slots__ = ("node", "number", "mac", "link", "rx_bytes", "tx_bytes",
+                 "rx_packets", "tx_packets")
+
+    def __init__(self, node: "Node", number: int, mac: "MACAddress | None" = None):
+        self.node = node
+        self.number = number
+        self.mac = mac or next_auto_mac()
+        self.link: Optional["Link"] = None
+        self.rx_bytes = 0.0
+        self.tx_bytes = 0.0
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    def peer(self) -> Optional["Port"]:
+        """The port at the far end of the attached link, if any."""
+        if self.link is None:
+            return None
+        return self.link.other_port(self)
+
+    def connected(self) -> bool:
+        """Whether a link is attached."""
+        return self.link is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.node.name}:{self.number}>"
+
+
+class Node:
+    """Base class for every simulated device."""
+
+    kind = "node"
+
+    def __init__(self, name: str):
+        if not name:
+            raise TopologyError("node needs a non-empty name")
+        self.name = name
+        self.ports: Dict[int, Port] = {}
+        self.network: Optional["Network"] = None
+        self._next_port = 1
+
+    def add_port(self, number: "int | None" = None) -> Port:
+        """Create a new port; auto-numbers when ``number`` is None."""
+        if number is None:
+            while self._next_port in self.ports:
+                self._next_port += 1
+            number = self._next_port
+            self._next_port += 1
+        if number in self.ports:
+            raise TopologyError(f"{self.name} already has port {number}")
+        port = Port(self, number)
+        self.ports[number] = port
+        return port
+
+    def port(self, number: int) -> Port:
+        """Look up a port by number."""
+        try:
+            return self.ports[number]
+        except KeyError:
+            raise TopologyError(f"{self.name} has no port {number}") from None
+
+    def neighbors(self) -> List[Tuple[Port, "Node"]]:
+        """(local port, peer node) pairs for every connected port."""
+        result = []
+        for port in sorted(self.ports.values(), key=lambda p: p.number):
+            peer = port.peer()
+            if peer is not None:
+                result.append((port, peer.node))
+        return result
+
+    # -- forwarding hooks ----------------------------------------------------
+
+    def forward_flow(self, flow_key: "FiveTuple", in_port: "int | None",
+                     macs=None):
+        """Decide the egress for a fluid flow.
+
+        ``macs`` is the (src MAC, dst MAC) pair the flow's frames
+        carry, supplied by the walk so switches can evaluate L2
+        matches.  Returns a :class:`ForwardingDecision`.  Base nodes
+        cannot forward anything.
+        """
+        return ForwardingDecision.drop("base node cannot forward")
+
+    def handle_packet(
+        self, in_port: "int | None", packet: "Packet", now: float
+    ) -> List[Tuple[int, "Packet"]]:
+        """Process an individual packet event.
+
+        Returns (out_port_number, packet) pairs to transmit.  Base
+        nodes sink everything.
+        """
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ports={len(self.ports)}>"
+
+
+class ForwardingDecision:
+    """Outcome of one hop of fluid-path computation."""
+
+    __slots__ = ("action", "out_port", "reason", "entry")
+
+    FORWARD = "forward"
+    DELIVER = "deliver"
+    DROP = "drop"
+    MISS = "miss"  # OpenFlow table miss -> PACKET_IN opportunity
+    NO_ROUTE = "no_route"  # router FIB had no matching entry
+
+    def __init__(self, action: str, out_port: "int | None" = None,
+                 reason: str = "", entry=None):
+        self.action = action
+        self.out_port = out_port
+        self.reason = reason
+        self.entry = entry  # matched FlowEntry, for counter accrual
+
+    @classmethod
+    def forward(cls, out_port: int, entry=None) -> "ForwardingDecision":
+        return cls(cls.FORWARD, out_port=out_port, entry=entry)
+
+    @classmethod
+    def deliver(cls) -> "ForwardingDecision":
+        return cls(cls.DELIVER)
+
+    @classmethod
+    def drop(cls, reason: str) -> "ForwardingDecision":
+        return cls(cls.DROP, reason=reason)
+
+    @classmethod
+    def miss(cls, reason: str = "table miss") -> "ForwardingDecision":
+        return cls(cls.MISS, reason=reason)
+
+    @classmethod
+    def no_route(cls, reason: str) -> "ForwardingDecision":
+        return cls(cls.NO_ROUTE, reason=reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" port={self.out_port}" if self.out_port is not None else ""
+        return f"<Decision {self.action}{extra} {self.reason}>"

@@ -1,0 +1,53 @@
+"""Deterministic hashing for ECMP path selection.
+
+Hardware switches pick among equal-cost next hops with a hash over
+header fields.  The demo in the paper uses two variants:
+
+* **BGP + ECMP** — hash of (IP source, IP destination) only;
+* **SDN 5-tuple ECMP** — hash of the full five-tuple.
+
+Python's builtin ``hash`` is salted per process, so we implement a
+small FNV-1a based mix that is stable across runs — experiments must be
+reproducible bit-for-bit with the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.netproto.addr import IPv4Address
+from repro.netproto.packet import FiveTuple
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a(values: Sequence[int], seed: int = 0) -> int:
+    """FNV-1a over a sequence of integers, byte by byte."""
+    state = _FNV_OFFSET ^ (seed * _FNV_PRIME & 0xFFFFFFFFFFFFFFFF)
+    for value in values:
+        # Mix 8 bytes of each value; ports and protocols simply have
+        # leading zero bytes, which is fine for FNV.
+        for shift in range(0, 64, 8):
+            state ^= (value >> shift) & 0xFF
+            state = (state * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return state
+
+
+def two_tuple_hash(
+    src_ip: "IPv4Address | int", dst_ip: "IPv4Address | int", seed: int = 0
+) -> int:
+    """Stable hash of (source IP, destination IP) — the BGP ECMP variant."""
+    return _fnv1a((int(src_ip), int(dst_ip)), seed=seed)
+
+
+def five_tuple_hash(flow: FiveTuple, seed: int = 0) -> int:
+    """Stable hash of the full five-tuple — the SDN ECMP variant."""
+    return _fnv1a(flow.as_tuple(), seed=seed)
+
+
+def ecmp_hash(key: int, num_paths: int) -> int:
+    """Map a hash value onto one of ``num_paths`` equal-cost choices."""
+    if num_paths <= 0:
+        raise ValueError("num_paths must be positive")
+    return key % num_paths

@@ -1,0 +1,93 @@
+"""OpenFlow substrate: wire protocol, switch agent and controller base.
+
+Horse's SDN support means switches speak OpenFlow to real controller
+applications.  This package implements an OpenFlow 1.0-flavoured binary
+protocol — real headers, real match structures, real flow-mods on the
+wire — plus the two endpoints:
+
+* :class:`~repro.openflow.switch_agent.SwitchAgent` — the datapath side,
+  attached to a simulated switch; turns table misses into PACKET_IN,
+  applies FLOW_MOD to the simulated flow table, answers STATS_REQUEST
+  from the simulated counters;
+* :class:`~repro.openflow.controller.Controller` — the controller side,
+  hosting one or more applications (see :mod:`repro.controllers`).
+
+Deviations from the OpenFlow 1.0 spec are small and documented in
+:mod:`repro.openflow.messages` (no vendor extensions, no queues, ports
+are 32-bit).
+"""
+
+from repro.openflow.constants import (
+    OFP_VERSION,
+    MsgType,
+    PortNo,
+    FlowModCommand,
+    StatsType,
+    OFP_NO_BUFFER,
+)
+from repro.openflow.match import Match
+from repro.openflow.actions import (
+    Action,
+    ActionOutput,
+    ActionSetField,
+    ActionDrop,
+    encode_actions,
+    decode_actions,
+)
+from repro.openflow.messages import (
+    OFMessage,
+    Hello,
+    EchoRequest,
+    EchoReply,
+    FeaturesRequest,
+    FeaturesReply,
+    PacketIn,
+    PacketOut,
+    FlowMod,
+    FlowRemoved,
+    StatsRequest,
+    StatsReply,
+    BarrierRequest,
+    BarrierReply,
+    ErrorMsg,
+    decode_message,
+    encode_message,
+)
+from repro.openflow.switch_agent import SwitchAgent
+from repro.openflow.controller import Controller, ControllerApp
+
+__all__ = [
+    "OFP_VERSION",
+    "MsgType",
+    "PortNo",
+    "FlowModCommand",
+    "StatsType",
+    "OFP_NO_BUFFER",
+    "Match",
+    "Action",
+    "ActionOutput",
+    "ActionSetField",
+    "ActionDrop",
+    "encode_actions",
+    "decode_actions",
+    "OFMessage",
+    "Hello",
+    "EchoRequest",
+    "EchoReply",
+    "FeaturesRequest",
+    "FeaturesReply",
+    "PacketIn",
+    "PacketOut",
+    "FlowMod",
+    "FlowRemoved",
+    "StatsRequest",
+    "StatsReply",
+    "BarrierRequest",
+    "BarrierReply",
+    "ErrorMsg",
+    "decode_message",
+    "encode_message",
+    "SwitchAgent",
+    "Controller",
+    "ControllerApp",
+]

@@ -1,0 +1,157 @@
+"""OpenFlow actions and their wire codec.
+
+The subset Horse's demo needs: OUTPUT (to a port, to the controller, or
+FLOOD) and SET_FIELD for the occasional rewrite.  An empty action list
+means drop, as in the spec; :class:`ActionDrop` exists as an explicit
+marker for readability in controller code.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.netproto.addr import IPv4Address, MACAddress
+from repro.openflow.constants import PortNo
+
+ACTION_OUTPUT = 0
+ACTION_SET_DL_SRC = 4
+ACTION_SET_DL_DST = 5
+ACTION_SET_NW_SRC = 6
+ACTION_SET_NW_DST = 7
+ACTION_GROUP = 22  # OF 1.1+ OFPAT_GROUP
+ACTION_DROP = 0xFFFF  # local marker, never a real wire code in OF 1.0
+
+
+class Action:
+    """Base class for flow actions."""
+
+    type_code: int = -1
+
+    def encode(self) -> bytes:
+        """Serialise to (type, len, body...) TLV."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ActionOutput(Action):
+    """Forward the packet/flow out of ``port``.
+
+    ``port`` may be a physical port number or a reserved
+    :class:`~repro.openflow.constants.PortNo` value (CONTROLLER, FLOOD).
+    """
+
+    port: int
+    max_len: int = 0xFFFF
+
+    type_code = ACTION_OUTPUT
+
+    def encode(self) -> bytes:
+        return struct.pack("!HHIH2x", ACTION_OUTPUT, 12, self.port, self.max_len)
+
+    def __str__(self) -> str:
+        try:
+            name = PortNo(self.port).name
+        except ValueError:
+            name = str(self.port)
+        return f"output:{name}"
+
+
+@dataclass(frozen=True)
+class ActionSetField(Action):
+    """Rewrite one header field (dl_src/dl_dst/nw_src/nw_dst)."""
+
+    field: str
+    value: "MACAddress | IPv4Address"
+
+    _FIELD_CODES = {
+        "dl_src": ACTION_SET_DL_SRC,
+        "dl_dst": ACTION_SET_DL_DST,
+        "nw_src": ACTION_SET_NW_SRC,
+        "nw_dst": ACTION_SET_NW_DST,
+    }
+
+    @property
+    def type_code(self) -> int:  # type: ignore[override]
+        return self._FIELD_CODES[self.field]
+
+    def encode(self) -> bytes:
+        code = self._FIELD_CODES[self.field]
+        if self.field.startswith("dl_"):
+            body = self.value.packed() + b"\x00" * 6  # pad to 8
+            return struct.pack("!HH", code, 4 + len(body)) + body
+        body = self.value.packed() + b"\x00" * 4
+        return struct.pack("!HH", code, 4 + len(body)) + body
+
+    def __str__(self) -> str:
+        return f"set_{self.field}:{self.value}"
+
+
+@dataclass(frozen=True)
+class ActionGroup(Action):
+    """Send the packet/flow through a group (SELECT groups = ECMP)."""
+
+    group_id: int
+
+    type_code = ACTION_GROUP
+
+    def encode(self) -> bytes:
+        return struct.pack("!HHI", ACTION_GROUP, 8, self.group_id)
+
+    def __str__(self) -> str:
+        return f"group:{self.group_id}"
+
+
+@dataclass(frozen=True)
+class ActionDrop(Action):
+    """Explicit drop marker — encodes to nothing (empty action list)."""
+
+    type_code = ACTION_DROP
+
+    def encode(self) -> bytes:
+        return b""
+
+    def __str__(self) -> str:
+        return "drop"
+
+
+def encode_actions(actions: List[Action]) -> bytes:
+    """Serialise an action list to its wire form."""
+    return b"".join(action.encode() for action in actions)
+
+
+def decode_actions(data: bytes) -> List[Action]:
+    """Parse a wire-form action list."""
+    actions: List[Action] = []
+    offset = 0
+    while offset + 4 <= len(data):
+        code, length = struct.unpack_from("!HH", data, offset)
+        if length < 4 or offset + length > len(data):
+            raise ValueError(f"bad action TLV at offset {offset}")
+        body = data[offset + 4 : offset + length]
+        if code == ACTION_OUTPUT:
+            port, max_len = struct.unpack("!IH2x", body)
+            actions.append(ActionOutput(port=port, max_len=max_len))
+        elif code == ACTION_SET_DL_SRC:
+            actions.append(ActionSetField("dl_src", MACAddress.from_bytes(body[:6])))
+        elif code == ACTION_SET_DL_DST:
+            actions.append(ActionSetField("dl_dst", MACAddress.from_bytes(body[:6])))
+        elif code == ACTION_SET_NW_SRC:
+            actions.append(ActionSetField("nw_src", IPv4Address.from_bytes(body[:4])))
+        elif code == ACTION_SET_NW_DST:
+            actions.append(ActionSetField("nw_dst", IPv4Address.from_bytes(body[:4])))
+        elif code == ACTION_GROUP:
+            (group_id,) = struct.unpack("!I", body[:4])
+            actions.append(ActionGroup(group_id=group_id))
+        else:
+            raise ValueError(f"unknown action type {code}")
+        offset += length
+    if offset != len(data):
+        raise ValueError("trailing bytes after action list")
+    return actions
+
+
+def output_ports(actions: List[Action]) -> List[int]:
+    """The ports an action list outputs to (empty = drop)."""
+    return [a.port for a in actions if isinstance(a, ActionOutput)]

@@ -1,0 +1,572 @@
+"""OpenFlow message codecs.
+
+Every message carries the standard 8-byte header::
+
+    version(1) | type(1) | length(2) | xid(4)
+
+followed by a type-specific body.  The layouts follow OpenFlow 1.0
+closely; deliberate deviations (all documented):
+
+* port numbers are 32-bit everywhere (OF 1.3 style);
+* no buffering — PACKET_IN always carries the full frame and
+  ``buffer_id`` is always ``OFP_NO_BUFFER``;
+* no queues, no vendor/experimenter messages.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Optional, Tuple
+
+from repro.openflow.actions import Action, decode_actions, encode_actions
+from repro.openflow.constants import (
+    MsgType,
+    OFP_HEADER_LEN,
+    OFP_NO_BUFFER,
+    OFP_VERSION,
+    FlowModCommand,
+    GroupModCommand,
+    GroupType,
+    StatsType,
+)
+from repro.openflow.groups import Bucket
+from repro.openflow.match import MATCH_LEN, Match
+
+
+class OFDecodeError(ValueError):
+    """Raised when bytes cannot be parsed as an OpenFlow message."""
+
+
+@dataclass
+class OFMessage:
+    """Base class: every OpenFlow message has a type and an xid.
+
+    ``msg_type`` is a ClassVar, not a field: each subclass pins its
+    own wire type and instances never carry (or accept) it.
+    """
+
+    xid: int = 0
+
+    msg_type: ClassVar[MsgType] = MsgType.HELLO
+
+    def body(self) -> bytes:
+        """Type-specific body bytes (empty by default)."""
+        return b""
+
+    def encode(self) -> bytes:
+        """Serialise header + body."""
+        payload = self.body()
+        header = struct.pack(
+            "!BBHI",
+            OFP_VERSION,
+            int(self.msg_type),
+            OFP_HEADER_LEN + len(payload),
+            self.xid & 0xFFFFFFFF,
+        )
+        return header + payload
+
+
+@dataclass
+class Hello(OFMessage):
+    msg_type = MsgType.HELLO
+
+
+@dataclass
+class EchoRequest(OFMessage):
+    msg_type = MsgType.ECHO_REQUEST
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        return self.data
+
+
+@dataclass
+class EchoReply(OFMessage):
+    msg_type = MsgType.ECHO_REPLY
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        return self.data
+
+
+@dataclass
+class ErrorMsg(OFMessage):
+    msg_type = MsgType.ERROR
+    err_type: int = 0
+    err_code: int = 0
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        return struct.pack("!HH", self.err_type, self.err_code) + self.data
+
+
+@dataclass
+class FeaturesRequest(OFMessage):
+    msg_type = MsgType.FEATURES_REQUEST
+
+
+@dataclass
+class PortDesc:
+    """One physical port in a FEATURES_REPLY."""
+
+    port_no: int
+    name: str = ""
+
+    _STRUCT = struct.Struct("!I16s")
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(self.port_no, self.name.encode()[:16])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PortDesc":
+        port_no, raw_name = cls._STRUCT.unpack(data[: cls._STRUCT.size])
+        return cls(port_no=port_no, name=raw_name.rstrip(b"\x00").decode())
+
+
+@dataclass
+class FeaturesReply(OFMessage):
+    msg_type = MsgType.FEATURES_REPLY
+    datapath_id: int = 0
+    n_tables: int = 1
+    capabilities: int = 0
+    ports: List[PortDesc] = field(default_factory=list)
+
+    def body(self) -> bytes:
+        head = struct.pack(
+            "!QIB3xI", self.datapath_id, 0, self.n_tables, self.capabilities
+        )
+        return head + b"".join(port.encode() for port in self.ports)
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "FeaturesReply":
+        datapath_id, __, n_tables, capabilities = struct.unpack_from("!QIB3xI", data)
+        offset = struct.calcsize("!QIB3xI")
+        ports = []
+        step = PortDesc._STRUCT.size
+        while offset + step <= len(data):
+            ports.append(PortDesc.decode(data[offset : offset + step]))
+            offset += step
+        return cls(
+            xid=xid,
+            datapath_id=datapath_id,
+            n_tables=n_tables,
+            capabilities=capabilities,
+            ports=ports,
+        )
+
+
+@dataclass
+class PacketIn(OFMessage):
+    msg_type = MsgType.PACKET_IN
+    buffer_id: int = OFP_NO_BUFFER
+    total_len: int = 0
+    in_port: int = 0
+    reason: int = 0
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        total = self.total_len or len(self.data)
+        return (
+            struct.pack("!IHIB1x", self.buffer_id, total, self.in_port, self.reason)
+            + self.data
+        )
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "PacketIn":
+        buffer_id, total_len, in_port, reason = struct.unpack_from("!IHIB1x", data)
+        offset = struct.calcsize("!IHIB1x")
+        return cls(
+            xid=xid,
+            buffer_id=buffer_id,
+            total_len=total_len,
+            in_port=in_port,
+            reason=reason,
+            data=data[offset:],
+        )
+
+
+@dataclass
+class PacketOut(OFMessage):
+    msg_type = MsgType.PACKET_OUT
+    buffer_id: int = OFP_NO_BUFFER
+    in_port: int = 0
+    actions: List[Action] = field(default_factory=list)
+    data: bytes = b""
+
+    def body(self) -> bytes:
+        wire_actions = encode_actions(self.actions)
+        return (
+            struct.pack("!IIH", self.buffer_id, self.in_port, len(wire_actions))
+            + wire_actions
+            + self.data
+        )
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "PacketOut":
+        buffer_id, in_port, actions_len = struct.unpack_from("!IIH", data)
+        offset = struct.calcsize("!IIH")
+        actions = decode_actions(data[offset : offset + actions_len])
+        return cls(
+            xid=xid,
+            buffer_id=buffer_id,
+            in_port=in_port,
+            actions=actions,
+            data=data[offset + actions_len :],
+        )
+
+
+@dataclass
+class FlowMod(OFMessage):
+    msg_type = MsgType.FLOW_MOD
+    match: Match = field(default_factory=Match)
+    cookie: int = 0
+    command: FlowModCommand = FlowModCommand.ADD
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    priority: int = 0x8000
+    buffer_id: int = OFP_NO_BUFFER
+    out_port: int = 0xFFFFFFFF
+    flags: int = 0
+    actions: List[Action] = field(default_factory=list)
+
+    def body(self) -> bytes:
+        return (
+            self.match.encode()
+            + struct.pack(
+                "!QHHHHIIH2x",
+                self.cookie,
+                int(self.command),
+                self.idle_timeout,
+                self.hard_timeout,
+                self.priority,
+                self.buffer_id,
+                self.out_port,
+                self.flags,
+            )
+            + encode_actions(self.actions)
+        )
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "FlowMod":
+        match, rest = Match.decode(data)
+        fixed = struct.Struct("!QHHHHIIH2x")
+        (
+            cookie,
+            command,
+            idle_timeout,
+            hard_timeout,
+            priority,
+            buffer_id,
+            out_port,
+            flags,
+        ) = fixed.unpack_from(rest)
+        actions = decode_actions(rest[fixed.size :])
+        return cls(
+            xid=xid,
+            match=match,
+            cookie=cookie,
+            command=FlowModCommand(command),
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            priority=priority,
+            buffer_id=buffer_id,
+            out_port=out_port,
+            flags=flags,
+            actions=actions,
+        )
+
+
+@dataclass
+class GroupMod(OFMessage):
+    """Create/modify/delete a group (the OF 1.1+ ECMP extension)."""
+
+    msg_type = MsgType.GROUP_MOD
+    command: GroupModCommand = GroupModCommand.ADD
+    group_type: GroupType = GroupType.SELECT
+    group_id: int = 0
+    buckets: List[Bucket] = field(default_factory=list)
+
+    def body(self) -> bytes:
+        head = struct.pack(
+            "!HB1xI", int(self.command), int(self.group_type), self.group_id
+        )
+        return head + b"".join(bucket.encode() for bucket in self.buckets)
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "GroupMod":
+        command, group_type, group_id = struct.unpack_from("!HB1xI", data)
+        rest = data[8:]
+        buckets = []
+        while rest:
+            bucket, rest = Bucket.decode(rest)
+            buckets.append(bucket)
+        return cls(
+            xid=xid,
+            command=GroupModCommand(command),
+            group_type=GroupType(group_type),
+            group_id=group_id,
+            buckets=buckets,
+        )
+
+
+@dataclass
+class FlowRemoved(OFMessage):
+    msg_type = MsgType.FLOW_REMOVED
+    match: Match = field(default_factory=Match)
+    cookie: int = 0
+    priority: int = 0x8000
+    reason: int = 0
+    duration_sec: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def body(self) -> bytes:
+        return self.match.encode() + struct.pack(
+            "!QHB3xIQQ",
+            self.cookie,
+            self.priority,
+            self.reason,
+            int(self.duration_sec),
+            self.packet_count,
+            self.byte_count,
+        )
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "FlowRemoved":
+        match, rest = Match.decode(data)
+        cookie, priority, reason, duration, packets, bytes_ = struct.unpack_from(
+            "!QHB3xIQQ", rest
+        )
+        return cls(
+            xid=xid,
+            match=match,
+            cookie=cookie,
+            priority=priority,
+            reason=reason,
+            duration_sec=float(duration),
+            packet_count=packets,
+            byte_count=bytes_,
+        )
+
+
+@dataclass
+class FlowStatsEntry:
+    """One flow entry in a FLOW stats reply."""
+
+    match: Match
+    priority: int = 0x8000
+    duration_sec: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    cookie: int = 0
+
+    _FIXED = struct.Struct("!HIQQQ")
+
+    def encode(self) -> bytes:
+        body = self.match.encode() + self._FIXED.pack(
+            self.priority,
+            int(self.duration_sec),
+            self.cookie,
+            self.packet_count,
+            self.byte_count,
+        )
+        return struct.pack("!H", 2 + len(body)) + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["FlowStatsEntry", bytes]:
+        (length,) = struct.unpack_from("!H", data)
+        if length < 2 or length > len(data):
+            raise OFDecodeError("bad flow stats entry length")
+        body = data[2:length]
+        match, rest = Match.decode(body)
+        priority, duration, cookie, packets, bytes_ = cls._FIXED.unpack_from(rest)
+        entry = cls(
+            match=match,
+            priority=priority,
+            duration_sec=float(duration),
+            cookie=cookie,
+            packet_count=packets,
+            byte_count=bytes_,
+        )
+        return entry, data[length:]
+
+
+@dataclass
+class PortStatsEntry:
+    """One port in a PORT stats reply."""
+
+    port_no: int
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+
+    _STRUCT = struct.Struct("!IQQQQ")
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.port_no, self.rx_packets, self.tx_packets, self.rx_bytes, self.tx_bytes
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["PortStatsEntry", bytes]:
+        values = cls._STRUCT.unpack_from(data)
+        return cls(*values), data[cls._STRUCT.size :]
+
+
+@dataclass
+class AggregateStats:
+    """The single body of an AGGREGATE stats reply."""
+
+    packet_count: int = 0
+    byte_count: int = 0
+    flow_count: int = 0
+
+    _STRUCT = struct.Struct("!QQI4x")
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(self.packet_count, self.byte_count, self.flow_count)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AggregateStats":
+        packets, bytes_, flows = cls._STRUCT.unpack_from(data)
+        return cls(packet_count=packets, byte_count=bytes_, flow_count=flows)
+
+
+@dataclass
+class StatsRequest(OFMessage):
+    msg_type = MsgType.STATS_REQUEST
+    stats_type: StatsType = StatsType.FLOW
+    match: Match = field(default_factory=Match)
+    port_no: int = 0xFFFFFFFF  # ANY, for PORT requests
+
+    def body(self) -> bytes:
+        head = struct.pack("!HH", int(self.stats_type), 0)
+        if self.stats_type in (StatsType.FLOW, StatsType.AGGREGATE):
+            return head + self.match.encode()
+        return head + struct.pack("!I", self.port_no)
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "StatsRequest":
+        stats_type_raw, __ = struct.unpack_from("!HH", data)
+        stats_type = StatsType(stats_type_raw)
+        rest = data[4:]
+        if stats_type in (StatsType.FLOW, StatsType.AGGREGATE):
+            match, __ = Match.decode(rest)
+            return cls(xid=xid, stats_type=stats_type, match=match)
+        (port_no,) = struct.unpack_from("!I", rest)
+        return cls(xid=xid, stats_type=stats_type, port_no=port_no)
+
+
+@dataclass
+class StatsReply(OFMessage):
+    msg_type = MsgType.STATS_REPLY
+    stats_type: StatsType = StatsType.FLOW
+    flow_stats: List[FlowStatsEntry] = field(default_factory=list)
+    port_stats: List[PortStatsEntry] = field(default_factory=list)
+    aggregate: Optional[AggregateStats] = None
+
+    def body(self) -> bytes:
+        head = struct.pack("!HH", int(self.stats_type), 0)
+        if self.stats_type is StatsType.FLOW:
+            return head + b"".join(entry.encode() for entry in self.flow_stats)
+        if self.stats_type is StatsType.PORT:
+            return head + b"".join(entry.encode() for entry in self.port_stats)
+        return head + (self.aggregate or AggregateStats()).encode()
+
+    @classmethod
+    def decode_body(cls, xid: int, data: bytes) -> "StatsReply":
+        stats_type_raw, __ = struct.unpack_from("!HH", data)
+        stats_type = StatsType(stats_type_raw)
+        rest = data[4:]
+        reply = cls(xid=xid, stats_type=stats_type)
+        if stats_type is StatsType.FLOW:
+            while rest:
+                entry, rest = FlowStatsEntry.decode(rest)
+                reply.flow_stats.append(entry)
+        elif stats_type is StatsType.PORT:
+            while rest:
+                entry, rest = PortStatsEntry.decode(rest)
+                reply.port_stats.append(entry)
+        else:
+            reply.aggregate = AggregateStats.decode(rest)
+        return reply
+
+
+@dataclass
+class BarrierRequest(OFMessage):
+    msg_type = MsgType.BARRIER_REQUEST
+
+
+@dataclass
+class BarrierReply(OFMessage):
+    msg_type = MsgType.BARRIER_REPLY
+
+
+_SIMPLE_DECODERS = {
+    MsgType.HELLO: Hello,
+    MsgType.FEATURES_REQUEST: FeaturesRequest,
+    MsgType.BARRIER_REQUEST: BarrierRequest,
+    MsgType.BARRIER_REPLY: BarrierReply,
+}
+
+_BODY_DECODERS = {
+    MsgType.FEATURES_REPLY: FeaturesReply.decode_body,
+    MsgType.PACKET_IN: PacketIn.decode_body,
+    MsgType.PACKET_OUT: PacketOut.decode_body,
+    MsgType.FLOW_MOD: FlowMod.decode_body,
+    MsgType.GROUP_MOD: GroupMod.decode_body,
+    MsgType.FLOW_REMOVED: FlowRemoved.decode_body,
+    MsgType.STATS_REQUEST: StatsRequest.decode_body,
+    MsgType.STATS_REPLY: StatsReply.decode_body,
+}
+
+
+def encode_message(message: OFMessage) -> bytes:
+    """Serialise any OpenFlow message (alias for ``message.encode()``)."""
+    return message.encode()
+
+
+def decode_message(data: bytes) -> OFMessage:
+    """Parse one OpenFlow message from ``data`` (must be exactly one)."""
+    message, rest = decode_message_stream(data)
+    if rest:
+        raise OFDecodeError(f"{len(rest)} trailing bytes after message")
+    return message
+
+
+def decode_message_stream(data: bytes) -> Tuple[OFMessage, bytes]:
+    """Parse the first message from a byte stream; returns (msg, rest).
+
+    Control channels deliver whole sends, but a sender may batch
+    multiple messages in one write — the switch agent and controller
+    both loop over this.
+    """
+    if len(data) < OFP_HEADER_LEN:
+        raise OFDecodeError("truncated OpenFlow header")
+    version, type_raw, length, xid = struct.unpack_from("!BBHI", data)
+    if version != OFP_VERSION:
+        raise OFDecodeError(f"unsupported OpenFlow version {version}")
+    if length < OFP_HEADER_LEN or length > len(data):
+        raise OFDecodeError(f"bad OpenFlow length {length}")
+    try:
+        msg_type = MsgType(type_raw)
+    except ValueError:
+        raise OFDecodeError(f"unknown OpenFlow type {type_raw}") from None
+    body = data[OFP_HEADER_LEN:length]
+    rest = data[length:]
+
+    if msg_type in _SIMPLE_DECODERS:
+        return _SIMPLE_DECODERS[msg_type](xid=xid), rest
+    if msg_type is MsgType.ECHO_REQUEST:
+        return EchoRequest(xid=xid, data=body), rest
+    if msg_type is MsgType.ECHO_REPLY:
+        return EchoReply(xid=xid, data=body), rest
+    if msg_type is MsgType.ERROR:
+        err_type, err_code = struct.unpack_from("!HH", body)
+        return ErrorMsg(xid=xid, err_type=err_type, err_code=err_code, data=body[4:]), rest
+    decoder = _BODY_DECODERS.get(msg_type)
+    if decoder is None:
+        raise OFDecodeError(f"no decoder for {msg_type.name}")
+    return decoder(xid, body), rest

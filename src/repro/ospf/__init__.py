@@ -1,0 +1,43 @@
+"""OSPF-lite: a link-state IGP for the emulated control plane.
+
+Figure 2 of the paper shows OSPF alongside BGP in the emulated
+routers' RIB box.  This package implements a compact link-state
+protocol in the OSPF mould — periodic hellos with dead-interval
+detection, router LSAs with sequence numbers, reliable flooding, a
+link-state database and Dijkstra SPF with ECMP — over the Connection
+Manager's channels, using a documented binary wire format
+(:mod:`repro.ospf.packets`).
+
+It is deliberately "lite": no areas, no DR election (every adjacency
+is point-to-point, which matches how simulated links work), no LSA
+aging refresh.  Those are documented deviations; the control-plane
+*dynamics* (hello cadence, flood storms on topology change, SPF
+recomputation) are the realistic part Horse needs.
+"""
+
+from repro.ospf.packets import (
+    OSPFHello,
+    OSPFLinkStateUpdate,
+    RouterLSA,
+    LSALink,
+    LSAPrefix,
+    decode_ospf_message,
+)
+from repro.ospf.lsdb import LinkStateDatabase
+from repro.ospf.spf import shortest_paths, SPFResult
+from repro.ospf.daemon import OSPFDaemon, OSPFConfig, OSPFPeerConfig
+
+__all__ = [
+    "OSPFHello",
+    "OSPFLinkStateUpdate",
+    "RouterLSA",
+    "LSALink",
+    "LSAPrefix",
+    "decode_ospf_message",
+    "LinkStateDatabase",
+    "shortest_paths",
+    "SPFResult",
+    "OSPFDaemon",
+    "OSPFConfig",
+    "OSPFPeerConfig",
+]

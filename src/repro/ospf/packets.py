@@ -1,0 +1,203 @@
+"""OSPF-lite wire format.
+
+A compact binary encoding in the OSPF mould.  Common header::
+
+    version(1)=2 | type(1) | length(2) | router_id(4)
+
+Types: HELLO(1), LS_UPDATE(4).
+
+The Router-LSA carries the originator's point-to-point links
+(neighbor router id + cost) and its stub prefixes (network, length,
+cost), with a 32-bit sequence number for newness comparison.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+
+OSPF_VERSION = 2
+TYPE_HELLO = 1
+TYPE_LS_UPDATE = 4
+
+HEADER = struct.Struct("!BBH4s")
+
+
+class OSPFDecodeError(ValueError):
+    """Raised when bytes cannot be parsed as an OSPF-lite message."""
+
+
+@dataclass(frozen=True)
+class LSALink:
+    """One point-to-point adjacency in a Router-LSA."""
+
+    neighbor_id: IPv4Address
+    cost: int = 1
+
+    _STRUCT = struct.Struct("!4sH")
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(self.neighbor_id.packed(), self.cost)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LSALink":
+        raw_id, cost = cls._STRUCT.unpack(data[: cls._STRUCT.size])
+        return cls(neighbor_id=IPv4Address.from_bytes(raw_id), cost=cost)
+
+
+@dataclass(frozen=True)
+class LSAPrefix:
+    """One stub prefix in a Router-LSA."""
+
+    prefix: IPv4Prefix
+    cost: int = 0
+
+    _STRUCT = struct.Struct("!4sBH")
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.prefix.network.packed(), self.prefix.length, self.cost
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LSAPrefix":
+        raw_net, length, cost = cls._STRUCT.unpack(data[: cls._STRUCT.size])
+        return cls(
+            prefix=IPv4Prefix.from_network(IPv4Address.from_bytes(raw_net), length),
+            cost=cost,
+        )
+
+
+@dataclass(frozen=True)
+class RouterLSA:
+    """A router's link-state advertisement."""
+
+    advertising_router: IPv4Address
+    sequence: int
+    links: Tuple[LSALink, ...] = ()
+    prefixes: Tuple[LSAPrefix, ...] = ()
+
+    _FIXED = struct.Struct("!4sIHH")
+
+    def encode(self) -> bytes:
+        head = self._FIXED.pack(
+            self.advertising_router.packed(),
+            self.sequence,
+            len(self.links),
+            len(self.prefixes),
+        )
+        parts = [head]
+        parts.extend(link.encode() for link in self.links)
+        parts.extend(prefix.encode() for prefix in self.prefixes)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["RouterLSA", bytes]:
+        raw_id, sequence, n_links, n_prefixes = cls._FIXED.unpack_from(data)
+        offset = cls._FIXED.size
+        links = []
+        for __ in range(n_links):
+            links.append(LSALink.decode(data[offset:]))
+            offset += LSALink._STRUCT.size
+        prefixes = []
+        for __ in range(n_prefixes):
+            prefixes.append(LSAPrefix.decode(data[offset:]))
+            offset += LSAPrefix._STRUCT.size
+        lsa = cls(
+            advertising_router=IPv4Address.from_bytes(raw_id),
+            sequence=sequence,
+            links=tuple(links),
+            prefixes=tuple(prefixes),
+        )
+        return lsa, data[offset:]
+
+    def newer_than(self, other: "RouterLSA") -> bool:
+        """Sequence-number comparison (no wraparound handling needed for
+        experiment-length runs)."""
+        return self.sequence > other.sequence
+
+
+@dataclass
+class OSPFHello:
+    """The hello: intervals and the neighbors we have heard from."""
+
+    router_id: IPv4Address
+    hello_interval: float = 2.0
+    dead_interval: float = 8.0
+    neighbors: List[IPv4Address] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        body = struct.pack(
+            "!HHH",
+            int(self.hello_interval * 10),  # tenths of seconds on the wire
+            int(self.dead_interval * 10),
+            len(self.neighbors),
+        )
+        body += b"".join(n.packed() for n in self.neighbors)
+        header = HEADER.pack(
+            OSPF_VERSION, TYPE_HELLO, HEADER.size + len(body), self.router_id.packed()
+        )
+        return header + body
+
+    @classmethod
+    def decode_body(cls, router_id: IPv4Address, body: bytes) -> "OSPFHello":
+        hello_tenths, dead_tenths, count = struct.unpack_from("!HHH", body)
+        offset = 6
+        neighbors = []
+        for __ in range(count):
+            neighbors.append(IPv4Address.from_bytes(body[offset : offset + 4]))
+            offset += 4
+        return cls(
+            router_id=router_id,
+            hello_interval=hello_tenths / 10.0,
+            dead_interval=dead_tenths / 10.0,
+            neighbors=neighbors,
+        )
+
+
+@dataclass
+class OSPFLinkStateUpdate:
+    """A flood unit: one or more LSAs."""
+
+    router_id: IPv4Address
+    lsas: List[RouterLSA] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        body = struct.pack("!H", len(self.lsas))
+        body += b"".join(lsa.encode() for lsa in self.lsas)
+        header = HEADER.pack(
+            OSPF_VERSION, TYPE_LS_UPDATE, HEADER.size + len(body),
+            self.router_id.packed(),
+        )
+        return header + body
+
+    @classmethod
+    def decode_body(cls, router_id: IPv4Address, body: bytes) -> "OSPFLinkStateUpdate":
+        (count,) = struct.unpack_from("!H", body)
+        rest = body[2:]
+        lsas = []
+        for __ in range(count):
+            lsa, rest = RouterLSA.decode(rest)
+            lsas.append(lsa)
+        return cls(router_id=router_id, lsas=lsas)
+
+
+def decode_ospf_message(data: bytes):
+    """Parse one OSPF-lite message (hello or LS update)."""
+    if len(data) < HEADER.size:
+        raise OSPFDecodeError("truncated OSPF header")
+    version, msg_type, length, raw_id = HEADER.unpack_from(data)
+    if version != OSPF_VERSION:
+        raise OSPFDecodeError(f"unsupported OSPF version {version}")
+    if length != len(data):
+        raise OSPFDecodeError(f"bad OSPF length {length} != {len(data)}")
+    router_id = IPv4Address.from_bytes(raw_id)
+    body = data[HEADER.size :]
+    if msg_type == TYPE_HELLO:
+        return OSPFHello.decode_body(router_id, body)
+    if msg_type == TYPE_LS_UPDATE:
+        return OSPFLinkStateUpdate.decode_body(router_id, body)
+    raise OSPFDecodeError(f"unknown OSPF message type {msg_type}")

@@ -1,0 +1,96 @@
+"""Dijkstra SPF over the link-state database, with ECMP.
+
+The twist over textbook Dijkstra: we track *all* first-hop neighbors
+that lie on some shortest path to each destination, because equal-cost
+multipath is the point of running an IGP in a Clos fabric.  Links are
+only used when both endpoints advertise each other (the bidirectional
+check real OSPF performs), so a half-dead adjacency never carries
+traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.ospf.lsdb import LinkStateDatabase
+
+INFINITY = float("inf")
+
+
+@dataclass
+class SPFResult:
+    """Routes from one SPF run.
+
+    ``prefix_routes`` maps each prefix to (total cost, set of first-hop
+    neighbor router ids).  ``router_distance`` is exposed for tests.
+    """
+
+    prefix_routes: Dict[IPv4Prefix, Tuple[float, Set[int]]] = field(default_factory=dict)
+    router_distance: Dict[int, float] = field(default_factory=dict)
+
+
+def shortest_paths(lsdb: LinkStateDatabase, root_id: IPv4Address) -> SPFResult:
+    """Compute ECMP shortest paths from ``root_id`` over the LSDB."""
+    # Build the bidirectionally-confirmed adjacency map.
+    adjacency: Dict[int, List[Tuple[int, int]]] = {}
+    for lsa in lsdb.all_lsas():
+        me = int(lsa.advertising_router)
+        for link in lsa.links:
+            neighbor = int(link.neighbor_id)
+            neighbor_lsa = lsdb.get(neighbor)
+            if neighbor_lsa is None:
+                continue
+            if not any(int(back.neighbor_id) == me for back in neighbor_lsa.links):
+                continue  # not confirmed in both directions
+            adjacency.setdefault(me, []).append((neighbor, link.cost))
+
+    root = int(root_id)
+    distance: Dict[int, float] = {root: 0.0}
+    # first_hops[router] = set of first-hop *neighbor router ids* on
+    # shortest paths from the root.
+    first_hops: Dict[int, Set[int]] = {root: set()}
+    heap: List[Tuple[float, int]] = [(0.0, root)]
+    visited: Set[int] = set()
+
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, cost in adjacency.get(node, ()):
+            candidate = dist + cost
+            current = distance.get(neighbor, INFINITY)
+            if candidate < current - 1e-12:
+                distance[neighbor] = candidate
+                if node == root:
+                    first_hops[neighbor] = {neighbor}
+                else:
+                    first_hops[neighbor] = set(first_hops[node])
+                heapq.heappush(heap, (candidate, neighbor))
+            elif abs(candidate - current) <= 1e-12:
+                # Equal-cost alternative: merge first hops.
+                extra = {neighbor} if node == root else first_hops.get(node, set())
+                first_hops.setdefault(neighbor, set()).update(extra)
+
+    result = SPFResult(router_distance=dict(distance))
+    for lsa in lsdb.all_lsas():
+        router = int(lsa.advertising_router)
+        if router not in distance:
+            continue
+        for stub in lsa.prefixes:
+            total = distance[router] + stub.cost
+            hops = first_hops.get(router, set())
+            if router == root:
+                # Our own prefixes are connected routes; skip.
+                continue
+            if not hops:
+                continue
+            existing = result.prefix_routes.get(stub.prefix)
+            if existing is None or total < existing[0] - 1e-12:
+                result.prefix_routes[stub.prefix] = (total, set(hops))
+            elif abs(total - existing[0]) <= 1e-12:
+                existing[1].update(hops)
+    return result

@@ -1,0 +1,36 @@
+"""Topology descriptions and builders.
+
+A :class:`~repro.topology.topo.Topo` is a declarative description
+(hosts, switches/routers, links) that can be *realised* either on the
+Horse data plane (:class:`~repro.dataplane.network.Network`) or on the
+packet-level baseline emulator — the same experiment script runs on
+both, which is what the Figure 3 comparison needs.
+
+:class:`~repro.topology.fattree.FatTreeTopo` builds the k-ary fat-tree
+of Al-Fares et al. used by the demonstration (k = 4, 6, 8 pods).
+"""
+
+from repro.topology.topo import Topo, HostSpec, SwitchSpec, LinkSpec
+from repro.topology.fattree import FatTreeTopo
+from repro.topology.builders import (
+    linear_topo,
+    star_topo,
+    tree_topo,
+    leaf_spine_topo,
+    wan_topo,
+    jellyfish_topo,
+)
+
+__all__ = [
+    "Topo",
+    "HostSpec",
+    "SwitchSpec",
+    "LinkSpec",
+    "FatTreeTopo",
+    "linear_topo",
+    "star_topo",
+    "tree_topo",
+    "leaf_spine_topo",
+    "wan_topo",
+    "jellyfish_topo",
+]

@@ -1,0 +1,32 @@
+"""Traffic patterns and flow generation.
+
+The demonstration's workload: "each server of the DC sends a single
+UDP flow to another server inside the DC, at the constant rate of
+1 Gbps" — a host permutation of constant-bit-rate UDP flows.  This
+package builds that pattern and the usual companions (stride, random,
+all-to-one, staggered starts).
+"""
+
+from repro.traffic.patterns import (
+    permutation_pairs,
+    stride_pairs,
+    random_pairs,
+    all_to_one_pairs,
+    one_to_all_pairs,
+)
+from repro.traffic.generators import (
+    TrafficSpec,
+    cbr_udp_flows,
+    demo_workload,
+)
+
+__all__ = [
+    "permutation_pairs",
+    "stride_pairs",
+    "random_pairs",
+    "all_to_one_pairs",
+    "one_to_all_pairs",
+    "TrafficSpec",
+    "cbr_udp_flows",
+    "demo_workload",
+]

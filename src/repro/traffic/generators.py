@@ -1,0 +1,89 @@
+"""Flow generation from communication patterns."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.dataplane.flow import FluidFlow
+from repro.netproto.packet import IPPROTO_UDP
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.network import Network
+
+GBPS = 1_000_000_000
+
+
+@dataclass
+class TrafficSpec:
+    """Parameters shared by a batch of generated flows."""
+
+    rate_bps: float = float(GBPS)
+    start_time: float = 0.0
+    duration: float = 10.0
+    dst_port: int = 9000
+    protocol: int = IPPROTO_UDP
+    stagger: float = 0.0  # spread starts uniformly over this window
+
+    @property
+    def end_time(self) -> float:
+        """Latest possible flow end."""
+        return self.start_time + self.stagger + self.duration
+
+
+def cbr_udp_flows(
+    network: "Network",
+    pairs: Sequence[Tuple[str, str]],
+    spec: "TrafficSpec | None" = None,
+    rng: "random.Random | None" = None,
+    seed: int = 42,
+    register: bool = True,
+) -> List[FluidFlow]:
+    """Create one constant-rate UDP flow per (src, dst) host-name pair.
+
+    When ``register`` is true the flows are added to the network so
+    their start/stop events are scheduled.  Returns the flow objects.
+    """
+    spec = spec or TrafficSpec()
+    rng = rng or random.Random(seed)
+    flows: List[FluidFlow] = []
+    for src_name, dst_name in pairs:
+        src = network.get_node(src_name)
+        dst = network.get_node(dst_name)
+        offset = rng.uniform(0.0, spec.stagger) if spec.stagger > 0 else 0.0
+        flow = FluidFlow(
+            src=src,
+            dst=dst,
+            demand_bps=spec.rate_bps,
+            dst_port=spec.dst_port,
+            protocol=spec.protocol,
+            start_time=spec.start_time + offset,
+            end_time=spec.start_time + offset + spec.duration,
+        )
+        flows.append(flow)
+        if register:
+            network.add_flow(flow)
+    return flows
+
+
+def demo_workload(
+    network: "Network",
+    hosts: Sequence[str],
+    rate_bps: float = float(GBPS),
+    duration: float = 10.0,
+    start_time: float = 0.0,
+    seed: int = 42,
+) -> List[FluidFlow]:
+    """The paper's demonstration workload.
+
+    "Each server of the DC sends a single UDP flow to another server
+    inside the DC, at the constant rate of 1 Gbps" — a seeded host
+    permutation of CBR UDP flows.
+    """
+    from repro.traffic.patterns import permutation_pairs
+
+    rng = random.Random(seed)
+    pairs = permutation_pairs(hosts, rng=rng)
+    spec = TrafficSpec(rate_bps=rate_bps, start_time=start_time, duration=duration)
+    return cbr_udp_flows(network, pairs, spec=spec, rng=rng)

@@ -1,0 +1,79 @@
+"""Communication patterns: who talks to whom.
+
+All functions map a list of host names to (src, dst) pairs and are
+deterministic given the seed/rng, so experiments reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+Pair = Tuple[str, str]
+
+
+def permutation_pairs(
+    hosts: Sequence[str], rng: "random.Random | None" = None, seed: int = 42
+) -> List[Pair]:
+    """A random derangement: every host sends to exactly one *other*
+    host and receives from exactly one — the demo's pattern.
+
+    Uses repeated shuffles until no host maps to itself (expected
+    ~e ≈ 2.7 attempts; deterministic given the rng state).
+    """
+    if len(hosts) < 2:
+        return []
+    rng = rng or random.Random(seed)
+    sources = list(hosts)
+    targets = list(hosts)
+    while True:
+        rng.shuffle(targets)
+        if all(src != dst for src, dst in zip(sources, targets)):
+            return list(zip(sources, targets))
+
+
+def stride_pairs(hosts: Sequence[str], stride: int = 1) -> List[Pair]:
+    """Host i sends to host (i + stride) mod N.
+
+    ``stride = N/2`` maximises cross-core traffic on a fat-tree —
+    Hedera's stress pattern.
+    """
+    count = len(hosts)
+    if count < 2:
+        return []
+    if stride % count == 0:
+        raise ValueError(f"stride {stride} maps hosts onto themselves")
+    return [(hosts[i], hosts[(i + stride) % count]) for i in range(count)]
+
+
+def random_pairs(
+    hosts: Sequence[str], rng: "random.Random | None" = None, seed: int = 42
+) -> List[Pair]:
+    """Every host sends to one uniformly random other host (collisions
+    allowed — several senders may pick the same receiver)."""
+    if len(hosts) < 2:
+        return []
+    rng = rng or random.Random(seed)
+    pairs: List[Pair] = []
+    for src in hosts:
+        dst = src
+        while dst == src:
+            dst = rng.choice(list(hosts))
+        pairs.append((src, dst))
+    return pairs
+
+
+def all_to_one_pairs(hosts: Sequence[str], target_index: int = 0) -> List[Pair]:
+    """Everyone sends to one host (incast)."""
+    if not hosts:
+        return []
+    target = hosts[target_index % len(hosts)]
+    return [(src, target) for src in hosts if src != target]
+
+
+def one_to_all_pairs(hosts: Sequence[str], source_index: int = 0) -> List[Pair]:
+    """One host sends to everyone (broadcast-ish fan-out)."""
+    if not hosts:
+        return []
+    source = hosts[source_index % len(hosts)]
+    return [(source, dst) for dst in hosts if dst != source]

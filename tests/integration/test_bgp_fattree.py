@@ -1,0 +1,107 @@
+"""Integration: BGP on the fat-tree — convergence, ECMP, failure."""
+
+import pytest
+
+from repro.api import Experiment, setup_bgp_for_routers
+from repro.core import SimulationConfig
+from repro.topology import FatTreeTopo
+
+
+@pytest.fixture(scope="module")
+def converged():
+    exp = Experiment("bgp-ft", config=SimulationConfig())
+    topo = FatTreeTopo(k=4, device="router")
+    exp.load_topo(topo)
+    daemons = setup_bgp_for_routers(exp, asn_map=topo.asn, max_paths=2)
+    exp.run(until=5.0)
+    return exp, topo, daemons
+
+
+class TestConvergence:
+    def test_all_sessions_up(self, converged):
+        __, __, daemons = converged
+        for name, daemon in daemons.items():
+            assert daemon.all_established(), name
+
+    def test_every_edge_knows_every_subnet(self, converged):
+        __, topo, daemons = converged
+        subnets = set(topo.host_subnet.values())
+        for edge in topo.edge_switches:
+            loc_rib_prefixes = {str(p) for p in daemons[edge].loc_rib.prefixes()}
+            assert subnets <= loc_rib_prefixes
+
+    def test_edges_have_ecmp_uplink_routes(self, converged):
+        exp, topo, __ = converged
+        edge = exp.network.get_node("e0_0")
+        # Routes to remote-pod subnets must use both aggs (max_paths=2).
+        entry = edge.fib.lookup("10.3.0.2")
+        assert entry is not None
+        assert len(entry.next_hops) == 2
+
+    def test_valley_free_as_paths(self, converged):
+        # An edge's route to a remote pod: AS path length 3
+        # (agg, core, agg... wait: edge->agg->core->agg->edge = the
+        # advertised path passes agg, core, agg = 3 hops before the
+        # originating edge, so path length 4 including the origin).
+        __, topo, daemons = converged
+        route = daemons["e0_0"].loc_rib.best(
+            next(iter({p for e, p in topo.host_subnet.items() if e == "e3_1"}))
+        )
+        from repro.netproto.addr import IPv4Prefix
+        route = daemons["e0_0"].loc_rib.best(IPv4Prefix("10.3.1.0/24"))
+        assert route is not None
+        assert len(route.attributes.as_path) == 4
+
+    def test_intra_pod_shorter_than_inter_pod(self, converged):
+        from repro.netproto.addr import IPv4Prefix
+        __, __, daemons = converged
+        intra = daemons["e0_0"].loc_rib.best(IPv4Prefix("10.0.1.0/24"))
+        inter = daemons["e0_0"].loc_rib.best(IPv4Prefix("10.2.0.0/24"))
+        assert len(intra.attributes.as_path) < len(inter.attributes.as_path)
+
+
+class TestTrafficOverBgp:
+    def test_permutation_fully_delivered(self):
+        exp = Experiment("bgp-traffic", config=SimulationConfig())
+        topo = FatTreeTopo(k=4, device="router")
+        exp.load_topo(topo)
+        setup_bgp_for_routers(exp, asn_map=topo.asn, max_paths=2)
+        exp.add_demo_traffic(rate_bps=1e9, duration=5.0, start_time=0.0)
+        result = exp.run(until=6.0)
+        assert result.flows_delivered == 16
+
+    def test_link_failure_reroutes(self):
+        exp = Experiment("bgp-fail", config=SimulationConfig())
+        topo = FatTreeTopo(k=4, device="router")
+        exp.load_topo(topo)
+        daemons = setup_bgp_for_routers(
+            exp, asn_map=topo.asn, max_paths=2,
+            hold_time=3.0, keepalive_interval=1.0,
+        )
+        flow = exp.add_flow("h0_0_0", "h2_0_0", rate_bps=1e9,
+                            start_time=0.0, duration=40.0)
+        exp.run(until=5.0)
+        assert flow.path is not None and flow.path.delivered
+        used_aggs = [n for n in flow.path.node_names() if n.startswith("a0_")]
+        assert len(used_aggs) == 1
+        used_agg = used_aggs[0]
+
+        # Fail the e0_0 <-> used_agg link: session dies by hold timer.
+        for link in exp.network.links:
+            names = {node.name for node in link.endpoints()}
+            if names == {"e0_0", used_agg}:
+                link.set_up(False)
+                break
+        for channel in exp.sim.cm.channels:
+            label_names = set(channel.label.replace("bgp ", "").split("-"))
+            if label_names == {"e0_0", used_agg}:
+                channel.close()
+                break
+        exp.network.invalidate_routing()
+        exp.run(until=20.0)
+
+        # The flow must be flowing again, via the other agg.
+        assert flow.path is not None and flow.path.delivered
+        new_aggs = [n for n in flow.path.node_names() if n.startswith("a0_")]
+        assert new_aggs and new_aggs[0] != used_agg
+        assert flow.rate_bps > 0

@@ -1,0 +1,124 @@
+"""Integration: the failure-injection API — fail, reroute, recover."""
+
+import pytest
+
+from repro.api import Experiment, setup_bgp_for_routers, setup_ospf_for_routers
+from repro.core import SimulationConfig
+from repro.core.errors import ConfigurationError
+from repro.topology.builders import wan_topo
+
+
+def triangle_bgp(hold=3.0, keepalive=1.0):
+    """r1-r2-r3 triangle with hosts on r1 and r3."""
+    exp = Experiment("tri", config=SimulationConfig())
+    r1 = exp.add_router("r1", router_id="1.1.1.1")
+    r2 = exp.add_router("r2", router_id="2.2.2.2")
+    r3 = exp.add_router("r3", router_id="3.3.3.3")
+    h1 = exp.add_host("h1", "10.1.0.10")
+    h3 = exp.add_host("h3", "10.3.0.10")
+    exp.add_link(h1, r1)
+    exp.add_link(h3, r3)
+    exp.add_link(r1, r2)
+    exp.add_link(r2, r3)
+    exp.add_link(r1, r3)
+    daemons = setup_bgp_for_routers(
+        exp, asn_map={"r1": 65001, "r2": 65002, "r3": 65003},
+        hold_time=hold, keepalive_interval=keepalive,
+    )
+    return exp, daemons
+
+
+class TestBgpFailover:
+    def test_reroute_after_failure(self):
+        exp, daemons = triangle_bgp()
+        flow = exp.add_flow("h1", "h3", rate_bps=5e8, start_time=0.0,
+                            duration=60.0)
+        exp.run(until=5.0)
+        assert flow.path.delivered
+        assert flow.path.node_names() == ["h1", "r1", "r3", "h3"]
+
+        exp.fail_link("r1", "r3")
+        exp.run(until=20.0)
+        # Hold timer (3 s) killed the session; r1 rerouted via r2.
+        assert flow.path.delivered
+        assert flow.path.node_names() == ["h1", "r1", "r2", "r3", "h3"]
+        assert flow.rate_bps == pytest.approx(5e8)
+
+    def test_recovery_restores_direct_path(self):
+        exp, daemons = triangle_bgp()
+        flow = exp.add_flow("h1", "h3", rate_bps=5e8, start_time=0.0,
+                            duration=120.0)
+        exp.fail_link("r1", "r3", at=5.0)
+        exp.restore_link("r1", "r3", at=30.0)
+        exp.run(until=90.0)
+        # connect_retry re-established the session after replug, and the
+        # shorter AS path won again.
+        assert daemons["r1"].session_state("r3").value == "established"
+        assert flow.path.node_names() == ["h1", "r1", "r3", "h3"]
+
+    def test_scheduled_failure_fires_at_time(self):
+        exp, daemons = triangle_bgp()
+        exp.fail_link("r1", "r3", at=10.0)
+        exp.run(until=9.0)
+        assert daemons["r1"].session_state("r3").value == "established"
+        exp.run(until=20.0)
+        assert daemons["r1"].session_state("r3").value != "established"
+
+    def test_unknown_link_rejected(self):
+        exp, __ = triangle_bgp()
+        with pytest.raises(ConfigurationError):
+            exp.fail_link("r1", "ghost")
+
+    def test_flow_blackholed_without_alternative(self):
+        exp, daemons = triangle_bgp()
+        flow = exp.add_flow("h1", "h3", rate_bps=5e8, start_time=0.0,
+                            duration=60.0)
+        exp.run(until=3.0)
+        # Cut both r1 uplinks: no path remains.
+        exp.fail_link("r1", "r3")
+        exp.fail_link("r1", "r2")
+        exp.run(until=20.0)
+        assert not flow.path.delivered
+        assert flow.rate_bps == 0.0
+
+    def test_delivered_bytes_reflect_outage(self):
+        exp, daemons = triangle_bgp()
+        flow = exp.add_flow("h1", "h3", rate_bps=8e8, start_time=0.0,
+                            duration=30.0)
+        exp.fail_link("r1", "r3", at=10.0)
+        exp.run(until=31.0)
+        # Roughly: full rate until 10 s, outage ~hold(3s)+reconverge,
+        # then full rate again.  Bytes must be well below the no-outage
+        # total but well above the cut-forever total.
+        no_outage = 8e8 * 30 / 8
+        assert flow.delivered_bytes < no_outage * 0.95
+        assert flow.delivered_bytes > no_outage * 0.5
+
+
+class TestOspfFailover:
+    def test_wan_failover_via_api(self):
+        exp = Experiment("wan-fi", config=SimulationConfig())
+        exp.load_topo(wan_topo())
+        setup_ospf_for_routers(exp, hello_interval=1.0, dead_interval=4.0)
+        flow = exp.add_flow("h_seattle", "h_newyork", rate_bps=1e9,
+                            start_time=2.0, duration=60.0)
+        exp.run(until=10.0)
+        before = flow.path.node_names()
+        exp.fail_link("chicago", "newyork")
+        exp.run(until=30.0)
+        after = flow.path.node_names()
+        assert flow.path.delivered
+        assert after != before
+
+    def test_ospf_recovers_after_restore(self):
+        exp = Experiment("wan-re", config=SimulationConfig())
+        exp.load_topo(wan_topo())
+        daemons = setup_ospf_for_routers(exp, hello_interval=1.0,
+                                         dead_interval=4.0)
+        exp.run(until=8.0)
+        exp.fail_link("chicago", "newyork")
+        exp.run(until=20.0)
+        assert "newyork" not in daemons["chicago"].full_neighbors()
+        exp.restore_link("chicago", "newyork")
+        exp.run(until=35.0)
+        assert "newyork" in daemons["chicago"].full_neighbors()

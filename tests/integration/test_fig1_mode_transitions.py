@@ -1,0 +1,107 @@
+"""Integration: Figure 1 — execution-mode transitions with two BGP routers.
+
+The paper's Figure 1 narrative, asserted step by step:
+
+1. experiment starts in DES mode;
+2. BGP OPEN packets flow -> DES -> FTI;
+3. updates keep the clock in FTI until convergence;
+4. routes are installed into the data-plane FIBs during FTI;
+5. after convergence the clock falls back to DES;
+6. data-plane traffic then runs entirely in DES (fast-forwarded).
+"""
+
+import pytest
+
+from repro.api import Experiment, setup_bgp_for_routers
+from repro.core import ClockMode, SimulationConfig
+
+
+@pytest.fixture
+def fig1():
+    exp = Experiment(
+        "fig1",
+        config=SimulationConfig(fti_increment=0.001, des_fallback_timeout=0.1),
+    )
+    r1 = exp.add_router("r1", router_id="1.1.1.1")
+    r2 = exp.add_router("r2", router_id="2.2.2.2")
+    h1 = exp.add_host("h1", "10.1.0.10")
+    h2 = exp.add_host("h2", "10.2.0.10")
+    exp.add_link(h1, r1)
+    exp.add_link(h2, r2)
+    exp.add_link(r1, r2)
+    daemons = setup_bgp_for_routers(
+        exp, asn_map={"r1": 65001, "r2": 65002},
+        # Long timers so no keepalive fires within the test window:
+        # the only control activity is the session + update exchange.
+        hold_time=900.0, keepalive_interval=300.0,
+    )
+    flow = exp.add_flow("h1", "h2", rate_bps=5e8, start_time=0.0, duration=20.0)
+    return exp, daemons, flow
+
+
+class TestFigure1:
+    def test_starts_in_des(self, fig1):
+        exp, __, __ = fig1
+        assert exp.sim.clock.mode is ClockMode.DES
+
+    def test_transition_sequence(self, fig1):
+        exp, daemons, __ = fig1
+        exp.run(until=21.0)
+        transitions = exp.sim.clock.transitions
+        # Exactly one FTI episode: in at session start, out after quiet.
+        assert [t.to_mode for t in transitions] == [ClockMode.FTI, ClockMode.DES]
+        enter, leave = transitions
+        # Entering FTI coincides with the first connect (BGP OPEN).
+        first_connect = min(
+            peer.config.connect_delay
+            for daemon in daemons.values()
+            for peer in daemon.peers.values()
+        )
+        assert enter.time == pytest.approx(first_connect, abs=0.01)
+        # Leaving happens once updates stop + the quiet timeout.
+        assert leave.time > enter.time + exp.sim.config.des_fallback_timeout
+
+    def test_converged_and_routes_installed_during_fti(self, fig1):
+        exp, daemons, __ = fig1
+        exp.run(until=21.0)
+        assert daemons["r1"].all_established()
+        assert daemons["r2"].all_established()
+        fall_back_time = exp.sim.clock.transitions[-1].time
+        # Route installation (the "Install routes" arrow of Fig. 1)
+        # happened before the clock fell back to DES.
+        assert exp.sim.cm.route_installs > 0
+        r1 = exp.network.get_node("r1")
+        assert r1.fib.lookup("10.2.0.10") is not None
+        assert fall_back_time < 1.0  # convergence is fast
+
+    def test_traffic_flows_after_convergence_in_des(self, fig1):
+        exp, __, flow = fig1
+        exp.run(until=21.0)
+        assert flow.delivered_bytes > 0
+        # The overwhelming share of simulated time was spent in DES.
+        in_modes = exp.sim.clock.time_in_modes()
+        assert in_modes["des"] > 20 * 0.95
+        assert in_modes["fti"] < 1.0
+
+    def test_fti_ticks_bounded_by_episode(self, fig1):
+        exp, __, __ = fig1
+        result = exp.run(until=21.0)
+        # FTI ticks only during the convergence episode:
+        # episode length ~= (convergence + timeout) / increment.
+        assert result.report.fti_ticks < 1500
+        assert result.report.fti_ticks > 50
+
+    def test_update_exchange_prolongs_fti(self, fig1):
+        exp, daemons, __ = fig1
+        exp.run(until=21.0)
+        enter, leave = exp.sim.clock.transitions
+        # The FTI episode must cover the whole update exchange: its end
+        # minus the timeout is the last control activity, which must be
+        # after the session came up (updates followed the OPENs).
+        last_activity = leave.time - exp.sim.config.des_fallback_timeout
+        established = max(
+            state.fsm.established_at
+            for daemon in daemons.values()
+            for state in daemon.peers.values()
+        )
+        assert last_activity >= established - 1e-9

@@ -1,0 +1,82 @@
+"""Integration: SELECT groups under link failure.
+
+Documents a *real* OpenFlow property this model reproduces: SELECT
+groups without watch-ports do not fail over by themselves.  When a
+bucket's link dies, flows hashed onto that bucket blackhole until the
+control plane reprograms the group — unlike BGP/OSPF, whose own
+timers heal the fabric.
+"""
+
+import pytest
+
+from repro.api import Experiment
+from repro.controllers import ProactiveGroupEcmpApp
+from repro.openflow.actions import ActionOutput
+from repro.openflow.constants import GroupModCommand
+from repro.openflow.groups import Bucket
+from repro.topology import FatTreeTopo
+
+
+@pytest.fixture
+def fabric():
+    exp = Experiment("groups-fail")
+    exp.load_topo(FatTreeTopo(k=4))
+    app = ProactiveGroupEcmpApp(exp.topology_view())
+    exp.use_controller(apps=[app])
+    return exp, app
+
+
+def find_uplink_in_use(exp, flow):
+    """The (edge, agg) hop the flow currently uses."""
+    for hop in flow.path.hops:
+        src, dst = hop.src_port.node.name, hop.dst_port.node.name
+        if src.startswith("e") and dst.startswith("a"):
+            return src, dst
+    raise AssertionError("no edge->agg hop found")
+
+
+class TestGroupsUnderFailure:
+    def test_flow_blackholes_without_watch_ports(self, fabric):
+        exp, app = fabric
+        flow = exp.add_flow("h0_0_0", "h2_0_0", rate_bps=1e9,
+                            start_time=0.5, duration=60.0)
+        exp.run(until=2.0)
+        assert flow.path.delivered
+        edge, agg = find_uplink_in_use(exp, flow)
+
+        exp.fail_link(edge, agg)
+        exp.run(until=10.0)
+        # No watch ports: the group still hashes onto the dead bucket.
+        assert not flow.path.delivered
+        assert flow.rate_bps == 0.0
+
+    def test_controller_repair_via_group_modify(self, fabric):
+        exp, app = fabric
+        flow = exp.add_flow("h0_0_0", "h2_0_0", rate_bps=1e9,
+                            start_time=0.5, duration=120.0)
+        exp.run(until=2.0)
+        edge, agg = find_uplink_in_use(exp, flow)
+        exp.fail_link(edge, agg)
+        exp.run(until=5.0)
+        assert not flow.path.delivered
+
+        # The operator's fix: rewrite every group on the edge switch to
+        # use only the surviving uplink.
+        view = exp.topology_view()
+        surviving_aggs = [
+            name for name in view.graph().neighbors(edge)
+            if name.startswith("a") and name != agg
+        ]
+        assert surviving_aggs
+        port = view.port_toward(edge, surviving_aggs[0])
+        dp = exp.controller.datapath_by_name(edge)
+        switch = exp.network.get_node(edge)
+        for group_id in range(1, len(switch.groups) + 1):
+            dp.group_mod(
+                group_id=group_id,
+                buckets=[Bucket(actions=(ActionOutput(port),))],
+                command=GroupModCommand.MODIFY,
+            )
+        exp.run(until=10.0)
+        assert flow.path.delivered
+        assert flow.rate_bps > 0

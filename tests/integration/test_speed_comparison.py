@@ -1,0 +1,76 @@
+"""Integration: the Figure 3 mechanism — Horse beats the baseline.
+
+Not the bench itself (that lives in benchmarks/) but the correctness
+of the comparison apparatus: same topology, same workload, baseline
+pays setup + real-time + per-packet costs, Horse does not.
+"""
+
+import pytest
+
+from repro.api.demo import DemoSettings, run_sdn_ecmp
+from repro.baseline import PacketLevelEmulator, SetupCosts
+from repro.topology import FatTreeTopo
+from repro.traffic import permutation_pairs
+
+SCALE = 0.002  # compress baseline sleeps hard so the test stays quick
+
+
+class TestComparisonApparatus:
+    def test_same_workload_same_pairs(self):
+        topo = FatTreeTopo(k=4)
+        pairs_a = permutation_pairs(topo.hosts(), seed=42)
+        pairs_b = permutation_pairs(topo.hosts(), seed=42)
+        assert pairs_a == pairs_b
+
+    def test_baseline_pays_realtime_duration(self):
+        topo = FatTreeTopo(k=4)
+        emu = PacketLevelEmulator(topo, time_scale=SCALE)
+        emu.setup()
+        report = emu.run_udp_workload(
+            permutation_pairs(topo.hosts(), seed=42),
+            duration=10.0, packets_per_second=5,
+        )
+        # Wall time >= the scaled experiment duration (emulation cannot
+        # fast-forward).
+        assert report.wall_seconds >= 10.0 * SCALE * 0.95
+        assert report.modeled_seconds >= 10.0
+
+    def test_horse_does_not_pay_realtime(self):
+        settings = DemoSettings(k=4, duration=10.0, realtime_factor=0.0)
+        result = run_sdn_ecmp(settings)
+        # 12 simulated seconds in far less wall time.
+        assert result.report.wall_seconds < 2.0
+        assert result.report.simulated_seconds == pytest.approx(12.0)
+
+    def test_horse_with_pacing_pays_only_fti_time(self):
+        # With FTI pacing at the same scale, Horse pays wall time only
+        # while control traffic flows — far less than the baseline's
+        # full duration.
+        settings = DemoSettings(k=4, duration=10.0, realtime_factor=SCALE)
+        result = run_sdn_ecmp(settings)
+        paced_floor = result.report.fti_ticks * 0.001 * SCALE
+        assert result.report.wall_seconds >= paced_floor * 0.5
+        # and the FTI share is a small fraction of the experiment
+        assert result.report.fti_ticks * 0.001 < 2.0
+
+    def test_baseline_setup_grows_with_k(self):
+        costs = SetupCosts()
+        small = PacketLevelEmulator(FatTreeTopo(k=4), time_scale=0.0,
+                                    costs=costs)
+        large = PacketLevelEmulator(FatTreeTopo(k=6), time_scale=0.0,
+                                    costs=costs)
+        small.setup()
+        large.setup()
+        assert large.modeled_setup_seconds > small.modeled_setup_seconds * 2
+
+    def test_baseline_events_grow_with_k(self):
+        reports = {}
+        for k in (4, 6):
+            topo = FatTreeTopo(k=k)
+            emu = PacketLevelEmulator(topo, time_scale=0.0)
+            emu.setup()
+            reports[k] = emu.run_udp_workload(
+                permutation_pairs(topo.hosts(), seed=42),
+                duration=2.0, packets_per_second=5,
+            )
+        assert reports[6].events_processed > reports[4].events_processed * 2

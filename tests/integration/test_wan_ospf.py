@@ -1,0 +1,83 @@
+"""Integration: OSPF on the WAN topology with failover."""
+
+import pytest
+
+from repro.api import Experiment, setup_ospf_for_routers
+from repro.core import SimulationConfig
+from repro.topology.builders import wan_topo
+
+
+@pytest.fixture
+def wan():
+    exp = Experiment("wan", config=SimulationConfig(des_fallback_timeout=0.2))
+    exp.load_topo(wan_topo(capacity_bps=10e9))
+    daemons = setup_ospf_for_routers(exp, hello_interval=2.0, dead_interval=8.0)
+    return exp, daemons
+
+
+class TestWanConvergence:
+    def test_full_mesh_adjacencies(self, wan):
+        exp, daemons = wan
+        exp.run(until=10.0)
+        graph = exp.network.graph()
+        for name, daemon in daemons.items():
+            router_neighbors = [
+                peer for peer in graph.neighbors(name)
+                if not peer.startswith("h_")
+            ]
+            assert sorted(daemon.full_neighbors()) == sorted(router_neighbors)
+
+    def test_lsdb_identical_everywhere(self, wan):
+        exp, daemons = wan
+        exp.run(until=10.0)
+        sizes = {len(d.lsdb) for d in daemons.values()}
+        assert sizes == {len(daemons)}
+
+    def test_all_pairs_reachable(self, wan):
+        exp, daemons = wan
+        exp.run(until=10.0)
+        hosts = exp.network.hosts()
+        from repro.dataplane.flow import FluidFlow
+        undelivered = []
+        for src in hosts[:4]:
+            for dst in hosts:
+                if src is dst:
+                    continue
+                flow = FluidFlow(src, dst, demand_bps=1e6)
+                result = exp.network.compute_path(flow)
+                if not result.delivered:
+                    undelivered.append((src.name, dst.name, result.status))
+        assert undelivered == []
+
+    def test_failover_reroutes_and_recovers_rate(self, wan):
+        exp, daemons = wan
+        flow = exp.add_flow("h_seattle", "h_newyork", rate_bps=1e9,
+                            start_time=1.0, duration=60.0)
+        exp.run(until=20.0)
+        assert flow.path.delivered
+        before = flow.path.node_names()
+        assert "chicago" in before  # the short northern route
+
+        for link in exp.network.links:
+            names = {node.name for node in link.endpoints()}
+            if names == {"chicago", "newyork"}:
+                link.set_up(False)
+        for channel in exp.sim.cm.channels:
+            if channel.label == "ospf chicago-newyork":
+                channel.close()
+        exp.network.invalidate_routing()
+
+        exp.run(until=40.0)
+        assert flow.path.delivered
+        after = flow.path.node_names()
+        assert after != before
+        assert flow.rate_bps == pytest.approx(1e9)
+
+    def test_mode_transitions_periodic_with_hellos(self, wan):
+        exp, daemons = wan
+        exp.run(until=12.0)
+        # Hellos every 2 s with a 0.2 s quiet timeout: the clock must
+        # keep bouncing FTI <-> DES.
+        assert len(exp.sim.clock.transitions) >= 6
+        in_modes = exp.sim.clock.time_in_modes()
+        assert in_modes["des"] > in_modes["fti"]

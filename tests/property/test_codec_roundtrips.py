@@ -1,0 +1,216 @@
+"""Property tests: every wire codec round-trips arbitrary valid values."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.messages import (
+    BGPKeepalive,
+    BGPNotification,
+    BGPOpen,
+    BGPUpdate,
+    Origin,
+    PathAttributes,
+    decode_bgp_message,
+)
+from repro.netproto.addr import IPv4Address, IPv4Prefix, MACAddress
+from repro.netproto.packet import (
+    FiveTuple,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    make_tcp_packet,
+    make_udp_packet,
+    Packet,
+)
+from repro.openflow.actions import ActionOutput, decode_actions, encode_actions
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, PacketIn, decode_message
+from repro.ospf.packets import (
+    LSALink,
+    LSAPrefix,
+    OSPFHello,
+    OSPFLinkStateUpdate,
+    RouterLSA,
+    decode_ospf_message,
+)
+
+ipv4 = st.builds(IPv4Address, st.integers(min_value=0, max_value=0xFFFFFFFF))
+macs = st.builds(MACAddress, st.integers(min_value=0, max_value=2**48 - 1))
+prefix_st = st.builds(
+    IPv4Prefix.from_network,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+ports = st.integers(min_value=0, max_value=65535)
+asns = st.integers(min_value=1, max_value=65535)
+
+
+# --- BGP ----------------------------------------------------------------
+
+path_attrs = st.builds(
+    PathAttributes,
+    origin=st.sampled_from(list(Origin)),
+    as_path=st.lists(asns, max_size=20).map(tuple),
+    next_hop=st.one_of(st.none(), ipv4),
+    med=st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)),
+    local_pref=st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)),
+)
+
+
+@given(path_attrs)
+@settings(max_examples=200, deadline=None)
+def test_path_attributes_roundtrip(attrs):
+    assert PathAttributes.decode(attrs.encode()) == attrs
+
+
+@given(asns, st.integers(min_value=0, max_value=65535), ipv4)
+@settings(max_examples=100, deadline=None)
+def test_bgp_open_roundtrip(asn, hold, bgp_id):
+    message = BGPOpen(asn=asn, hold_time=hold, bgp_id=bgp_id)
+    decoded = decode_bgp_message(message.encode())
+    assert (decoded.asn, decoded.hold_time, decoded.bgp_id) == (asn, hold, bgp_id)
+
+
+@given(
+    st.lists(prefix_st, max_size=15),
+    path_attrs,
+    st.lists(prefix_st, min_size=1, max_size=15),
+)
+@settings(max_examples=200, deadline=None)
+def test_bgp_update_roundtrip(withdrawn, attrs, nlri):
+    message = BGPUpdate(withdrawn=withdrawn, attributes=attrs, nlri=nlri)
+    decoded = decode_bgp_message(message.encode())
+    assert decoded.withdrawn == withdrawn
+    assert decoded.nlri == nlri
+    assert decoded.attributes == attrs
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255),
+       st.binary(max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_bgp_notification_roundtrip(code, subcode, data):
+    decoded = decode_bgp_message(
+        BGPNotification(code=code, subcode=subcode, data=data).encode())
+    assert (decoded.code, decoded.subcode, decoded.data) == (code, subcode, data)
+
+
+# --- OpenFlow -------------------------------------------------------------
+
+matches = st.builds(
+    Match,
+    in_port=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+    dl_src=st.one_of(st.none(), macs),
+    dl_dst=st.one_of(st.none(), macs),
+    dl_type=st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFFF)),
+    nw_src=st.one_of(st.none(), prefix_st),
+    nw_dst=st.one_of(st.none(), prefix_st),
+    nw_proto=st.one_of(st.none(), st.integers(min_value=0, max_value=255)),
+    tp_src=st.one_of(st.none(), ports),
+    tp_dst=st.one_of(st.none(), ports),
+)
+
+
+@given(matches)
+@settings(max_examples=300, deadline=None)
+def test_match_roundtrip(match):
+    decoded, rest = Match.decode(match.encode())
+    assert rest == b""
+    assert decoded == match
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2**32 - 1), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_action_list_roundtrip(port_list):
+    actions = [ActionOutput(p) for p in port_list]
+    assert decode_actions(encode_actions(actions)) == actions
+
+
+@given(
+    matches,
+    st.sampled_from(list(FlowModCommand)),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.lists(st.integers(min_value=1, max_value=1000), max_size=4),
+)
+@settings(max_examples=200, deadline=None)
+def test_flow_mod_roundtrip(match, command, priority, cookie, out_ports):
+    message = FlowMod(
+        xid=7, match=match, command=command, priority=priority,
+        cookie=cookie, actions=[ActionOutput(p) for p in out_ports],
+    )
+    decoded = decode_message(message.encode())
+    assert decoded.match == match
+    assert decoded.command is command
+    assert decoded.priority == priority
+    assert decoded.cookie == cookie
+    assert decoded.actions == message.actions
+
+
+@given(st.binary(max_size=200), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=100, deadline=None)
+def test_packet_in_roundtrip(data, in_port):
+    decoded = decode_message(PacketIn(in_port=in_port, data=data).encode())
+    assert decoded.data == data
+    assert decoded.in_port == in_port
+
+
+# --- Packets ----------------------------------------------------------------
+
+@given(macs, macs, ipv4, ipv4, ports, ports, st.binary(max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_udp_packet_roundtrip(src_mac, dst_mac, src_ip, dst_ip,
+                              sport, dport, payload):
+    packet = make_udp_packet(src_mac, dst_mac, src_ip, dst_ip,
+                             sport, dport, payload=payload)
+    decoded = Packet.decode(packet.encode())
+    assert decoded.eth.src == src_mac
+    assert decoded.ip.src == src_ip
+    assert decoded.l4.src_port == sport
+    assert decoded.payload == payload
+    assert decoded.five_tuple() == FiveTuple(src_ip, dst_ip, IPPROTO_UDP,
+                                             sport, dport)
+
+
+@given(macs, macs, ipv4, ipv4, ports, ports)
+@settings(max_examples=100, deadline=None)
+def test_tcp_packet_roundtrip(src_mac, dst_mac, src_ip, dst_ip, sport, dport):
+    packet = make_tcp_packet(src_mac, dst_mac, src_ip, dst_ip, sport, dport)
+    decoded = Packet.decode(packet.encode())
+    assert decoded.five_tuple() == FiveTuple(src_ip, dst_ip, IPPROTO_TCP,
+                                             sport, dport)
+
+
+# --- OSPF -----------------------------------------------------------------
+
+lsa_links = st.builds(
+    LSALink, neighbor_id=ipv4,
+    cost=st.integers(min_value=0, max_value=0xFFFF),
+)
+lsa_prefixes = st.builds(
+    LSAPrefix, prefix=prefix_st,
+    cost=st.integers(min_value=0, max_value=0xFFFF),
+)
+router_lsas = st.builds(
+    RouterLSA,
+    advertising_router=ipv4,
+    sequence=st.integers(min_value=0, max_value=2**32 - 1),
+    links=st.lists(lsa_links, max_size=8).map(tuple),
+    prefixes=st.lists(lsa_prefixes, max_size=8).map(tuple),
+)
+
+
+@given(ipv4, st.lists(ipv4, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_ospf_hello_roundtrip(router_id, neighbors):
+    hello = OSPFHello(router_id=router_id, neighbors=neighbors)
+    decoded = decode_ospf_message(hello.encode())
+    assert decoded.router_id == router_id
+    assert decoded.neighbors == neighbors
+
+
+@given(ipv4, st.lists(router_lsas, max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_ospf_lsu_roundtrip(router_id, lsas):
+    update = OSPFLinkStateUpdate(router_id=router_id, lsas=lsas)
+    decoded = decode_ospf_message(update.encode())
+    assert decoded.lsas == lsas

@@ -1,0 +1,52 @@
+"""Property tests: group codec roundtrips and bucket-selection bounds."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netproto.addr import IPv4Address
+from repro.netproto.packet import FiveTuple, IPPROTO_UDP
+from repro.openflow.actions import ActionOutput
+from repro.openflow.constants import GroupModCommand, GroupType
+from repro.openflow.groups import Bucket, Group
+from repro.openflow.messages import GroupMod, decode_message
+
+ports = st.integers(min_value=1, max_value=2**31)
+buckets_st = st.lists(
+    st.lists(ports, min_size=1, max_size=3).map(
+        lambda ps: Bucket(actions=tuple(ActionOutput(p) for p in ps))
+    ),
+    max_size=6,
+)
+
+
+@given(
+    st.sampled_from(list(GroupModCommand)),
+    st.sampled_from(list(GroupType)),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    buckets_st,
+)
+@settings(max_examples=200, deadline=None)
+def test_group_mod_roundtrip(command, group_type, group_id, buckets):
+    message = GroupMod(xid=3, command=command, group_type=group_type,
+                       group_id=group_id, buckets=buckets)
+    decoded = decode_message(message.encode())
+    assert decoded.command is command
+    assert decoded.group_type is group_type
+    assert decoded.group_id == group_id
+    assert decoded.buckets == buckets
+
+
+@given(
+    buckets_st.filter(lambda b: len(b) > 0),
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=0, max_value=65535),
+)
+@settings(max_examples=200, deadline=None)
+def test_bucket_selection_in_range_and_deterministic(buckets, seed, sport):
+    group = Group(group_id=1, group_type=GroupType.SELECT,
+                  buckets=tuple(buckets))
+    flow = FiveTuple(IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+                     IPPROTO_UDP, sport, 9000)
+    first = group.select_bucket(flow, seed=seed)
+    second = group.select_bucket(flow, seed=seed)
+    assert first in group.buckets
+    assert first is second

@@ -1,0 +1,80 @@
+"""Property tests: the LPM trie agrees with a brute-force oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.netproto.trie import PrefixTrie
+
+prefixes = st.builds(
+    IPv4Prefix.from_network,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def brute_force_lpm(entries, address):
+    """Reference implementation: scan all prefixes, keep the longest."""
+    best = None
+    for prefix, value in entries.items():
+        if prefix.contains(address):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, value)
+    return best
+
+
+@given(st.dictionaries(prefixes, st.integers(), max_size=40), addresses)
+@settings(max_examples=200, deadline=None)
+def test_lookup_matches_brute_force(entries, address):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    expected = brute_force_lpm(entries, address)
+    actual = trie.lookup(IPv4Address(address))
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual is not None
+        assert actual[0] == expected[0]
+        assert actual[1] == expected[1]
+
+
+@given(st.dictionaries(prefixes, st.integers(), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_size_and_items_consistent(entries):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    assert len(trie) == len(entries)
+    collected = dict(trie.items())
+    assert collected == entries
+
+
+@given(st.dictionaries(prefixes, st.integers(), min_size=1, max_size=30),
+       st.data())
+@settings(max_examples=100, deadline=None)
+def test_delete_then_lookup_consistent(entries, data):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    victim = data.draw(st.sampled_from(sorted(entries, key=lambda p: p.key())))
+    assert trie.delete(victim)
+    remaining = {p: v for p, v in entries.items() if p != victim}
+    assert len(trie) == len(remaining)
+    probe = data.draw(addresses)
+    expected = brute_force_lpm(remaining, probe)
+    actual = trie.lookup(IPv4Address(probe))
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual is not None and actual[0] == expected[0]
+
+
+@given(st.lists(prefixes, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_items_sorted(prefix_list):
+    trie = PrefixTrie()
+    for i, prefix in enumerate(prefix_list):
+        trie.insert(prefix, i)
+    keys = [p.key() for p, __ in trie.items()]
+    assert keys == sorted(keys)

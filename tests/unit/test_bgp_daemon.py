@@ -1,0 +1,167 @@
+"""Unit tests: the BGP daemon over real channels."""
+
+import pytest
+
+from repro.bgp.daemon import BGPConfig, BGPDaemon, BGPPeerConfig
+from repro.bgp.fsm import BGPState
+from repro.core.config import SimulationConfig
+from repro.core.errors import ControlPlaneError
+from repro.core.simulation import Simulation
+from repro.dataplane.network import Network
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+
+
+def build_pair(hold=90.0, keepalive=30.0, net1=("10.1.0.0/24",),
+               net2=("10.2.0.0/24",), max_paths=1):
+    """Two routers, two daemons, one session; returns (sim, net, d1, d2)."""
+    sim = Simulation(SimulationConfig())
+    net = Network()
+    sim.attach_network(net)
+    r1 = net.add_router("r1", router_id="1.1.1.1")
+    r2 = net.add_router("r2", router_id="2.2.2.2")
+    net.add_link(r1, r2)  # port 1 on both
+
+    d1 = BGPDaemon("r1", BGPConfig(
+        asn=65001, router_id=IPv4Address("1.1.1.1"),
+        networks=[IPv4Prefix(p) for p in net1], max_paths=max_paths))
+    d2 = BGPDaemon("r2", BGPConfig(
+        asn=65002, router_id=IPv4Address("2.2.2.2"),
+        networks=[IPv4Prefix(p) for p in net2], max_paths=max_paths))
+    channel = sim.cm.open_channel(d1, d2, latency=0.001)
+    d1.add_peer(BGPPeerConfig(
+        peer_name="r2", remote_asn=65002, local_port=1,
+        peer_address=IPv4Address("172.16.0.2"),
+        local_address=IPv4Address("172.16.0.1"),
+        hold_time=hold, keepalive_interval=keepalive), channel)
+    d2.add_peer(BGPPeerConfig(
+        peer_name="r1", remote_asn=65001, local_port=1,
+        peer_address=IPv4Address("172.16.0.1"),
+        local_address=IPv4Address("172.16.0.2"),
+        hold_time=hold, keepalive_interval=keepalive), channel)
+    sim.add_process(d1)
+    sim.add_process(d2)
+    return sim, net, d1, d2, channel
+
+
+class TestSessionEstablishment:
+    def test_both_sides_establish(self):
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        assert d1.session_state("r2") is BGPState.ESTABLISHED
+        assert d2.session_state("r1") is BGPState.ESTABLISHED
+
+    def test_routes_exchanged(self):
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        assert d1.route_count() == 2  # own + learned
+        assert d2.route_count() == 2
+        learned = d1.loc_rib.best(IPv4Prefix("10.2.0.0/24"))
+        assert learned.attributes.as_path == (65002,)
+
+    def test_fib_installed_with_gateway(self):
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        entry = net.get_node("r1").fib.lookup("10.2.0.5")
+        assert entry is not None
+        assert entry.next_hops[0].port == 1
+        assert entry.next_hops[0].gateway == IPv4Address("172.16.0.2")
+
+    def test_local_route_not_installed(self):
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        # own /24 stays out of the FIB (it is a connected route)
+        assert net.get_node("r1").fib.lookup("10.1.0.5") is None
+
+    def test_wrong_asn_rejected(self):
+        sim = Simulation(SimulationConfig())
+        net = Network()
+        sim.attach_network(net)
+        net.add_router("r1")
+        net.add_router("r2")
+        d1 = BGPDaemon("r1", BGPConfig(asn=65001, router_id=IPv4Address("1.1.1.1")))
+        d2 = BGPDaemon("r2", BGPConfig(asn=65002, router_id=IPv4Address("2.2.2.2")))
+        channel = sim.cm.open_channel(d1, d2, latency=0.001)
+        d1.add_peer(BGPPeerConfig(
+            peer_name="r2", remote_asn=64999,  # wrong!
+            local_port=1, peer_address=IPv4Address("172.16.0.2"),
+            local_address=IPv4Address("172.16.0.1"),
+            connect_retry=0.0), channel)
+        d2.add_peer(BGPPeerConfig(
+            peer_name="r1", remote_asn=65001, local_port=1,
+            peer_address=IPv4Address("172.16.0.1"),
+            local_address=IPv4Address("172.16.0.2"),
+            connect_retry=0.0), channel)
+        sim.add_process(d1)
+        sim.add_process(d2)
+        sim.run(until=2.0)
+        assert d1.session_state("r2") is not BGPState.ESTABLISHED
+
+    def test_duplicate_peer_rejected(self):
+        sim, net, d1, d2, channel = build_pair()
+        with pytest.raises(ControlPlaneError):
+            d1.add_peer(BGPPeerConfig(
+                peer_name="r2", remote_asn=65002, local_port=1,
+                peer_address=IPv4Address("172.16.0.2"),
+                local_address=IPv4Address("172.16.0.1")), channel)
+
+
+class TestKeepaliveAndHold:
+    def test_keepalives_flow(self):
+        sim, net, d1, d2, channel = build_pair(hold=9.0, keepalive=3.0)
+        sim.run(until=1.0)
+        msgs_after_converge = channel.total_messages
+        sim.run(until=10.0)
+        assert channel.total_messages > msgs_after_converge
+
+    def test_session_survives_with_keepalives(self):
+        sim, net, d1, d2, __ = build_pair(hold=3.0, keepalive=1.0)
+        sim.run(until=20.0)
+        assert d1.session_state("r2") is BGPState.ESTABLISHED
+
+    def test_hold_timer_tears_down_on_silence(self):
+        sim, net, d1, d2, channel = build_pair(hold=3.0, keepalive=1.0)
+        sim.run(until=1.0)
+        assert d1.session_state("r2") is BGPState.ESTABLISHED
+        channel.close()  # silence both directions
+        sim.run(until=10.0)
+        assert d1.session_state("r2") is not BGPState.ESTABLISHED
+        # Learned route must be gone from the Loc-RIB and FIB.
+        assert d1.loc_rib.best(IPv4Prefix("10.2.0.0/24")) is None
+        assert net.get_node("r1").fib.lookup("10.2.0.5") is None
+
+
+class TestWithdrawals:
+    def test_peer_down_withdraws_routes(self):
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        d1.peer_down("r2")
+        sim.run(until=2.0)
+        assert d1.loc_rib.best(IPv4Prefix("10.2.0.0/24")) is None
+
+    def test_as_loop_rejected(self):
+        # d1 announces a path already containing d2's AS: d2 must drop it.
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        from repro.bgp.messages import BGPUpdate, PathAttributes
+        from repro.bgp.rib import RIBRoute
+        looped = BGPUpdate(
+            attributes=PathAttributes(as_path=(65001, 65002),
+                                      next_hop=IPv4Address("172.16.0.1")),
+            nlri=[IPv4Prefix("10.9.0.0/24")],
+        )
+        state = d1.peers["r2"]
+        state.channel.send(d1, looped.encode())
+        sim.run(until=2.0)
+        assert d2.loc_rib.best(IPv4Prefix("10.9.0.0/24")) is None
+
+
+class TestStats:
+    def test_stats_shape(self):
+        sim, net, d1, d2, __ = build_pair()
+        sim.run(until=1.0)
+        stats = d1.stats()
+        assert stats["peers"] == 1
+        assert stats["established"] == 1
+        assert stats["loc_rib"] == 2
+        assert stats["updates_sent"] >= 1
+        assert d1.all_established()

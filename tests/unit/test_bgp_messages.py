@@ -1,0 +1,185 @@
+"""Unit tests: BGP message wire format (RFC 4271)."""
+
+import pytest
+
+from repro.bgp.messages import (
+    BGP_HEADER_LEN,
+    BGP_MARKER,
+    BGPDecodeError,
+    BGPKeepalive,
+    BGPNotification,
+    BGPOpen,
+    BGPUpdate,
+    Origin,
+    PathAttributes,
+    decode_bgp_message,
+    decode_bgp_stream,
+    decode_prefixes,
+    encode_prefix,
+)
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+
+
+class TestHeader:
+    def test_marker_and_length(self):
+        wire = BGPKeepalive().encode()
+        assert wire[:16] == BGP_MARKER
+        assert len(wire) == BGP_HEADER_LEN == 19
+        assert wire[18] == 4  # KEEPALIVE
+
+    def test_bad_marker_rejected(self):
+        wire = bytearray(BGPKeepalive().encode())
+        wire[0] = 0
+        with pytest.raises(BGPDecodeError):
+            decode_bgp_message(bytes(wire))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(BGPDecodeError):
+            decode_bgp_message(BGP_MARKER + b"\x00")
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(BGPDecodeError):
+            decode_bgp_message(BGPKeepalive().encode() + b"x")
+
+
+class TestOpen:
+    def test_roundtrip(self):
+        message = BGPOpen(asn=65001, hold_time=90,
+                          bgp_id=IPv4Address("1.1.1.1"))
+        decoded = decode_bgp_message(message.encode())
+        assert isinstance(decoded, BGPOpen)
+        assert decoded.asn == 65001
+        assert decoded.hold_time == 90
+        assert decoded.bgp_id == IPv4Address("1.1.1.1")
+        assert decoded.version == 4
+
+    def test_wrong_version_rejected(self):
+        wire = bytearray(BGPOpen(asn=1).encode())
+        wire[BGP_HEADER_LEN] = 3  # version byte
+        with pytest.raises(BGPDecodeError):
+            decode_bgp_message(bytes(wire))
+
+
+class TestPrefixEncoding:
+    @pytest.mark.parametrize("text,octets", [
+        ("0.0.0.0/0", 0),
+        ("10.0.0.0/8", 1),
+        ("10.1.0.0/16", 2),
+        ("10.1.2.0/24", 3),
+        ("10.1.2.3/32", 4),
+        ("10.1.2.0/23", 3),
+    ])
+    def test_minimum_octets(self, text, octets):
+        prefix = IPv4Prefix(text)
+        wire = encode_prefix(prefix)
+        assert len(wire) == 1 + octets
+        assert decode_prefixes(wire) == [prefix]
+
+    def test_run_of_prefixes(self):
+        prefixes = [IPv4Prefix("10.0.0.0/8"), IPv4Prefix("192.168.1.0/24")]
+        wire = b"".join(encode_prefix(p) for p in prefixes)
+        assert decode_prefixes(wire) == prefixes
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(BGPDecodeError):
+            decode_prefixes(bytes([40]))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(BGPDecodeError):
+            decode_prefixes(bytes([24, 10]))
+
+
+class TestPathAttributes:
+    def test_full_roundtrip(self):
+        attrs = PathAttributes(
+            origin=Origin.EGP,
+            as_path=(65001, 65002, 65003),
+            next_hop=IPv4Address("192.168.0.1"),
+            med=77,
+            local_pref=200,
+        )
+        assert PathAttributes.decode(attrs.encode()) == attrs
+
+    def test_minimal_roundtrip(self):
+        attrs = PathAttributes()
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded.as_path == ()
+        assert decoded.next_hop is None
+        assert decoded.med is None
+
+    def test_prepend(self):
+        attrs = PathAttributes(as_path=(65002,))
+        assert attrs.with_prepended(65001).as_path == (65001, 65002)
+        # original untouched (frozen)
+        assert attrs.as_path == (65002,)
+
+    def test_next_hop_self(self):
+        attrs = PathAttributes(next_hop=IPv4Address("1.1.1.1"))
+        rewritten = attrs.with_next_hop(IPv4Address("2.2.2.2"))
+        assert rewritten.next_hop == IPv4Address("2.2.2.2")
+
+    def test_loop_check(self):
+        attrs = PathAttributes(as_path=(1, 2, 3))
+        assert attrs.contains_as(2)
+        assert not attrs.contains_as(9)
+
+    def test_long_as_path(self):
+        attrs = PathAttributes(as_path=tuple(range(1, 200)))
+        assert PathAttributes.decode(attrs.encode()).as_path == attrs.as_path
+
+
+class TestUpdate:
+    def test_announce_roundtrip(self):
+        update = BGPUpdate(
+            attributes=PathAttributes(as_path=(65001,),
+                                      next_hop=IPv4Address("10.0.0.1")),
+            nlri=[IPv4Prefix("10.1.0.0/24"), IPv4Prefix("10.2.0.0/24")],
+        )
+        decoded = decode_bgp_message(update.encode())
+        assert decoded.nlri == update.nlri
+        assert decoded.attributes.as_path == (65001,)
+        assert decoded.withdrawn == []
+
+    def test_withdraw_roundtrip(self):
+        update = BGPUpdate(withdrawn=[IPv4Prefix("10.1.0.0/24")])
+        decoded = decode_bgp_message(update.encode())
+        assert decoded.withdrawn == update.withdrawn
+        assert decoded.attributes is None
+        assert decoded.nlri == []
+
+    def test_mixed_roundtrip(self):
+        update = BGPUpdate(
+            withdrawn=[IPv4Prefix("10.9.0.0/16")],
+            attributes=PathAttributes(as_path=(1, 2),
+                                      next_hop=IPv4Address("10.0.0.1")),
+            nlri=[IPv4Prefix("10.1.0.0/24")],
+        )
+        decoded = decode_bgp_message(update.encode())
+        assert decoded.withdrawn == update.withdrawn
+        assert decoded.nlri == update.nlri
+
+
+class TestNotificationAndStream:
+    def test_notification_roundtrip(self):
+        message = BGPNotification(code=6, subcode=2, data=b"bye")
+        decoded = decode_bgp_message(message.encode())
+        assert (decoded.code, decoded.subcode, decoded.data) == (6, 2, b"bye")
+
+    def test_stream_of_messages(self):
+        wire = (BGPOpen(asn=1).encode() + BGPKeepalive().encode()
+                + BGPNotification(code=1).encode())
+        first, rest = decode_bgp_stream(wire)
+        assert isinstance(first, BGPOpen)
+        second, rest = decode_bgp_stream(rest)
+        assert isinstance(second, BGPKeepalive)
+        third, rest = decode_bgp_stream(rest)
+        assert isinstance(third, BGPNotification)
+        assert rest == b""
+
+    def test_keepalive_with_body_rejected(self):
+        wire = bytearray(BGPKeepalive().encode())
+        import struct
+        wire[16:18] = struct.pack("!H", BGP_HEADER_LEN + 1)
+        wire.append(0)
+        with pytest.raises(BGPDecodeError):
+            decode_bgp_message(bytes(wire))

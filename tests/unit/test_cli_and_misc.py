@@ -1,0 +1,227 @@
+"""Unit tests: the CLI and assorted smaller surfaces (stats export,
+CM observers, link addressing, demo settings, clock forcing)."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro import cli
+from repro.api import link_addresses
+from repro.api.demo import DemoSettings
+from repro.core import ClockMode, HybridClock, Simulation, SimulationConfig
+from repro.core.clock import ClockPolicy
+from repro.dataplane import Network, StatsCollector
+from repro.netproto.addr import IPv4Address
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli.main(argv)
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_demo_command(self):
+        code, out = run_cli(["demo", "--k", "4", "--duration", "5"])
+        assert code == 0
+        assert "bgp_ecmp" in out
+        assert "hedera" in out
+        assert "consolidated wall time" in out
+
+    def test_fig1_command(self):
+        code, out = run_cli(["fig1", "--horizon", "3"])
+        assert code == 0
+        assert "DES -> FTI" in out
+        assert "sessions established: True" in out
+
+    def test_fig3_command_small(self):
+        code, out = run_cli([
+            "fig3", "--sizes", "4", "--duration", "2",
+            "--scale", "0.001", "--pps", "5",
+        ])
+        assert code == 0
+        assert "ratio" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_parser_help_strings(self):
+        parser = cli.build_parser()
+        assert parser.prog == "repro"
+
+
+class TestStatsExport:
+    def make_collector(self):
+        sim = Simulation()
+        net = Network()
+        sim.attach_network(net)
+        h1 = net.add_host("h1", "10.0.0.1")
+        h2 = net.add_host("h2", "10.0.0.2")
+        net.add_link(h1, h2)
+        collector = StatsCollector(net, interval=0.5, record_links=True)
+        collector.attach(sim)
+        from repro.dataplane import FluidFlow
+        net.add_flow(FluidFlow(h1, h2, demand_bps=4e8, start_time=0.0,
+                               end_time=2.0))
+        sim.run(until=2.0)
+        return collector
+
+    def test_rows_have_host_columns(self):
+        collector = self.make_collector()
+        rows = collector.to_rows()
+        assert len(rows) == 4
+        assert "rx_h2" in rows[0]
+        assert rows[0]["aggregate_rx_bps"] == pytest.approx(4e8)
+
+    def test_csv_written(self, tmp_path):
+        collector = self.make_collector()
+        path = tmp_path / "series.csv"
+        collector.to_csv(str(path))
+        content = path.read_text().splitlines()
+        assert content[0].startswith("time,aggregate_rx_bps")
+        assert len(content) == 5  # header + 4 samples
+
+    def test_link_utilization_recorded(self):
+        collector = self.make_collector()
+        sample = collector.samples[0]
+        assert any(value > 0 for value in sample.link_utilization.values())
+
+    def test_peak_and_detach(self):
+        collector = self.make_collector()
+        assert collector.peak_aggregate_bps() == pytest.approx(4e8)
+        collector.detach()
+        assert collector._timer is None
+
+    def test_empty_csv_noop(self, tmp_path):
+        sim = Simulation()
+        net = Network()
+        sim.attach_network(net)
+        collector = StatsCollector(net, interval=1.0)
+        path = tmp_path / "empty.csv"
+        collector.to_csv(str(path))
+        assert not path.exists()
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StatsCollector(Network(), interval=0)
+
+
+class TestConnectionManagerExtras:
+    def test_observer_sees_every_send(self):
+        sim = Simulation()
+
+        class Endpoint:
+            def __init__(self, name):
+                self.name = name
+                self.received = []
+
+            def receive(self, channel, data, metadata):
+                self.received.append(data)
+
+        a, b = Endpoint("a"), Endpoint("b")
+        channel = sim.cm.open_channel(a, b, latency=0.001)
+        seen = []
+        sim.cm.add_observer(lambda ch, recv, data: seen.append(data))
+        channel.send(a, b"one")
+        channel.send(b, b"two")
+        sim.run(until=0.01)
+        assert seen == [b"one", b"two"]
+        assert a.received == [b"two"]
+        assert b.received == [b"one"]
+        assert channel.total_messages == 2
+        assert channel.total_bytes == 6
+
+    def test_closed_channel_drops_sends(self):
+        sim = Simulation()
+
+        class Endpoint:
+            name = "x"
+
+            def receive(self, channel, data, metadata):  # pragma: no cover
+                raise AssertionError("should not be delivered")
+
+        a, b = Endpoint(), Endpoint()
+        channel = sim.cm.open_channel(a, b)
+        channel.close()
+        channel.send(a, b"lost")
+        sim.run(until=0.01)
+        assert channel.total_messages == 0
+
+    def test_reopen_restores_delivery(self):
+        sim = Simulation()
+
+        class Endpoint:
+            def __init__(self):
+                self.received = []
+
+            name = "x"
+
+            def receive(self, channel, data, metadata):
+                self.received.append(data)
+
+        a, b = Endpoint(), Endpoint()
+        channel = sim.cm.open_channel(a, b)
+        channel.close()
+        channel.reopen()
+        channel.send(a, b"back")
+        sim.run(until=0.01)
+        assert b.received == [b"back"]
+
+    def test_negative_latency_rejected(self):
+        from repro.core.errors import ControlPlaneError
+        sim = Simulation()
+
+        class Endpoint:
+            name = "x"
+
+            def receive(self, *a):  # pragma: no cover
+                pass
+
+        with pytest.raises(ControlPlaneError):
+            sim.cm.open_channel(Endpoint(), Endpoint(), latency=-1)
+
+
+class TestLinkAddressing:
+    def test_pairs_distinct_and_ordered(self):
+        a0, b0 = link_addresses(0)
+        a1, b1 = link_addresses(1)
+        assert len({int(a0), int(b0), int(a1), int(b1)}) == 4
+        assert int(b0) == int(a0) + 1
+
+    def test_within_private_space(self):
+        a, b = link_addresses(1000)
+        assert str(a).startswith("172.")
+
+
+class TestDemoSettings:
+    def test_horizon(self):
+        settings = DemoSettings(duration=20.0, margin=2.0)
+        assert settings.horizon == 22.0
+
+    def test_sim_config_fields(self):
+        settings = DemoSettings(fti_increment=0.002, seed=7,
+                                clock_policy=ClockPolicy.PURE_DES)
+        config = settings.sim_config()
+        assert config.fti_increment == 0.002
+        assert config.seed == 7
+        assert config.clock_policy is ClockPolicy.PURE_DES
+
+
+class TestClockForcing:
+    def test_force_mode_records_transition(self):
+        clock = HybridClock()
+        clock.force_mode(ClockMode.FTI, reason="test")
+        assert clock.mode is ClockMode.FTI
+        assert clock.transitions[-1].reason == "test"
+        clock.force_mode(ClockMode.FTI)  # same mode: no new transition
+        assert len(clock.transitions) == 1
+
+    def test_transition_str(self):
+        clock = HybridClock()
+        clock.force_mode(ClockMode.FTI, reason="why")
+        text = str(clock.transitions[0])
+        assert "DES -> FTI" in text
+        assert "why" in text

@@ -1,0 +1,249 @@
+"""Unit tests: flow table semantics, switch and router forwarding."""
+
+import pytest
+
+from repro.dataplane.flowtable import FlowEntry, FlowTable
+from repro.dataplane.node import ForwardingDecision
+from repro.dataplane.router import Router
+from repro.dataplane.switch import Switch
+from repro.netproto.addr import IPv4Address, IPv4Prefix, MACAddress
+from repro.netproto.packet import FiveTuple, IPPROTO_UDP
+from repro.openflow.actions import ActionOutput
+from repro.openflow.constants import PortNo
+from repro.openflow.match import Match
+
+
+def key(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=2000):
+    return FiveTuple(IPv4Address(src), IPv4Address(dst), IPPROTO_UDP, sport, dport)
+
+
+def entry(match, port, priority=0x8000, **kw):
+    return FlowEntry(match=match, actions=[ActionOutput(port)],
+                     priority=priority, **kw)
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable()
+        table.add(entry(Match(), 1, priority=10))
+        table.add(entry(Match(nw_dst=IPv4Prefix("10.0.0.2/32")), 2, priority=20))
+        hit = table.match_five_tuple(key())
+        assert hit.output_ports() == [2]
+
+    def test_insertion_order_breaks_priority_tie(self):
+        table = FlowTable()
+        # Two *different* matches, same priority: first installed wins.
+        first = table.add(entry(Match(nw_dst=IPv4Prefix("10.0.0.0/24")), 1,
+                                priority=10))
+        table.add(entry(Match(nw_src=IPv4Prefix("10.0.0.0/24")), 2, priority=10))
+        assert table.match_five_tuple(key()) is first
+
+    def test_add_replaces_same_match_and_priority(self):
+        table = FlowTable()
+        table.add(entry(Match(), 1, priority=10))
+        table.add(entry(Match(), 2, priority=10))
+        assert len(table) == 1
+        assert table.match_five_tuple(key()).output_ports() == [2]
+
+    def test_different_priority_not_replaced(self):
+        table = FlowTable()
+        table.add(entry(Match(), 1, priority=10))
+        table.add(entry(Match(), 2, priority=20))
+        assert len(table) == 2
+
+    def test_miss_returns_none_and_counts(self):
+        table = FlowTable()
+        table.add(entry(Match(nw_dst=IPv4Prefix("10.9.0.0/16")), 1))
+        assert table.match_five_tuple(key()) is None
+        assert table.misses == 1
+
+    def test_delete_non_strict_subsumption(self):
+        table = FlowTable()
+        table.add(entry(Match.exact_five_tuple(key()), 1))
+        table.add(entry(Match.exact_five_tuple(key(dst="10.0.0.9")), 2))
+        removed = table.delete(Match(nw_dst=IPv4Prefix("10.0.0.2/32")))
+        assert len(removed) == 1
+        assert len(table) == 1
+
+    def test_delete_all_with_wildcard(self):
+        table = FlowTable()
+        table.add(entry(Match.exact_five_tuple(key()), 1))
+        table.add(entry(Match(), 2))
+        removed = table.delete(Match())
+        assert len(removed) == 2
+        assert len(table) == 0
+
+    def test_delete_strict_requires_exact(self):
+        table = FlowTable()
+        table.add(entry(Match.exact_five_tuple(key()), 1, priority=100))
+        removed = table.delete(Match(), strict=True, priority=100)
+        assert removed == []
+        removed = table.delete(Match.exact_five_tuple(key()), strict=True,
+                               priority=100)
+        assert len(removed) == 1
+
+    def test_delete_filtered_by_out_port(self):
+        table = FlowTable()
+        table.add(entry(Match.exact_five_tuple(key()), 1))
+        assert table.delete(Match(), out_port=9) == []
+        assert len(table.delete(Match(), out_port=1)) == 1
+
+    def test_expire_hard_timeout(self):
+        table = FlowTable()
+        table.add(entry(Match(), 1, hard_timeout=5, installed_at=0.0))
+        assert table.expire(now=4.9) == []
+        assert len(table.expire(now=5.0)) == 1
+
+    def test_expire_idle_timeout_refreshed_by_use(self):
+        table = FlowTable()
+        e = table.add(entry(Match(), 1, idle_timeout=5, installed_at=0.0))
+        e.last_used_at = 8.0
+        assert table.expire(now=10.0) == []
+        assert len(table.expire(now=13.0)) == 1
+
+    def test_permanent_never_expires(self):
+        table = FlowTable()
+        table.add(entry(Match(), 1))
+        assert table.expire(now=1e9) == []
+
+    def test_version_bumps_on_mutation(self):
+        table = FlowTable()
+        v0 = table.version
+        table.add(entry(Match(), 1))
+        v1 = table.version
+        table.delete(Match())
+        v2 = table.version
+        assert v0 < v1 < v2
+
+    def test_packet_count_synthesised_from_bytes(self):
+        e = entry(Match(), 1)
+        e.byte_count = 4500.0
+        assert e.packet_count == 3
+
+
+class TestSwitchForwarding:
+    def test_match_forwards(self):
+        switch = Switch("s1", num_ports=2)
+        switch.table.add(entry(Match(), 2))
+        decision = switch.forward_flow(key(), in_port=1)
+        assert decision.action == ForwardingDecision.FORWARD
+        assert decision.out_port == 2
+        assert decision.entry is not None
+
+    def test_miss_without_agent_drops(self):
+        switch = Switch("s1", num_ports=2)
+        assert switch.forward_flow(key(), 1).action == ForwardingDecision.DROP
+
+    def test_miss_with_agent_reports_miss(self):
+        switch = Switch("s1", num_ports=2)
+        switch.agent = object()  # anything non-None
+        assert switch.forward_flow(key(), 1).action == ForwardingDecision.MISS
+
+    def test_drop_entry(self):
+        switch = Switch("s1", num_ports=2)
+        switch.table.add(FlowEntry(match=Match(), actions=[]))
+        assert switch.forward_flow(key(), 1).action == ForwardingDecision.DROP
+
+    def test_controller_entry_reports_miss(self):
+        switch = Switch("s1", num_ports=2)
+        switch.agent = object()
+        switch.table.add(entry(Match(), PortNo.CONTROLLER))
+        assert switch.forward_flow(key(), 1).action == ForwardingDecision.MISS
+
+    def test_unknown_port_drops(self):
+        switch = Switch("s1", num_ports=2)
+        switch.table.add(entry(Match(), 99))
+        assert switch.forward_flow(key(), 1).action == ForwardingDecision.DROP
+
+    def test_l2_entry_requires_mac_context(self):
+        switch = Switch("s1", num_ports=2)
+        mac = MACAddress("02:00:00:00:00:02")
+        switch.table.add(entry(Match(dl_dst=mac), 2))
+        # Without MACs the entry must not capture the flow.
+        assert switch.forward_flow(key(), 1).action == ForwardingDecision.DROP
+        # With matching dst MAC it forwards.
+        decision = switch.forward_flow(key(), 1, macs=(MACAddress(1), mac))
+        assert decision.action == ForwardingDecision.FORWARD
+
+    def test_flood_ports_excludes_ingress_and_unwired(self):
+        switch = Switch("s1", num_ports=3)
+        from repro.dataplane.link import Link
+        from repro.dataplane.node import Node
+        other = Node("x")
+        Link(switch.port(1), other.add_port(1))
+        Link(switch.port(2), other.add_port(2))
+        # port 3 not connected
+        assert switch.flood_ports(in_port=1) == [2]
+
+    def test_unique_dpids(self):
+        assert Switch("a").dpid != Switch("b").dpid
+
+
+class TestRouterForwarding:
+    def make_router(self):
+        router = Router("r1", router_id="1.1.1.1")
+        for n in (1, 2, 3):
+            router.add_port(n)
+        return router
+
+    def test_lpm_forward(self):
+        router = self.make_router()
+        router.fib.install("10.0.0.0/24", [(2, "192.168.0.2")])
+        decision = router.forward_flow(key(dst="10.0.0.7"), in_port=1)
+        assert decision.action == ForwardingDecision.FORWARD
+        assert decision.out_port == 2
+
+    def test_no_route(self):
+        router = self.make_router()
+        decision = router.forward_flow(key(dst="99.0.0.1"), in_port=1)
+        assert decision.action == ForwardingDecision.NO_ROUTE
+
+    def test_delivers_to_own_interface(self):
+        router = self.make_router()
+        router.set_interface(1, "10.0.0.254")
+        decision = router.forward_flow(key(dst="10.0.0.254"), in_port=2)
+        assert decision.action == ForwardingDecision.DELIVER
+
+    def test_ecmp_deterministic(self):
+        router = self.make_router()
+        entry = router.fib.install("10.0.0.0/24", [(1, None), (2, None), (3, None)])
+        flow = key(dst="10.0.0.7")
+        picks = {router.pick_next_hop(flow, router.fib.lookup(flow.dst_ip)).port
+                 for __ in range(10)}
+        assert len(picks) == 1  # same flow always picks the same hop
+
+    def test_ecmp_spreads_different_flows(self):
+        router = self.make_router()
+        router.fib.install("10.0.0.0/8", [(1, None), (2, None), (3, None)])
+        entry = router.fib.lookup("10.0.0.7")
+        ports = {
+            router.pick_next_hop(key(src=f"10.1.0.{i}", dst="10.0.0.7"), entry).port
+            for i in range(64)
+        }
+        assert len(ports) >= 2
+
+    def test_two_tuple_only_hashing(self):
+        # BGP ECMP hashes only IPs: varying ports must not change the pick.
+        router = self.make_router()
+        router.fib.install("10.0.0.0/8", [(1, None), (2, None), (3, None)])
+        entry = router.fib.lookup("10.0.0.7")
+        picks = {
+            router.pick_next_hop(key(sport=p), entry).port for p in range(100, 150)
+        }
+        assert len(picks) == 1
+
+    def test_hairpin_rejected(self):
+        router = self.make_router()
+        router.fib.install("10.0.0.0/24", [(1, None)])
+        decision = router.forward_flow(key(dst="10.0.0.7"), in_port=1)
+        assert decision.action == ForwardingDecision.DROP
+
+    def test_connected_route_via_interface(self):
+        router = self.make_router()
+        router.set_interface(2, "10.0.0.1", IPv4Prefix("10.0.0.0/24"))
+        assert router.fib.lookup("10.0.0.9").next_hops[0].port == 2
+
+    def test_different_routers_hash_differently(self):
+        # Per-router seeds avoid ECMP polarisation.
+        r1, r2 = Router("r1"), Router("r2")
+        assert r1.hash_seed != r2.hash_seed

@@ -1,0 +1,59 @@
+"""Unit tests: the Jellyfish random-regular topology."""
+
+import pytest
+
+from repro.api import Experiment
+from repro.controllers import FiveTupleEcmpApp
+from repro.core.errors import TopologyError
+from repro.topology import jellyfish_topo
+from repro.traffic import permutation_pairs
+
+
+class TestStructure:
+    def test_counts(self):
+        topo = jellyfish_topo(num_switches=10, ports_per_switch=4,
+                              hosts_per_switch=2)
+        assert len(topo.switches()) == 10
+        assert len(topo.hosts()) == 20
+        # fabric links: 10 * 4 / 2 = 20, plus 20 host links.
+        assert topo.link_count() == 40
+
+    def test_regular_degree(self):
+        topo = jellyfish_topo(num_switches=12, ports_per_switch=4,
+                              hosts_per_switch=1)
+        fabric_degree = {name: 0 for name in topo.switches()}
+        for link in topo.link_specs:
+            if link.node_a.startswith("s") and link.node_b.startswith("s"):
+                fabric_degree[link.node_a] += 1
+                fabric_degree[link.node_b] += 1
+        assert set(fabric_degree.values()) == {4}
+
+    def test_deterministic_per_seed(self):
+        a = jellyfish_topo(num_switches=10, seed=3)
+        b = jellyfish_topo(num_switches=10, seed=3)
+        c = jellyfish_topo(num_switches=10, seed=4)
+        links_a = [(l.node_a, l.node_b) for l in a.link_specs]
+        links_b = [(l.node_a, l.node_b) for l in b.link_specs]
+        links_c = [(l.node_a, l.node_b) for l in c.link_specs]
+        assert links_a == links_b
+        assert links_a != links_c
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            jellyfish_topo(num_switches=3, ports_per_switch=4)
+        with pytest.raises(TopologyError):
+            jellyfish_topo(num_switches=5, ports_per_switch=3)
+
+
+class TestTrafficOnJellyfish:
+    def test_ecmp_app_delivers_permutation(self):
+        exp = Experiment("jelly")
+        topo = jellyfish_topo(num_switches=10, ports_per_switch=4,
+                              hosts_per_switch=1, seed=7)
+        exp.load_topo(topo)
+        app = FiveTupleEcmpApp(exp.topology_view())
+        exp.use_controller(apps=[app])
+        pairs = permutation_pairs(topo.hosts(), seed=7)
+        exp.add_traffic(pairs)
+        result = exp.run(until=11.0)
+        assert result.flows_delivered == result.flows_total == 10

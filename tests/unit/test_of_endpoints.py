@@ -1,0 +1,205 @@
+"""Unit tests: switch agent + controller over a real channel."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.dataplane.network import Network
+from repro.netproto.addr import IPv4Prefix
+from repro.openflow.actions import ActionOutput
+from repro.openflow.constants import FlowModCommand, PortNo, StatsType
+from repro.openflow.controller import Controller, ControllerApp
+from repro.openflow.match import Match
+from repro.openflow.messages import EchoRequest, FlowMod, StatsRequest
+from repro.openflow.switch_agent import SwitchAgent
+
+
+class RecordingApp(ControllerApp):
+    """Collects every event for assertions."""
+
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.joins = []
+        self.packet_ins = []
+        self.stats = []
+        self.removed = []
+
+    def on_switch_join(self, dp):
+        self.joins.append(dp.name)
+
+    def on_packet_in(self, dp, message):
+        self.packet_ins.append((dp.name, message))
+
+    def on_stats_reply(self, dp, message):
+        self.stats.append((dp.name, message))
+
+    def on_flow_removed(self, dp, message):
+        self.removed.append((dp.name, message))
+
+
+@pytest.fixture
+def rig():
+    """One switch, one controller, handshake completed."""
+    sim = Simulation(SimulationConfig())
+    net = Network()
+    sim.attach_network(net)
+    h1 = net.add_host("h1", "10.0.0.1")
+    h2 = net.add_host("h2", "10.0.0.2")
+    s1 = net.add_switch("s1")
+    net.add_link(h1, s1)
+    net.add_link(h2, s1)
+
+    controller = Controller("ctl")
+    app = RecordingApp()
+    controller.add_app(app)
+    agent = SwitchAgent(s1)
+    channel = sim.cm.open_channel(controller, agent, latency=0.0001)
+    agent.bind_channel(channel)
+    controller.bind_channel(channel, "s1")
+    sim.add_process(agent)
+    sim.add_process(controller)
+    sim.run(until=0.01)  # completes the handshake
+    return sim, net, s1, controller, agent, app, h1, h2
+
+
+class TestHandshake:
+    def test_switch_joins(self, rig):
+        sim, net, s1, controller, agent, app, *_ = rig
+        assert app.joins == ["s1"]
+        assert agent.connected
+
+    def test_datapath_metadata(self, rig):
+        sim, net, s1, controller, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        assert dp.ready
+        assert dp.dpid == s1.dpid
+        assert dp.ports == sorted(s1.ports)
+
+    def test_ready_datapaths(self, rig):
+        __, __, __, controller, *_ = rig
+        assert [dp.name for dp in controller.ready_datapaths()] == ["s1"]
+
+
+class TestFlowModPath:
+    def test_add_installs_entry(self, rig):
+        sim, net, s1, controller, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        dp.flow_mod(Match(nw_dst=IPv4Prefix("10.0.0.2/32")), [ActionOutput(2)])
+        sim.run(until=sim.now + 0.01)
+        assert len(s1.table) == 1
+        assert sim.cm.flow_mods == 1
+
+    def test_delete_removes_entry(self, rig):
+        sim, net, s1, controller, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        dp.flow_mod(Match(nw_dst=IPv4Prefix("10.0.0.2/32")), [ActionOutput(2)])
+        sim.run(until=sim.now + 0.01)
+        dp.flow_mod(Match(), [], command=FlowModCommand.DELETE)
+        sim.run(until=sim.now + 0.01)
+        assert len(s1.table) == 0
+
+    def test_modify_rewrites_actions(self, rig):
+        sim, net, s1, controller, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        match = Match(nw_dst=IPv4Prefix("10.0.0.2/32"))
+        dp.flow_mod(match, [ActionOutput(1)])
+        sim.run(until=sim.now + 0.01)
+        dp.flow_mod(match, [ActionOutput(2)], command=FlowModCommand.MODIFY)
+        sim.run(until=sim.now + 0.01)
+        assert s1.table.entries()[0].output_ports() == [2]
+
+    def test_modify_missing_behaves_like_add(self, rig):
+        sim, net, s1, controller, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        dp.flow_mod(Match(), [ActionOutput(1)], command=FlowModCommand.MODIFY)
+        sim.run(until=sim.now + 0.01)
+        assert len(s1.table) == 1
+
+
+class TestPacketInOut:
+    def test_miss_raises_packet_in_with_frame(self, rig):
+        sim, net, s1, controller, agent, app, h1, h2 = rig
+        from repro.dataplane.flow import FluidFlow
+        flow = FluidFlow(h1, h2, demand_bps=1e6, start_time=sim.now)
+        net.add_flow(flow)
+        sim.run(until=sim.now + 0.01)
+        assert len(app.packet_ins) == 1
+        name, message = app.packet_ins[0]
+        from repro.netproto.packet import Packet
+        packet = Packet.decode(message.data)
+        assert packet.ip.dst == h2.ip
+        assert message.in_port == 1
+
+    def test_packet_out_transmits(self, rig):
+        sim, net, s1, controller, agent, app, h1, h2 = rig
+        from repro.netproto.packet import make_udp_packet
+        frame = make_udp_packet(h1.mac, h2.mac, h1.ip, h2.ip, 5, 6,
+                                payload=b"po").encode()
+        dp = controller.datapath_by_name("s1")
+        dp.packet_out(frame, [ActionOutput(2)])
+        sim.run(until=sim.now + 0.01)
+        assert len(h2.received_packets) == 1
+
+    def test_packet_out_flood_spares_in_port(self, rig):
+        sim, net, s1, controller, agent, app, h1, h2 = rig
+        from repro.netproto.packet import make_udp_packet
+        frame = make_udp_packet(h1.mac, h2.mac, h1.ip, h2.ip, 5, 6).encode()
+        dp = controller.datapath_by_name("s1")
+        dp.packet_out(frame, [ActionOutput(PortNo.FLOOD)], in_port=1)
+        sim.run(until=sim.now + 0.01)
+        assert len(h2.received_packets) == 1
+        assert len(h1.received_packets) == 0
+
+
+class TestStats:
+    def test_flow_stats_reflect_counters(self, rig):
+        sim, net, s1, controller, agent, app, h1, h2 = rig
+        dp = controller.datapath_by_name("s1")
+        dp.flow_mod(Match(nw_dst=IPv4Prefix("10.0.0.2/32")), [ActionOutput(2)])
+        dp.flow_mod(Match(nw_dst=IPv4Prefix("10.0.0.1/32")), [ActionOutput(1)])
+        sim.run(until=sim.now + 0.01)
+        from repro.dataplane.flow import FluidFlow
+        flow = FluidFlow(h1, h2, demand_bps=8e6, start_time=sim.now,
+                         end_time=sim.now + 1.0)
+        net.add_flow(flow)
+        sim.run(until=sim.now + 1.0)
+        dp.request_flow_stats()
+        sim.run(until=sim.now + 0.01)
+        assert len(app.stats) == 1
+        __, reply = app.stats[0]
+        assert reply.stats_type is StatsType.FLOW
+        by_bytes = sorted(e.byte_count for e in reply.flow_stats)
+        assert by_bytes[-1] == pytest.approx(1e6, rel=0.01)
+
+    def test_port_stats(self, rig):
+        sim, net, s1, controller, agent, app, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        dp.request_port_stats()
+        sim.run(until=sim.now + 0.01)
+        __, reply = app.stats[-1]
+        assert reply.stats_type is StatsType.PORT
+        assert {p.port_no for p in reply.port_stats} == {1, 2}
+
+    def test_echo_answered(self, rig):
+        sim, net, s1, controller, agent, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        dp.send(EchoRequest(xid=99, data=b"hb"))
+        count_before = dp.channel.messages_ba
+        sim.run(until=sim.now + 0.01)
+        assert dp.channel.messages_ba > count_before  # reply flowed back
+
+
+class TestExpiry:
+    def test_idle_timeout_generates_flow_removed(self, rig):
+        sim, net, s1, controller, agent, app, *_ = rig
+        dp = controller.datapath_by_name("s1")
+        dp.flow_mod(Match(), [ActionOutput(1)], idle_timeout=1)
+        sim.run(until=sim.now + 0.01)
+        assert len(s1.table) == 1
+        # Manually tick the agent well past the timeout.
+        sim.scheduler.at(sim.now + 2.0, lambda: agent.tick(sim.now))
+        sim.run(until=sim.now + 2.5)
+        assert len(s1.table) == 0
+        assert len(app.removed) == 1

@@ -1,0 +1,219 @@
+"""Unit tests: OSPF-lite packets, LSDB, SPF and daemon behaviour."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.dataplane.network import Network
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.ospf.daemon import OSPFConfig, OSPFDaemon, OSPFPeerConfig
+from repro.ospf.lsdb import LinkStateDatabase
+from repro.ospf.packets import (
+    LSALink,
+    LSAPrefix,
+    OSPFDecodeError,
+    OSPFHello,
+    OSPFLinkStateUpdate,
+    RouterLSA,
+    decode_ospf_message,
+)
+from repro.ospf.spf import shortest_paths
+
+
+def rid(text):
+    return IPv4Address(text)
+
+
+def lsa(router, seq, links=(), prefixes=()):
+    return RouterLSA(
+        advertising_router=rid(router),
+        sequence=seq,
+        links=tuple(LSALink(neighbor_id=rid(n), cost=c) for n, c in links),
+        prefixes=tuple(LSAPrefix(prefix=IPv4Prefix(p), cost=c)
+                       for p, c in prefixes),
+    )
+
+
+class TestPackets:
+    def test_hello_roundtrip(self):
+        hello = OSPFHello(router_id=rid("1.1.1.1"), hello_interval=2.5,
+                          dead_interval=10.0,
+                          neighbors=[rid("2.2.2.2"), rid("3.3.3.3")])
+        decoded = decode_ospf_message(hello.encode())
+        assert decoded.router_id == rid("1.1.1.1")
+        assert decoded.hello_interval == pytest.approx(2.5)
+        assert decoded.neighbors == hello.neighbors
+
+    def test_lsu_roundtrip(self):
+        update = OSPFLinkStateUpdate(
+            router_id=rid("1.1.1.1"),
+            lsas=[
+                lsa("1.1.1.1", 3, links=[("2.2.2.2", 1)],
+                    prefixes=[("10.1.0.0/24", 0)]),
+                lsa("2.2.2.2", 7, links=[("1.1.1.1", 4)]),
+            ],
+        )
+        decoded = decode_ospf_message(update.encode())
+        assert len(decoded.lsas) == 2
+        assert decoded.lsas[0].sequence == 3
+        assert decoded.lsas[0].prefixes[0].prefix == IPv4Prefix("10.1.0.0/24")
+        assert decoded.lsas[1].links[0].cost == 4
+
+    def test_bad_version_rejected(self):
+        wire = bytearray(OSPFHello(router_id=rid("1.1.1.1")).encode())
+        wire[0] = 9
+        with pytest.raises(OSPFDecodeError):
+            decode_ospf_message(bytes(wire))
+
+    def test_bad_length_rejected(self):
+        wire = OSPFHello(router_id=rid("1.1.1.1")).encode()
+        with pytest.raises(OSPFDecodeError):
+            decode_ospf_message(wire + b"x")
+
+    def test_newer_than(self):
+        assert lsa("1.1.1.1", 5).newer_than(lsa("1.1.1.1", 4))
+        assert not lsa("1.1.1.1", 4).newer_than(lsa("1.1.1.1", 4))
+
+
+class TestLSDB:
+    def test_consider_accepts_newer_only(self):
+        db = LinkStateDatabase()
+        assert db.consider(lsa("1.1.1.1", 1))
+        assert not db.consider(lsa("1.1.1.1", 1))
+        assert db.consider(lsa("1.1.1.1", 2))
+        assert len(db) == 1
+        assert db.get(rid("1.1.1.1")).sequence == 2
+
+    def test_version_bumps(self):
+        db = LinkStateDatabase()
+        v0 = db.version
+        db.consider(lsa("1.1.1.1", 1))
+        assert db.version > v0
+
+    def test_remove(self):
+        db = LinkStateDatabase()
+        db.consider(lsa("1.1.1.1", 1))
+        assert db.remove(rid("1.1.1.1"))
+        assert not db.remove(rid("1.1.1.1"))
+
+    def test_all_lsas_ordered(self):
+        db = LinkStateDatabase()
+        db.consider(lsa("2.2.2.2", 1))
+        db.consider(lsa("1.1.1.1", 1))
+        routers = [str(entry.advertising_router) for entry in db.all_lsas()]
+        assert routers == ["1.1.1.1", "2.2.2.2"]
+
+
+class TestSPF:
+    def build_triangle(self, w12=1, w23=1, w13=1):
+        """1 -- 2 -- 3 with a direct 1--3 edge; prefix on 3."""
+        db = LinkStateDatabase()
+        db.consider(lsa("0.0.0.1", 1,
+                        links=[("0.0.0.2", w12), ("0.0.0.3", w13)]))
+        db.consider(lsa("0.0.0.2", 1,
+                        links=[("0.0.0.1", w12), ("0.0.0.3", w23)]))
+        db.consider(lsa("0.0.0.3", 1,
+                        links=[("0.0.0.2", w23), ("0.0.0.1", w13)],
+                        prefixes=[("10.3.0.0/24", 0)]))
+        return db
+
+    def test_direct_path_preferred(self):
+        db = self.build_triangle()
+        result = shortest_paths(db, rid("0.0.0.1"))
+        cost, hops = result.prefix_routes[IPv4Prefix("10.3.0.0/24")]
+        assert cost == 1
+        assert hops == {int(rid("0.0.0.3"))}
+
+    def test_detour_when_direct_expensive(self):
+        db = self.build_triangle(w13=10)
+        result = shortest_paths(db, rid("0.0.0.1"))
+        cost, hops = result.prefix_routes[IPv4Prefix("10.3.0.0/24")]
+        assert cost == 2
+        assert hops == {int(rid("0.0.0.2"))}
+
+    def test_ecmp_when_equal(self):
+        db = self.build_triangle(w13=2)  # direct = 2, via 2 = 2
+        result = shortest_paths(db, rid("0.0.0.1"))
+        __, hops = result.prefix_routes[IPv4Prefix("10.3.0.0/24")]
+        assert hops == {int(rid("0.0.0.2")), int(rid("0.0.0.3"))}
+
+    def test_unidirectional_link_unused(self):
+        db = LinkStateDatabase()
+        db.consider(lsa("0.0.0.1", 1, links=[("0.0.0.2", 1)]))
+        # router 2 does NOT list router 1 back
+        db.consider(lsa("0.0.0.2", 1, prefixes=[("10.2.0.0/24", 0)]))
+        result = shortest_paths(db, rid("0.0.0.1"))
+        assert IPv4Prefix("10.2.0.0/24") not in result.prefix_routes
+
+    def test_own_prefixes_excluded(self):
+        db = LinkStateDatabase()
+        db.consider(lsa("0.0.0.1", 1, prefixes=[("10.1.0.0/24", 0)]))
+        result = shortest_paths(db, rid("0.0.0.1"))
+        assert result.prefix_routes == {}
+
+
+def wire_pair(hello=0.5, dead=2.0):
+    """Two routers with OSPF daemons; returns (sim, net, d1, d2, channel)."""
+    sim = Simulation(SimulationConfig())
+    net = Network()
+    sim.attach_network(net)
+    net.add_router("r1", router_id="1.1.1.1")
+    net.add_router("r2", router_id="2.2.2.2")
+    net.add_link("r1", "r2")
+    d1 = OSPFDaemon("r1", OSPFConfig(
+        router_id=rid("1.1.1.1"),
+        networks=[(IPv4Prefix("10.1.0.0/24"), 0)],
+        hello_interval=hello, dead_interval=dead))
+    d2 = OSPFDaemon("r2", OSPFConfig(
+        router_id=rid("2.2.2.2"),
+        networks=[(IPv4Prefix("10.2.0.0/24"), 0)],
+        hello_interval=hello, dead_interval=dead))
+    channel = sim.cm.open_channel(d1, d2, latency=0.001)
+    d1.add_neighbor(OSPFPeerConfig(
+        peer_name="r2", peer_router_id=rid("2.2.2.2"), local_port=1,
+        peer_address=IPv4Address("172.16.0.2")), channel)
+    d2.add_neighbor(OSPFPeerConfig(
+        peer_name="r1", peer_router_id=rid("1.1.1.1"), local_port=1,
+        peer_address=IPv4Address("172.16.0.1")), channel)
+    sim.add_process(d1)
+    sim.add_process(d2)
+    return sim, net, d1, d2, channel
+
+
+class TestDaemon:
+    def test_adjacency_and_routes(self):
+        sim, net, d1, d2, __ = wire_pair()
+        sim.run(until=3.0)
+        assert d1.full_neighbors() == ["r2"]
+        assert d2.full_neighbors() == ["r1"]
+        entry = net.get_node("r1").fib.lookup("10.2.0.9")
+        assert entry is not None
+        assert entry.next_hops[0].gateway == IPv4Address("172.16.0.2")
+
+    def test_lsdb_synchronised(self):
+        sim, net, d1, d2, __ = wire_pair()
+        sim.run(until=3.0)
+        assert len(d1.lsdb) == 2
+        assert len(d2.lsdb) == 2
+
+    def test_dead_interval_tears_down(self):
+        sim, net, d1, d2, channel = wire_pair(hello=0.5, dead=2.0)
+        sim.run(until=3.0)
+        channel.close()
+        sim.run(until=10.0)
+        assert d1.full_neighbors() == []
+        assert net.get_node("r1").fib.lookup("10.2.0.9") is None
+
+    def test_spf_debounced(self):
+        sim, net, d1, d2, __ = wire_pair()
+        sim.run(until=3.0)
+        # Convergence needs only a few SPF runs despite many LSA events.
+        assert d1.spf_runs <= 4
+
+    def test_neighbor_down_reoriginates(self):
+        sim, net, d1, d2, __ = wire_pair()
+        sim.run(until=3.0)
+        seq_before = d1.lsdb.get(rid("1.1.1.1")).sequence
+        d1.neighbor_down("r2")
+        sim.run(until=4.0)
+        assert d1.lsdb.get(rid("1.1.1.1")).sequence > seq_before

@@ -1,0 +1,178 @@
+"""Unit tests: message tracing and convergence metrics."""
+
+import pytest
+
+from repro.api import (
+    Experiment,
+    MessageTrace,
+    bgp_convergence,
+    classify,
+    fti_share,
+    ospf_convergence,
+    setup_bgp_for_routers,
+    setup_ospf_for_routers,
+)
+from repro.bgp.messages import BGPKeepalive, BGPOpen, BGPUpdate, PathAttributes
+from repro.core import SimulationConfig
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.openflow.messages import Hello, PacketIn
+from repro.ospf.packets import OSPFHello
+
+
+class TestClassify:
+    def test_bgp_open(self):
+        protocol, summary = classify(BGPOpen(asn=65001).encode())
+        assert protocol == "bgp"
+        assert "OPEN AS65001" in summary
+
+    def test_bgp_update(self):
+        update = BGPUpdate(
+            attributes=PathAttributes(as_path=(1,),
+                                      next_hop=IPv4Address("10.0.0.1")),
+            nlri=[IPv4Prefix("10.1.0.0/24")],
+        )
+        protocol, summary = classify(update.encode())
+        assert protocol == "bgp"
+        assert "announce=1" in summary
+
+    def test_bgp_batch(self):
+        data = BGPOpen(asn=1).encode() + BGPKeepalive().encode()
+        __, summary = classify(data)
+        assert "OPEN" in summary and "KEEPALIVE" in summary
+
+    def test_openflow(self):
+        protocol, summary = classify(Hello(xid=1).encode())
+        assert protocol == "openflow"
+        assert "HELLO" in summary
+        protocol, summary = classify(PacketIn(in_port=1, data=b"x").encode())
+        assert "PACKET_IN" in summary
+
+    def test_ospf(self):
+        hello = OSPFHello(router_id=IPv4Address("1.1.1.1"),
+                          neighbors=[IPv4Address("2.2.2.2")])
+        protocol, summary = classify(hello.encode())
+        assert protocol == "ospf"
+        assert "neighbors=1" in summary
+
+    def test_unknown(self):
+        protocol, __ = classify(b"\x99" * 30)
+        assert protocol == "unknown"
+
+
+def two_router_bgp_exp():
+    exp = Experiment("trace", config=SimulationConfig())
+    r1 = exp.add_router("r1", router_id="1.1.1.1")
+    r2 = exp.add_router("r2", router_id="2.2.2.2")
+    h1 = exp.add_host("h1", "10.1.0.10")
+    h2 = exp.add_host("h2", "10.2.0.10")
+    exp.add_link(h1, r1)
+    exp.add_link(h2, r2)
+    exp.add_link(r1, r2)
+    setup_bgp_for_routers(exp, asn_map={"r1": 65001, "r2": 65002})
+    return exp
+
+
+class TestMessageTrace:
+    def test_records_full_conversation(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim)
+        exp.run(until=2.0)
+        assert len(trace) >= 6  # 2 OPEN, >=2 KEEPALIVE, 2 UPDATE
+        protocols = trace.by_protocol()
+        assert protocols["bgp"] == len(trace)
+
+    def test_record_fields(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim)
+        exp.run(until=2.0)
+        first = trace.records[0]
+        assert first.protocol == "bgp"
+        assert "OPEN" in first.summary
+        assert first.sender.startswith("bgpd-")
+        assert first.size >= 19
+        assert "bgp" in str(first)
+
+    def test_activity_windows_match_fti_episodes(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim)
+        exp.run(until=10.0)
+        windows = trace.activity_windows(quiet_gap=1.0)
+        # one convergence burst at the start; keepalives not yet due
+        # (30 s default), so exactly one window.
+        assert len(windows) == 1
+        start, end, count = windows[0]
+        assert start < 0.1
+        assert count == len(trace)
+
+    def test_between(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim)
+        exp.run(until=2.0)
+        early = trace.between(0.0, 0.5)
+        assert len(early) == len(trace)
+        assert trace.between(1.0, 2.0) == []
+
+    def test_max_records_cap(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim, max_records=3)
+        exp.run(until=2.0)
+        assert len(trace) == 3
+        assert trace.dropped > 0
+
+    def test_summary_lines(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim)
+        exp.run(until=2.0)
+        lines = trace.summary_lines(limit=2)
+        assert len(lines) == 2
+
+    def test_last_activity(self):
+        exp = two_router_bgp_exp()
+        trace = MessageTrace(exp.sim)
+        assert trace.last_activity() is None
+        exp.run(until=2.0)
+        assert trace.last_activity() == pytest.approx(
+            exp.sim.clock.last_control_activity, abs=0.01
+        )
+
+
+class TestConvergenceMetrics:
+    def test_bgp_report(self):
+        exp = two_router_bgp_exp()
+        exp.run(until=2.0)
+        report = bgp_convergence(exp)
+        assert report.converged
+        assert report.all_sessions_up_at < 0.5
+        assert report.sessions == 2
+        assert report.routes_installed >= 2
+        assert "sessions up" in report.summary()
+
+    def test_bgp_not_converged_before_connect(self):
+        exp = two_router_bgp_exp()
+        # Do not run at all: nothing established.
+        report = bgp_convergence(exp)
+        assert not report.converged
+        assert report.summary() == "not converged"
+
+    def test_ospf_report(self):
+        exp = Experiment("ospf-m", config=SimulationConfig())
+        exp.add_router("r1", router_id="1.1.1.1")
+        exp.add_router("r2", router_id="2.2.2.2")
+        exp.add_link("r1", "r2")
+        setup_ospf_for_routers(exp, hello_interval=0.5, dead_interval=2.0)
+        exp.run(until=3.0)
+        report = ospf_convergence(exp)
+        assert report.converged
+        assert report.sessions == 2
+
+    def test_fti_share_sums_to_one(self):
+        exp = two_router_bgp_exp()
+        exp.run(until=5.0)
+        share = fti_share(exp)
+        assert share["des"] + share["fti"] == pytest.approx(1.0)
+        assert share["des"] > 0.8  # mostly fast-forwarded
+
+    def test_fti_share_empty_run(self):
+        exp = Experiment("empty")
+        share = fti_share(exp)
+        assert share == {"des": 0.0, "fti": 0.0}

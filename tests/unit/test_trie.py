@@ -1,0 +1,106 @@
+"""Unit tests: the longest-prefix-match trie."""
+
+import pytest
+
+from repro.netproto.addr import IPv4Address, IPv4Prefix
+from repro.netproto.trie import PrefixTrie
+
+
+@pytest.fixture
+def trie():
+    t = PrefixTrie()
+    t.insert(IPv4Prefix("10.0.0.0/8"), "coarse")
+    t.insert(IPv4Prefix("10.1.0.0/16"), "fine")
+    t.insert(IPv4Prefix("10.1.2.0/24"), "finer")
+    return t
+
+
+class TestLookup:
+    def test_longest_match_wins(self, trie):
+        prefix, value = trie.lookup("10.1.2.3")
+        assert value == "finer"
+        assert str(prefix) == "10.1.2.0/24"
+
+    def test_mid_level_match(self, trie):
+        assert trie.lookup_value("10.1.9.9") == "fine"
+
+    def test_coarse_match(self, trie):
+        assert trie.lookup_value("10.200.0.1") == "coarse"
+
+    def test_no_match(self, trie):
+        assert trie.lookup("11.0.0.1") is None
+        assert trie.lookup_value("11.0.0.1", default="dflt") == "dflt"
+
+    def test_default_route(self):
+        t = PrefixTrie()
+        t.insert(IPv4Prefix("0.0.0.0/0"), "default")
+        assert t.lookup_value("1.2.3.4") == "default"
+        t.insert(IPv4Prefix("1.0.0.0/8"), "one")
+        assert t.lookup_value("1.2.3.4") == "one"
+        assert t.lookup_value("9.9.9.9") == "default"
+
+    def test_slash32(self):
+        t = PrefixTrie()
+        t.insert(IPv4Prefix("10.0.0.1/32"), "host")
+        assert t.lookup_value("10.0.0.1") == "host"
+        assert t.lookup("10.0.0.2") is None
+
+    def test_accepts_int_and_address(self, trie):
+        assert trie.lookup_value(IPv4Address("10.1.2.3")) == "finer"
+        assert trie.lookup_value(int(IPv4Address("10.1.2.3"))) == "finer"
+
+
+class TestMutation:
+    def test_insert_replaces(self, trie):
+        trie.insert(IPv4Prefix("10.1.0.0/16"), "replaced")
+        assert trie.get(IPv4Prefix("10.1.0.0/16")) == "replaced"
+        assert len(trie) == 3
+
+    def test_delete(self, trie):
+        assert trie.delete(IPv4Prefix("10.1.0.0/16"))
+        assert trie.get(IPv4Prefix("10.1.0.0/16")) is None
+        # LPM now falls back to the /8.
+        assert trie.lookup_value("10.1.9.9") == "coarse"
+        assert len(trie) == 2
+
+    def test_delete_absent_returns_false(self, trie):
+        assert not trie.delete(IPv4Prefix("10.9.0.0/16"))
+        assert len(trie) == 3
+
+    def test_delete_does_not_disturb_descendants(self, trie):
+        trie.delete(IPv4Prefix("10.1.0.0/16"))
+        assert trie.lookup_value("10.1.2.3") == "finer"
+
+    def test_clear(self, trie):
+        trie.clear()
+        assert len(trie) == 0
+        assert trie.lookup("10.1.2.3") is None
+
+    def test_contains(self, trie):
+        assert IPv4Prefix("10.1.0.0/16") in trie
+        assert IPv4Prefix("10.2.0.0/16") not in trie
+
+    def test_reinsert_after_delete(self, trie):
+        trie.delete(IPv4Prefix("10.1.2.0/24"))
+        trie.insert(IPv4Prefix("10.1.2.0/24"), "back")
+        assert trie.lookup_value("10.1.2.3") == "back"
+
+
+class TestIteration:
+    def test_items_sorted_by_key(self, trie):
+        keys = [prefix.key() for prefix, __ in trie.items()]
+        assert keys == sorted(keys)
+
+    def test_items_complete(self, trie):
+        values = {value for __, value in trie.items()}
+        assert values == {"coarse", "fine", "finer"}
+
+    def test_keys(self, trie):
+        assert len(list(trie.keys())) == 3
+
+    def test_root_value_iterated(self):
+        t = PrefixTrie()
+        t.insert(IPv4Prefix("0.0.0.0/0"), "default")
+        items = list(t.items())
+        assert len(items) == 1
+        assert str(items[0][0]) == "0.0.0.0/0"
