@@ -151,6 +151,97 @@ class Experiment:
         else:
             self.sim.scheduler.at(at, replug, label=f"restore {node_a}-{node_b}")
 
+    def _node_links(self, name: str):
+        """(link, channels) pairs for every cable attached to a node."""
+        node = self.network.get_node(name)
+        result = []
+        for port in sorted(node.ports.values(), key=lambda p: p.number):
+            if port.link is None:
+                continue
+            a, b = port.link.endpoints()
+            channels = self._link_channels.get(frozenset((a.name, b.name)), [])
+            result.append((port.link, channels))
+        return result
+
+    def fail_node(self, name: str, at: "float | None" = None) -> None:
+        """Take a whole device down (now, or at a future time).
+
+        The node stops forwarding, every attached cable goes dark, and
+        the control sessions riding those cables stop carrying bytes —
+        its neighbours' protocols notice through their own hold/dead
+        timers, exactly as with :meth:`fail_link`.
+        """
+        attachments = self._node_links(name)
+
+        def down() -> None:
+            self.network.set_node_up(name, False)
+            for link, channels in attachments:
+                link.set_up(False)
+                for channel in channels:
+                    channel.close()
+            self.network.invalidate_routing()
+
+        if at is None:
+            down()
+        else:
+            self.sim.scheduler.at(at, down, label=f"fail node {name}")
+
+    def restore_node(self, name: str, at: "float | None" = None) -> None:
+        """Bring a failed device back, with all its cables.
+
+        Symmetric with :meth:`fail_node`: every attached link comes up
+        and its control channels reopen, so daemons re-converge via
+        their normal retry machinery.  (A link that was *also* failed
+        independently comes back too — model maintenance that replaces
+        the whole chassis.)
+        """
+        attachments = self._node_links(name)
+
+        def up() -> None:
+            self.network.set_node_up(name, True)
+            for link, channels in attachments:
+                link.set_up(True)
+                for channel in channels:
+                    channel.reopen()
+            self.network.invalidate_routing()
+
+        if at is None:
+            up()
+        else:
+            self.sim.scheduler.at(at, up, label=f"restore node {name}")
+
+    def degrade_link(self, node_a: str, node_b: str, factor: float,
+                     at: "float | None" = None,
+                     until: "float | None" = None) -> None:
+        """Gray failure: scale a link's capacity without cutting it.
+
+        The cable stays up and control sessions keep flowing, but the
+        fluid solver sees ``nominal * factor`` — the silent-brownout
+        case that link-state protocols do not react to.  ``until``
+        optionally schedules the repair back to nominal capacity.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"degrade factor must be in (0, 1], got {factor}")
+        link = self._find_link(node_a, node_b)
+
+        def degrade() -> None:
+            link.set_capacity(link.nominal_capacity_bps * factor)
+            self.network.invalidate_routing()
+
+        def repair() -> None:
+            link.set_capacity(link.nominal_capacity_bps)
+            self.network.invalidate_routing()
+
+        if at is None:
+            degrade()
+        else:
+            self.sim.scheduler.at(at, degrade,
+                                  label=f"degrade {node_a}-{node_b}")
+        if until is not None:
+            self.sim.scheduler.at(until, repair,
+                                  label=f"repair {node_a}-{node_b}")
+
     # -- control plane ----------------------------------------------------------------
 
     def use_controller(

@@ -2,18 +2,25 @@
 
 Subcommands:
 
-* ``demo``  — the full demonstration (three TE schemes) on one
+* ``demo``     — the full demonstration (three TE schemes) on one
   fat-tree size; prints the timing and throughput table.
-* ``fig1``  — the two-router BGP scenario; prints the mode-transition
+* ``fig1``     — the two-router BGP scenario; prints the mode-transition
   timeline of Figure 1.
-* ``fig3``  — the Horse-vs-baseline execution-time comparison for a
+* ``fig3``     — the Horse-vs-baseline execution-time comparison for a
   list of fat-tree sizes.
+* ``scenario`` — the fault-injection scenario engine: ``scenario run``
+  executes one generated (or JSON-loaded) scenario, ``scenario sweep``
+  fans a seeded campaign out across worker processes.  Any sweep line
+  can be reproduced bit-for-bit by ``scenario run`` with the same
+  generator options and that line's seed.
 
 Examples::
 
     python -m repro.cli demo --k 4 --duration 20
     python -m repro.cli fig1
     python -m repro.cli fig3 --sizes 4,6 --scale 0.02
+    python -m repro.cli scenario sweep --count 20 --workers 4
+    python -m repro.cli scenario run --seed 7 --pattern flap-storm
 """
 
 from __future__ import annotations
@@ -108,12 +115,161 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kv_params(pairs: "List[str] | None") -> dict:
+    """``key=value`` strings -> dict with numbers parsed as numbers."""
+    params = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"bad parameter {pair!r}; expected key=value")
+        key, raw = pair.split("=", 1)
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+def _build_generated_spec(args: argparse.Namespace, seed: int):
+    """The scenario a (generator options, seed) pair describes —
+    shared by ``scenario run`` and ``scenario sweep`` so a sweep line
+    reproduces exactly."""
+    from repro.scenarios import (
+        ProtocolRecipe,
+        TopologyRecipe,
+        generate_scenario,
+    )
+
+    topology = TopologyRecipe(args.topo, _parse_kv_params(args.topo_param))
+    protocol = None
+    if args.protocol is not None:
+        protocol = ProtocolRecipe(args.protocol,
+                                  _parse_kv_params(args.protocol_param))
+    return generate_scenario(
+        seed,
+        pattern=args.pattern,
+        topology=topology,
+        protocol=protocol,
+        duration=args.duration,
+        pattern_params=_parse_kv_params(args.pattern_param),
+    )
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+    if args.spec is not None:
+        from repro.core.errors import SimulationError
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError,
+                SimulationError) as exc:
+            raise SystemExit(
+                f"cannot load scenario spec {args.spec!r}: {exc!r}")
+    else:
+        spec = _build_generated_spec(args, args.seed)
+    if args.save_spec:
+        with open(args.save_spec, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json() + "\n")
+    result = ScenarioRunner().run(spec)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(result.summary())
+    for outcome in result.injections:
+        recovery = (f"{outcome.recovery_seconds:.3f}s"
+                    if outcome.recovery_seconds is not None
+                    else "not recovered")
+        print(f"  {outcome.label:<44} recovery {recovery}")
+    print(f"wall {result.wall_seconds:.3f}s, "
+          f"{result.events_fired} events, "
+          f"{result.recomputations} reallocations")
+    return 0
+
+
+def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import Campaign
+
+    seeds = range(args.seed_base, args.seed_base + args.count)
+    campaign = Campaign.seed_sweep(
+        lambda seed: _build_generated_spec(args, seed),
+        seeds, workers=args.workers,
+    )
+    outcome = campaign.run()
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([r.to_dict() for r in outcome.results],
+                          indent=2, sort_keys=True))
+        return 0
+    print(outcome.summary())
+    print("reproduce any line: repro scenario run --seed <seed> "
+          + _generator_options_string(args))
+    return 0
+
+
+def _generator_options_string(args: argparse.Namespace) -> str:
+    """The generator options of ``args`` as a shell fragment, so the
+    printed reproduce command really does rebuild the same scenario."""
+    parts = [f"--pattern {args.pattern}", f"--topo {args.topo}",
+             f"--duration {args.duration:g}"]
+    if args.protocol is not None:
+        parts.append(f"--protocol {args.protocol}")
+    for flag, pairs in (("--pattern-param", args.pattern_param),
+                        ("--topo-param", args.topo_param),
+                        ("--protocol-param", args.protocol_param)):
+        for pair in pairs or []:
+            parts.append(f"{flag} {pair}")
+    return " ".join(parts)
+
+
+def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``scenario run`` and ``scenario sweep``."""
+    parser.add_argument(
+        "--pattern", default="k-random-links",
+        choices=["k-random-links", "flap-storm", "rolling-maintenance",
+                 "gray-brownout"],
+        help="failure pattern to generate")
+    parser.add_argument(
+        "--pattern-param", action="append", metavar="KEY=VALUE",
+        help="pattern tunable (e.g. k=3, cycles=4); repeatable")
+    parser.add_argument(
+        "--topo", default="wan",
+        choices=["wan", "fattree", "leafspine", "linear", "star", "tree",
+                 "jellyfish"],
+        help="topology recipe")
+    parser.add_argument(
+        "--topo-param", action="append", metavar="KEY=VALUE",
+        help="topology parameter (e.g. k=4, num_spines=4); repeatable")
+    parser.add_argument(
+        "--protocol", default=None, choices=["bgp", "ospf", "sdn", "none"],
+        help="control plane (default: fast-timer OSPF)")
+    parser.add_argument(
+        "--protocol-param", action="append", metavar="KEY=VALUE",
+        help="protocol timer (e.g. hold_time=3); repeatable")
+    parser.add_argument("--duration", type=float, default=40.0,
+                        help="simulated horizon per scenario, seconds")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="run the three-TE-scheme demonstration")
@@ -136,6 +292,33 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--pps", type=float, default=150.0)
     fig3.add_argument("--seed", type=int, default=42)
     fig3.set_defaults(func=_cmd_fig3)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative fault-injection scenarios")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+
+    run = scenario_sub.add_parser(
+        "run", help="run one scenario (generated by seed, or from JSON)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="generator seed (ignored with --spec)")
+    run.add_argument("--spec", default=None, metavar="FILE",
+                     help="load the scenario from a JSON spec file")
+    run.add_argument("--save-spec", default=None, metavar="FILE",
+                     help="write the scenario's JSON spec before running")
+    _add_scenario_generator_options(run)
+    run.set_defaults(func=_cmd_scenario_run)
+
+    sweep = scenario_sub.add_parser(
+        "sweep", help="run a seeded campaign across worker processes")
+    sweep.add_argument("--count", type=int, default=20,
+                       help="number of seeds to sweep")
+    sweep.add_argument("--seed-base", type=int, default=0,
+                       help="first seed of the sweep")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="worker processes")
+    _add_scenario_generator_options(sweep)
+    sweep.set_defaults(func=_cmd_scenario_sweep)
 
     return parser
 

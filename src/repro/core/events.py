@@ -6,6 +6,14 @@ a priority and a monotonically increasing sequence number.  The triple
 ``(time, priority, seq)`` gives a total, deterministic order: ties in
 time break by priority (control plane first, statistics last), ties in
 priority break by insertion order.
+
+The authoritative sequence number is assigned by the
+:class:`~repro.core.queue.EventQueue` an event is pushed onto, so each
+simulation numbers its events from zero: identical seeds produce
+identical traces no matter how many simulations ran earlier in the
+process (campaign workers rely on this).  The module-level counter
+below only seeds a *provisional* seq so events constructed but never
+pushed still order deterministically by creation.
 """
 
 from __future__ import annotations
@@ -21,11 +29,12 @@ PRIORITY_CONTROL = 0
 PRIORITY_DEFAULT = 10
 PRIORITY_STATS = 20
 
-_seq_counter = itertools.count()
+# Provisional numbering only — see module docstring.
+_provisional_seq_counter = itertools.count()
 
 
 def _next_seq() -> int:
-    return next(_seq_counter)
+    return next(_provisional_seq_counter)
 
 
 class Event:
@@ -33,6 +42,9 @@ class Event:
 
     Subclasses override :meth:`fire`.  Events support lazy cancellation:
     a cancelled event stays in the heap but is skipped when popped.
+    ``seq`` is provisional until the event is pushed onto an
+    :class:`~repro.core.queue.EventQueue`, which renumbers it from the
+    queue's own counter (per-simulation determinism).
     """
 
     __slots__ = ("time", "priority", "seq", "cancelled")

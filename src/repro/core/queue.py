@@ -8,6 +8,7 @@ cancellation (cancelled events are dropped when they surface).
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Iterator, Optional
 
 from repro.core.errors import SchedulingError
@@ -15,16 +16,28 @@ from repro.core.events import Event
 
 
 class EventQueue:
-    """A priority queue of :class:`~repro.core.events.Event` objects."""
+    """A priority queue of :class:`~repro.core.events.Event` objects.
+
+    The queue owns the sequence counter that breaks (time, priority)
+    ties, so event ordering is a function of this simulation alone —
+    not of how many simulations ran earlier in the process.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._pushed = 0
         self._popped = 0
         self._cancelled_seen = 0
+        self._seq = itertools.count()
 
     def push(self, event: Event) -> Event:
-        """Insert an event; returns it for chaining/cancel handles."""
+        """Insert an event; returns it for chaining/cancel handles.
+
+        The event's provisional seq is replaced with this queue's own
+        numbering (insertion order), making traces reproducible per
+        simulation.
+        """
+        event.seq = next(self._seq)
         heapq.heappush(self._heap, event)
         self._pushed += 1
         return event

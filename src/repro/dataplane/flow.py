@@ -67,6 +67,16 @@ class FluidFlow:
 
     _ids = itertools.count(1)
 
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart flow numbering (scenario-run determinism).
+
+        Flow ids leak into auto-chosen source ports (40000 + id) and
+        therefore into five-tuple ECMP hashes, so a reproducible
+        scenario must start numbering from the same point.
+        """
+        cls._ids = itertools.count(1)
+
     def __init__(
         self,
         src: "Host",

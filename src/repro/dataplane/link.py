@@ -85,6 +85,9 @@ class Link:
         self.port_a = port_a
         self.port_b = port_b
         self.capacity_bps = float(capacity_bps)
+        # The as-built capacity; gray-failure injection degrades
+        # capacity_bps and restores it back to this.
+        self.nominal_capacity_bps = float(capacity_bps)
         self.delay = float(delay)
         self.up = True
         self.forward = LinkDirection(self, port_a, port_b)
@@ -115,6 +118,23 @@ class Link:
     def set_up(self, up: bool) -> None:
         """Administratively raise/fail the link (failure injection)."""
         self.up = up
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Change the live capacity (gray-failure injection).
+
+        The link stays up but carries less: the max-min solver sees the
+        degraded figure on the next reallocation.  ``nominal_capacity_bps``
+        is untouched, so the degradation can be undone exactly.
+        """
+        if capacity_bps <= 0:
+            raise TopologyError(f"link capacity must be positive: {capacity_bps}")
+        self.capacity_bps = float(capacity_bps)
+
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Restart link numbering (scenario-run determinism; see
+        :func:`repro.dataplane.node.reset_auto_macs`)."""
+        cls._ids = itertools.count(1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         a = f"{self.port_a.node.name}:{self.port_a.number}"

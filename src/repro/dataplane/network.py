@@ -237,6 +237,11 @@ class Network:
         entries = []
         macs = (flow.src.mac, flow.dst.mac)
         for __ in range(MAX_HOPS):
+            if not node.up:
+                return PathResult(
+                    PathStatus.DROPPED, hops=hops, entries=entries,
+                    miss_node=node.name, detail="node down",
+                )
             decision = node.forward_flow(flow.key, in_port, macs=macs)
             if decision.action == ForwardingDecision.DELIVER:
                 return PathResult(PathStatus.DELIVERED, hops=hops, entries=entries)
@@ -277,6 +282,23 @@ class Network:
             in_port = peer.number
         return PathResult(PathStatus.LOOP, hops=hops, entries=entries,
                           detail=f"no delivery within {MAX_HOPS} hops")
+
+    # -- failure injection -------------------------------------------------------------
+
+    def set_node_up(self, name: str, up: bool) -> None:
+        """Administratively fail/recover a whole node and reroute.
+
+        A down node stops forwarding fluid flows and sinks packet
+        events.  Callers that also want the node's cables and control
+        sessions cut should use
+        :meth:`repro.api.experiment.Experiment.fail_node`, which layers
+        those on top of this switch-level flag.
+        """
+        node = self.get_node(name)
+        if node.up == up:
+            return
+        node.up = up
+        self.invalidate_routing()
 
     # -- reallocation ------------------------------------------------------------------
 
@@ -403,6 +425,8 @@ class Network:
                       packet: "Packet") -> None:
         """Run a packet through a node's pipeline, then across links."""
         origin = self.get_node(node) if isinstance(node, str) else node
+        if not origin.up:
+            return  # a failed node sinks everything
         outputs = origin.handle_packet(in_port, packet, self.now)
         self.transmit(origin, outputs)
 

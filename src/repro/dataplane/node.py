@@ -23,12 +23,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataplane.network import Network
     from repro.netproto.packet import FiveTuple, Packet
 
-_mac_counter = itertools.count(0x0200_0000_0001)
+_MAC_BASE = 0x0200_0000_0001
+_mac_counter = itertools.count(_MAC_BASE)
 
 
 def next_auto_mac() -> MACAddress:
     """Allocate a locally administered MAC address."""
     return MACAddress(next(_mac_counter))
+
+
+def reset_auto_macs() -> None:
+    """Restart MAC allocation from the base address.
+
+    Scenario runs call this before building their network so a
+    scenario's MACs — and anything derived from them — do not depend
+    on how many networks were built earlier in the process.
+    """
+    global _mac_counter
+    _mac_counter = itertools.count(_MAC_BASE)
 
 
 class Port:
@@ -72,6 +84,9 @@ class Node:
         self.name = name
         self.ports: Dict[int, Port] = {}
         self.network: Optional["Network"] = None
+        # Administrative state: a down node neither forwards fluid
+        # flows nor processes packet events (node failure injection).
+        self.up = True
         self._next_port = 1
 
     def add_port(self, number: "int | None" = None) -> Port:

@@ -25,6 +25,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _dpid_counter = itertools.count(1)
 
 
+def reset_dpids() -> None:
+    """Restart auto-dpid allocation (scenario-run determinism)."""
+    global _dpid_counter
+    _dpid_counter = itertools.count(1)
+
+
 class Switch(Node):
     """An OpenFlow switch model."""
 

@@ -1,0 +1,96 @@
+"""The scenario engine: declarative fault-injection at campaign scale.
+
+Horse's pitch is *faster control-plane experimentation*; this package
+turns "an experiment" from a hand-written script into data you can
+generate, store, sweep and parallelize:
+
+* :mod:`~repro.scenarios.spec`       — :class:`ScenarioSpec`, the
+  JSON-round-trippable description (topology recipe, protocol,
+  traffic, injection schedule, duration, seed);
+* :mod:`~repro.scenarios.injections` — the composable fault library
+  (link fail/restore/flap, node fail/recover, partition, gray
+  capacity degrade, traffic burst);
+* :mod:`~repro.scenarios.generators` — seeded random scenario
+  generation (k-random-link failures, flap storms, rolling
+  maintenance, gray brownouts);
+* :mod:`~repro.scenarios.runner`     — :class:`ScenarioRunner`, spec
+  in, bit-for-bit reproducible :class:`ScenarioResult` out;
+* :mod:`~repro.scenarios.campaign`   — :class:`Campaign`, fanning a
+  seed sweep or parameter grid across worker processes.
+
+Quickstart::
+
+    from repro.scenarios import Campaign, generate_scenario
+
+    campaign = Campaign.seed_sweep(generate_scenario, range(20), workers=4)
+    outcome = campaign.run()
+    print(outcome.summary())
+"""
+
+from repro.scenarios.injections import (
+    CapacityDegrade,
+    Injection,
+    LinkFail,
+    LinkFlap,
+    LinkRestore,
+    NodeFail,
+    NodeRecover,
+    Partition,
+    TrafficBurst,
+    injection_from_dict,
+)
+from repro.scenarios.spec import (
+    ProtocolRecipe,
+    ScenarioSpec,
+    TopologyRecipe,
+    TrafficRecipe,
+)
+from repro.scenarios.generators import (
+    flap_storm,
+    generate_scenario,
+    gray_brownout,
+    k_random_link_failures,
+    rolling_maintenance,
+    seed_sweep_specs,
+)
+from repro.scenarios.runner import (
+    InjectionOutcome,
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
+)
+from repro.scenarios.campaign import (
+    Campaign,
+    CampaignResult,
+    run_scenario_dict,
+)
+
+__all__ = [
+    "Injection",
+    "LinkFail",
+    "LinkRestore",
+    "LinkFlap",
+    "NodeFail",
+    "NodeRecover",
+    "Partition",
+    "CapacityDegrade",
+    "TrafficBurst",
+    "injection_from_dict",
+    "ScenarioSpec",
+    "TopologyRecipe",
+    "ProtocolRecipe",
+    "TrafficRecipe",
+    "generate_scenario",
+    "seed_sweep_specs",
+    "k_random_link_failures",
+    "flap_storm",
+    "rolling_maintenance",
+    "gray_brownout",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "InjectionOutcome",
+    "run_scenario",
+    "Campaign",
+    "CampaignResult",
+    "run_scenario_dict",
+]

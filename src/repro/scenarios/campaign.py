@@ -1,0 +1,156 @@
+"""Fan a batch of scenarios out across worker processes.
+
+A :class:`Campaign` is the scale half of the scenario engine: hand it
+a list of specs (usually a seed sweep or a parameter grid), pick a
+worker count, and it runs every scenario — serialized specs out,
+serialized results back — then aggregates.  Workers are plain
+``multiprocessing`` processes; each scenario builds its world from
+scratch and resets the process-global counters, so a result is the
+same whether it ran first, last, alone, or in a pool (the
+reproducibility tests pin this down).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
+
+
+def run_scenario_dict(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: dict in, dict out (must stay module-level
+    and serialization-only so it pickles into pool workers)."""
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return ScenarioRunner().run(spec).to_dict()
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured, plus the aggregates."""
+
+    results: List[ScenarioResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def scenario_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def converged_count(self) -> int:
+        return sum(1 for r in self.results if r.converged)
+
+    @property
+    def mean_convergence_time(self) -> Optional[float]:
+        times = [r.convergence_time for r in self.results
+                 if r.convergence_time is not None]
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    @property
+    def mean_delivered_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return (sum(r.delivered_fraction for r in self.results)
+                / len(self.results))
+
+    @property
+    def recovery_times(self) -> List[float]:
+        """Every measured per-injection recovery time, campaign-wide."""
+        return [
+            outcome.recovery_seconds
+            for result in self.results
+            for outcome in result.injections
+            if outcome.recovery_seconds is not None
+        ]
+
+    def result_for_seed(self, seed: int) -> ScenarioResult:
+        for result in self.results:
+            if result.seed == seed:
+                return result
+        raise KeyError(f"no scenario with seed {seed} in this campaign")
+
+    def fingerprints(self) -> Dict[int, str]:
+        """seed -> result fingerprint (the reproducibility ledger)."""
+        return {r.seed: r.fingerprint() for r in self.results}
+
+    def summary(self) -> str:
+        """Multi-line digest: one line per scenario + the aggregates."""
+        lines = [result.summary() for result in self.results]
+        conv = self.mean_convergence_time
+        recoveries = self.recovery_times
+        lines.append(
+            f"-- {self.scenario_count} scenarios on {self.workers} worker(s) "
+            f"in {self.wall_seconds:.2f}s wall: "
+            f"{self.converged_count}/{self.scenario_count} converged"
+            + (f", mean convergence {conv:.3f}s" if conv is not None else "")
+            + f", mean delivered {self.mean_delivered_fraction * 100:.1f}%"
+            + (f", mean recovery {sum(recoveries) / len(recoveries):.3f}s "
+               f"({len(recoveries)} measured)" if recoveries else "")
+        )
+        return "\n".join(lines)
+
+
+class Campaign:
+    """A batch of scenarios and the machinery to run them."""
+
+    def __init__(self, specs: Sequence[ScenarioSpec], workers: int = 1):
+        if not specs:
+            raise ConfigurationError("campaign needs at least one scenario")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("campaign scenario names must be unique")
+        self.specs = list(specs)
+        self.workers = workers
+
+    @classmethod
+    def seed_sweep(
+        cls,
+        factory: Callable[[int], ScenarioSpec],
+        seeds: Iterable[int],
+        workers: int = 1,
+    ) -> "Campaign":
+        """Build a campaign from a seed -> spec factory (the common
+        shape: same scenario family, many seeds)."""
+        return cls([factory(seed) for seed in seeds], workers=workers)
+
+    @classmethod
+    def parameter_grid(
+        cls,
+        factory: Callable[..., ScenarioSpec],
+        grid: Dict[str, Sequence[Any]],
+        workers: int = 1,
+    ) -> "Campaign":
+        """Build a campaign over the cartesian product of ``grid``.
+
+        ``factory`` is called once per combination with one keyword
+        argument per grid axis.
+        """
+        axes = sorted(grid)
+        combos = itertools.product(*(grid[axis] for axis in axes))
+        specs = [factory(**dict(zip(axes, combo))) for combo in combos]
+        return cls(specs, workers=workers)
+
+    def run(self) -> CampaignResult:
+        """Execute every scenario; parallel when ``workers > 1``."""
+        start = _time.perf_counter()
+        payloads = [spec.to_dict() for spec in self.specs]
+        if self.workers == 1 or len(payloads) == 1:
+            raw = [run_scenario_dict(payload) for payload in payloads]
+        else:
+            with multiprocessing.get_context().Pool(self.workers) as pool:
+                raw = pool.map(run_scenario_dict, payloads, chunksize=1)
+        return CampaignResult(
+            results=[ScenarioResult.from_dict(item) for item in raw],
+            wall_seconds=_time.perf_counter() - start,
+            workers=self.workers,
+        )

@@ -1,0 +1,235 @@
+"""Seeded random scenario generation.
+
+Turns one seed into one fully-specified :class:`ScenarioSpec`, so a
+campaign is nothing but a seed range: the same (pattern, topology,
+seed) triple always yields the identical injection schedule, traffic
+and timers — re-running seed 17 of a 10 000-scenario sweep reproduces
+exactly what the sweep measured.
+
+The failure *patterns* are the classic control-plane stress shapes:
+
+* ``k-random-links``      — k distinct fabric links cut at random
+  times, each repaired after a fixed outage;
+* ``flap-storm``          — several links flapping on independent
+  phases (convergence churn);
+* ``rolling-maintenance`` — devices taken down and brought back one
+  after another (upgrade wave);
+* ``gray-brownout``       — capacity degradations that routing never
+  notices.
+
+All randomness flows through one ``random.Random(seed)`` instance per
+scenario, consumed in a fixed order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios.injections import (
+    CapacityDegrade,
+    Injection,
+    LinkFail,
+    LinkFlap,
+    LinkRestore,
+    NodeFail,
+    NodeRecover,
+)
+from repro.scenarios.spec import (
+    ProtocolRecipe,
+    ScenarioSpec,
+    TopologyRecipe,
+    TrafficRecipe,
+)
+from repro.topology.topo import Topo
+
+
+def fabric_links(topo: Topo) -> List[Tuple[str, str]]:
+    """(a, b) endpoint names of device-device links, in declaration
+    order — the candidates failure patterns draw from (host uplinks
+    are spared so sources/sinks stay attached)."""
+    devices = set(topo.switch_specs)
+    return [
+        (spec.node_a, spec.node_b)
+        for spec in topo.link_specs
+        if spec.node_a in devices and spec.node_b in devices
+    ]
+
+
+def fabric_nodes(topo: Topo) -> List[str]:
+    """Device names in declaration order (maintenance candidates)."""
+    return list(topo.switch_specs)
+
+
+def _sample_links(topo: Topo, count: int,
+                  rng: random.Random) -> List[Tuple[str, str]]:
+    candidates = fabric_links(topo)
+    if not candidates:
+        raise ConfigurationError(
+            f"topology {topo.name!r} has no device-device links to fail")
+    return rng.sample(candidates, min(count, len(candidates)))
+
+
+def k_random_link_failures(
+    topo: Topo,
+    k: int = 2,
+    seed: int = 0,
+    window: Tuple[float, float] = (8.0, 18.0),
+    outage: float = 8.0,
+    rng: "random.Random | None" = None,
+) -> List[Injection]:
+    """Cut ``k`` distinct fabric links at seeded times inside
+    ``window``; each is repaired ``outage`` seconds after its cut."""
+    rng = rng or random.Random(seed)
+    links = _sample_links(topo, k, rng)
+    injections: List[Injection] = []
+    times = sorted(rng.uniform(*window) for __ in links)
+    for (node_a, node_b), at in zip(links, times):
+        injections.append(LinkFail(at=at, node_a=node_a, node_b=node_b))
+        injections.append(LinkRestore(at=at + outage,
+                                      node_a=node_a, node_b=node_b))
+    return injections
+
+
+def flap_storm(
+    topo: Topo,
+    links: int = 2,
+    seed: int = 0,
+    start: float = 8.0,
+    spread: float = 4.0,
+    period: float = 6.0,
+    cycles: int = 2,
+    duty: float = 0.5,
+    rng: "random.Random | None" = None,
+) -> List[Injection]:
+    """Several links flapping on independent phases within ``spread``."""
+    rng = rng or random.Random(seed)
+    chosen = _sample_links(topo, links, rng)
+    injections: List[Injection] = []
+    for node_a, node_b in chosen:
+        phase = rng.uniform(0.0, spread)
+        injections.append(LinkFlap(
+            at=start + phase, node_a=node_a, node_b=node_b,
+            cycles=cycles, period=period, duty=duty,
+        ))
+    return injections
+
+
+def rolling_maintenance(
+    topo: Topo,
+    nodes: int = 2,
+    seed: int = 0,
+    start: float = 8.0,
+    interval: float = 10.0,
+    downtime: float = 6.0,
+    rng: "random.Random | None" = None,
+) -> List[Injection]:
+    """Take ``nodes`` devices down one after another, ``interval``
+    apart, each for ``downtime`` seconds — an upgrade wave."""
+    if downtime >= interval:
+        raise ConfigurationError(
+            "rolling maintenance needs downtime < interval "
+            "(at most one device down at a time)")
+    rng = rng or random.Random(seed)
+    candidates = fabric_nodes(topo)
+    if not candidates:
+        raise ConfigurationError(
+            f"topology {topo.name!r} has no devices to maintain")
+    chosen = rng.sample(candidates, min(nodes, len(candidates)))
+    injections: List[Injection] = []
+    for index, node in enumerate(chosen):
+        down_at = start + index * interval
+        injections.append(NodeFail(at=down_at, node=node))
+        injections.append(NodeRecover(at=down_at + downtime, node=node))
+    return injections
+
+
+def gray_brownout(
+    topo: Topo,
+    links: int = 2,
+    seed: int = 0,
+    window: Tuple[float, float] = (8.0, 18.0),
+    outage: float = 10.0,
+    factor_range: Tuple[float, float] = (0.1, 0.5),
+    rng: "random.Random | None" = None,
+) -> List[Injection]:
+    """Degrade ``links`` fabric links to a seeded fraction of their
+    capacity for ``outage`` seconds — faults routing never sees."""
+    rng = rng or random.Random(seed)
+    chosen = _sample_links(topo, links, rng)
+    injections: List[Injection] = []
+    for node_a, node_b in chosen:
+        at = rng.uniform(*window)
+        factor = rng.uniform(*factor_range)
+        injections.append(CapacityDegrade(
+            at=at, node_a=node_a, node_b=node_b,
+            factor=factor, until=at + outage,
+        ))
+    return injections
+
+
+# pattern name -> (generator, parameter names it accepts)
+PATTERNS: Dict[str, Callable[..., List[Injection]]] = {
+    "k-random-links": k_random_link_failures,
+    "flap-storm": flap_storm,
+    "rolling-maintenance": rolling_maintenance,
+    "gray-brownout": gray_brownout,
+}
+
+
+def generate_scenario(
+    seed: int,
+    pattern: str = "k-random-links",
+    topology: "TopologyRecipe | None" = None,
+    protocol: "ProtocolRecipe | None" = None,
+    traffic: "TrafficRecipe | None" = None,
+    duration: float = 40.0,
+    name: "str | None" = None,
+    pattern_params: "Dict[str, Any] | None" = None,
+) -> ScenarioSpec:
+    """One seed -> one fully-specified scenario (the campaign unit).
+
+    Defaults describe a WAN running fast-timer OSPF with a seeded
+    permutation of CBR flows; ``pattern`` picks the failure shape and
+    ``pattern_params`` tunes it.  Fully deterministic per
+    (seed, pattern, topology, params).
+    """
+    if pattern not in PATTERNS:
+        raise ConfigurationError(
+            f"unknown failure pattern {pattern!r}; "
+            f"choose from {sorted(PATTERNS)}")
+    topology = topology or TopologyRecipe("wan", {})
+    protocol = protocol or ProtocolRecipe(
+        "ospf", {"hello_interval": 1.0, "dead_interval": 4.0})
+    traffic = traffic or TrafficRecipe(
+        pattern="permutation",
+        rate_bps=500_000_000.0,
+        start_time=1.0,
+        duration=max(duration - 5.0, 1.0),
+    )
+    topo = topology.build()
+    rng = random.Random(seed)
+    injections = PATTERNS[pattern](topo, seed=seed, rng=rng,
+                                   **dict(pattern_params or {}))
+    spec = ScenarioSpec(
+        name=name or f"{pattern}-seed{seed}",
+        seed=seed,
+        duration=duration,
+        topology=topology,
+        protocol=protocol,
+        traffic=traffic,
+        injections=injections,
+    )
+    spec.validate()
+    return spec
+
+
+def seed_sweep_specs(
+    seeds: Sequence[int],
+    pattern: str = "k-random-links",
+    **kwargs: Any,
+) -> List[ScenarioSpec]:
+    """One spec per seed, identical in everything but the seed."""
+    return [generate_scenario(seed, pattern=pattern, **kwargs)
+            for seed in seeds]

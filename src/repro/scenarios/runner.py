@@ -1,0 +1,321 @@
+"""Materialize and run one scenario; measure what happened.
+
+:class:`ScenarioRunner` is the bridge from data to execution: it turns
+a :class:`~repro.scenarios.spec.ScenarioSpec` into a live
+:class:`~repro.api.experiment.Experiment`, schedules the injections,
+runs to the horizon and distils a :class:`ScenarioResult` — the
+numbers a failure campaign aggregates (convergence time, delivered vs
+demanded traffic, and how long each injection took to recover from).
+
+Reproducibility contract: running the same spec twice — in the same
+process, in different processes, before or after other scenarios —
+yields *bit-for-bit identical* results (``wall_seconds`` excepted,
+which is excluded from equality and fingerprints).  The runner resets
+every process-global id counter before building, and the event queue
+numbers its events per simulation, so nothing leaks between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api.control_setup import (
+    setup_bgp_for_routers,
+    setup_ospf_for_routers,
+)
+from repro.api.experiment import Experiment
+from repro.api.metrics import bgp_convergence, ospf_convergence
+from repro.core.config import SimulationConfig
+from repro.core.errors import ConfigurationError
+from repro.dataplane.flow import FluidFlow
+from repro.dataplane.link import Link
+from repro.dataplane.node import reset_auto_macs
+from repro.dataplane.switch import reset_dpids
+from repro.scenarios.spec import ScenarioSpec
+from repro.traffic.generators import TrafficSpec, cbr_udp_flows
+
+_EPS = 1e-9
+
+
+@dataclass
+class InjectionOutcome:
+    """One disruption mark and when traffic recovered from it.
+
+    ``recovered_at`` is the first reallocation instant at or after the
+    mark where every flow that should be running was delivered again;
+    None means delivery never fully recovered before the horizon.
+    """
+
+    label: str
+    at: float
+    recovered_at: Optional[float] = None
+
+    @property
+    def recovery_seconds(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.at
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "at": self.at,
+                "recovered_at": self.recovered_at}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "InjectionOutcome":
+        return cls(label=data["label"], at=data["at"],
+                   recovered_at=data.get("recovered_at"))
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run measured.
+
+    Equality and :meth:`fingerprint` deliberately ignore
+    ``wall_seconds`` — two runs of the same spec must compare equal.
+    """
+
+    name: str = ""
+    seed: int = 0
+    sim_seconds: float = 0.0
+    events_fired: int = 0
+    recomputations: int = 0
+    converged: bool = False
+    convergence_time: Optional[float] = None
+    flows_delivered: int = 0
+    flows_total: int = 0
+    delivered_bytes: float = 0.0
+    demanded_bytes: float = 0.0
+    injections: List[InjectionOutcome] = field(default_factory=list)
+    wall_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered over demanded bytes (1.0 when nothing was asked)."""
+        if self.demanded_bytes <= 0:
+            return 1.0
+        return self.delivered_bytes / self.demanded_bytes
+
+    @property
+    def recovered_count(self) -> int:
+        return sum(1 for o in self.injections if o.recovered_at is not None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "sim_seconds": self.sim_seconds,
+            "events_fired": self.events_fired,
+            "recomputations": self.recomputations,
+            "converged": self.converged,
+            "convergence_time": self.convergence_time,
+            "flows_delivered": self.flows_delivered,
+            "flows_total": self.flows_total,
+            "delivered_bytes": self.delivered_bytes,
+            "demanded_bytes": self.demanded_bytes,
+            "injections": [o.to_dict() for o in self.injections],
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        return cls(
+            name=data["name"],
+            seed=data["seed"],
+            sim_seconds=data["sim_seconds"],
+            events_fired=data["events_fired"],
+            recomputations=data["recomputations"],
+            converged=data["converged"],
+            convergence_time=data.get("convergence_time"),
+            flows_delivered=data["flows_delivered"],
+            flows_total=data["flows_total"],
+            delivered_bytes=data["delivered_bytes"],
+            demanded_bytes=data["demanded_bytes"],
+            injections=[InjectionOutcome.from_dict(d)
+                        for d in data.get("injections", [])],
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of the deterministic fields — the bit-for-bit
+        reproducibility check campaigns rely on."""
+        payload = self.to_dict()
+        payload.pop("wall_seconds")
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def summary(self) -> str:
+        """One result line for tables and logs."""
+        conv = (f"{self.convergence_time:.3f}s"
+                if self.convergence_time is not None else "-")
+        return (
+            f"{self.name:<28} conv={conv:>8} "
+            f"delivered={self.delivered_fraction * 100:5.1f}% "
+            f"recovered={self.recovered_count}/{len(self.injections)} "
+            f"fp={self.fingerprint()}"
+        )
+
+
+def _reset_process_counters() -> None:
+    """Zero every process-global id counter a scenario's results could
+    observe, so runs are independent of process history."""
+    Link.reset_ids()
+    FluidFlow.reset_ids()
+    reset_auto_macs()
+    reset_dpids()
+
+
+class ScenarioRunner:
+    """Runs :class:`ScenarioSpec` instances, one at a time."""
+
+    def materialize(self, spec: ScenarioSpec) -> "tuple[Experiment, List[InjectionOutcome]]":
+        """Build the live experiment a spec describes.
+
+        Returns the experiment plus the injection outcomes the run
+        will fill in; exposed separately from :meth:`run` so tests and
+        notebooks can poke at the materialized network.
+        """
+        spec.validate()
+        _reset_process_counters()
+
+        sim_params = dict(spec.sim_params)
+        sim_params["seed"] = spec.seed
+        exp = Experiment(spec.name, config=SimulationConfig(**sim_params))
+        exp.load_topo(spec.topology.build())
+
+        self._setup_protocol(exp, spec)
+        self._setup_traffic(exp, spec)
+
+        outcomes: List[InjectionOutcome] = []
+        for injection in spec.injections:
+            for at, label in injection.schedule(exp):
+                outcomes.append(InjectionOutcome(label=label, at=at))
+        outcomes.sort(key=lambda o: (o.at, o.label))
+
+        exp.network.on_reallocation.append(
+            lambda now: self._check_recovery(exp, outcomes, now))
+        return exp, outcomes
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Materialize, inject, simulate to the horizon, summarize."""
+        start_wall = _time.perf_counter()
+        exp, outcomes = self.materialize(spec)
+        result = exp.run(until=spec.duration)
+
+        converged, convergence_time = self._convergence(exp, spec)
+        demanded = sum(
+            flow.demand_bps * self._offered_window(flow, spec.duration) / 8.0
+            for flow in exp.network.flows
+        )
+        delivered = sum(flow.delivered_bytes for flow in exp.network.flows)
+
+        return ScenarioResult(
+            name=spec.name,
+            seed=spec.seed,
+            sim_seconds=result.report.simulated_seconds,
+            events_fired=result.report.events_fired,
+            recomputations=exp.network.recomputations,
+            converged=converged,
+            convergence_time=convergence_time,
+            flows_delivered=result.flows_delivered,
+            flows_total=result.flows_total,
+            delivered_bytes=delivered,
+            demanded_bytes=demanded,
+            injections=outcomes,
+            wall_seconds=_time.perf_counter() - start_wall,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _setup_protocol(exp: Experiment, spec: ScenarioSpec) -> None:
+        kind = spec.protocol.kind
+        params = dict(spec.protocol.params)
+        if kind == "bgp":
+            params.setdefault("seed", spec.seed)
+            setup_bgp_for_routers(exp, **params)
+        elif kind == "ospf":
+            setup_ospf_for_routers(exp, **params)
+        elif kind == "sdn":
+            from repro.controllers.ecmp import FiveTupleEcmpApp
+
+            app = FiveTupleEcmpApp(exp.topology_view(),
+                                   hash_seed=params.get("hash_seed",
+                                                        spec.seed))
+            exp.use_controller(apps=[app])
+        elif kind != "none":
+            raise ConfigurationError(f"unknown protocol kind {kind!r}")
+
+    @staticmethod
+    def _setup_traffic(exp: Experiment, spec: ScenarioSpec) -> None:
+        recipe = spec.traffic
+        if recipe.pattern == "none":
+            return
+        hosts = [host.name for host in exp.network.hosts()]
+        rng = random.Random(spec.seed)
+        pairs = recipe.make_pairs(hosts, rng)
+        if not pairs:
+            return
+        flows = cbr_udp_flows(
+            exp.network, pairs,
+            spec=TrafficSpec(
+                rate_bps=recipe.rate_bps,
+                start_time=recipe.start_time,
+                duration=recipe.duration,
+                stagger=recipe.stagger,
+            ),
+            rng=rng,
+        )
+        exp.flows.extend(flows)
+
+    @staticmethod
+    def _check_recovery(exp: Experiment,
+                        outcomes: List[InjectionOutcome],
+                        now: float) -> None:
+        """Reallocation hook: when every flow that should be running is
+        delivered, any still-open disruption at or before ``now`` has
+        recovered.
+
+        An instant with no active flows proves nothing (a blackholed
+        network looks identical to a healthy one once traffic ends),
+        so recovery is only ever concluded from delivered traffic —
+        a disruption never observed healed stays unrecovered.
+        """
+        active = exp.network.active_flows()
+        if not active:
+            return
+        healthy = all(
+            flow.path is not None and flow.path.delivered
+            for flow in active
+        )
+        if not healthy:
+            return
+        for outcome in outcomes:
+            if outcome.recovered_at is None and outcome.at <= now + _EPS:
+                outcome.recovered_at = now
+
+    @staticmethod
+    def _convergence(exp: Experiment,
+                     spec: ScenarioSpec) -> "tuple[bool, Optional[float]]":
+        if spec.protocol.kind == "bgp":
+            report = bgp_convergence(exp)
+            return report.converged, report.all_sessions_up_at
+        if spec.protocol.kind == "ospf":
+            report = ospf_convergence(exp)
+            return report.converged, report.all_sessions_up_at
+        return True, None
+
+    @staticmethod
+    def _offered_window(flow: FluidFlow, horizon: float) -> float:
+        """Seconds of [0, horizon] the flow wanted to send for."""
+        end = horizon if flow.end_time is None else min(flow.end_time, horizon)
+        return max(0.0, end - flow.start_time)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience: run one spec with a fresh runner."""
+    return ScenarioRunner().run(spec)

@@ -1,0 +1,251 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is a complete experiment as *data*: which
+topology to build, which control plane to run on it, what traffic to
+offer, which faults to inject when, how long to simulate, and the seed
+that pins down every random choice.  Specs round-trip through JSON, so
+campaigns can be saved, diffed, shipped to worker processes, and any
+single scenario can be re-run bit-for-bit from its serialized form.
+
+The topology/protocol/traffic thirds are *recipes* — a registry name
+plus keyword parameters — rather than live objects, because a spec
+must stay picklable and JSON-serializable to fan out across a
+:class:`~repro.scenarios.campaign.Campaign`'s worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios.injections import Injection, injection_from_dict
+from repro.topology.builders import (
+    jellyfish_topo,
+    leaf_spine_topo,
+    linear_topo,
+    star_topo,
+    tree_topo,
+    wan_topo,
+)
+from repro.topology.fattree import FatTreeTopo
+from repro.topology.topo import Topo
+from repro.traffic import patterns
+
+
+def _fattree(**params) -> Topo:
+    return FatTreeTopo(**params)
+
+
+# Registry: recipe kind -> builder callable returning a Topo.
+TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topo]] = {
+    "linear": linear_topo,
+    "star": star_topo,
+    "tree": tree_topo,
+    "leafspine": leaf_spine_topo,
+    "wan": wan_topo,
+    "jellyfish": jellyfish_topo,
+    "fattree": _fattree,
+}
+
+PROTOCOL_KINDS = ("none", "bgp", "ospf", "sdn")
+
+TRAFFIC_PATTERNS = ("none", "permutation", "stride", "random",
+                    "all_to_one", "one_to_all", "pairs")
+
+
+@dataclass
+class TopologyRecipe:
+    """How to build the topology: a builder name + its parameters."""
+
+    kind: str = "wan"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Topo:
+        """Materialize the described :class:`Topo`."""
+        try:
+            builder = TOPOLOGY_BUILDERS[self.kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown topology kind {self.kind!r}; "
+                f"choose from {sorted(TOPOLOGY_BUILDERS)}") from None
+        return builder(**self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologyRecipe":
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass
+class ProtocolRecipe:
+    """Which control plane to run and with what timers.
+
+    ``params`` are forwarded to the matching setup helper:
+    :func:`~repro.api.control_setup.setup_bgp_for_routers` for
+    ``bgp``, :func:`~repro.api.control_setup.setup_ospf_for_routers`
+    for ``ospf``.  ``sdn`` attaches an OpenFlow controller running
+    five-tuple ECMP; ``none`` leaves forwarding state untouched.
+    """
+
+    kind: str = "ospf"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind not in PROTOCOL_KINDS:
+            raise ConfigurationError(
+                f"unknown protocol kind {self.kind!r}; "
+                f"choose from {PROTOCOL_KINDS}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProtocolRecipe":
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass
+class TrafficRecipe:
+    """What traffic to offer: a pattern over the topology's hosts.
+
+    The (src, dst) pairs come from :mod:`repro.traffic.patterns`,
+    seeded by the scenario seed, except ``pairs`` which lists them
+    explicitly.  Each pair becomes one CBR UDP flow.
+    """
+
+    pattern: str = "permutation"
+    rate_bps: float = 500_000_000.0
+    start_time: float = 1.0
+    duration: float = 30.0
+    stagger: float = 0.0
+    stride: int = 1                     # for pattern == "stride"
+    pairs: List[List[str]] = field(default_factory=list)  # for "pairs"
+
+    def validate(self) -> None:
+        if self.pattern not in TRAFFIC_PATTERNS:
+            raise ConfigurationError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"choose from {TRAFFIC_PATTERNS}")
+        if self.pattern != "none" and self.rate_bps <= 0:
+            raise ConfigurationError("traffic rate_bps must be positive")
+
+    def make_pairs(self, hosts: Sequence[str],
+                   rng: random.Random) -> List[Tuple[str, str]]:
+        """The (src, dst) host pairs this recipe describes."""
+        if self.pattern == "none":
+            return []
+        if self.pattern == "pairs":
+            return [(src, dst) for src, dst in self.pairs]
+        if self.pattern == "permutation":
+            return patterns.permutation_pairs(hosts, rng=rng)
+        if self.pattern == "stride":
+            return patterns.stride_pairs(hosts, stride=self.stride)
+        if self.pattern == "random":
+            return patterns.random_pairs(hosts, rng=rng)
+        if self.pattern == "all_to_one":
+            return patterns.all_to_one_pairs(hosts)
+        if self.pattern == "one_to_all":
+            return patterns.one_to_all_pairs(hosts)
+        raise ConfigurationError(f"unknown traffic pattern {self.pattern!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "rate_bps": self.rate_bps,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "stagger": self.stagger,
+            "stride": self.stride,
+            "pairs": [list(pair) for pair in self.pairs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrafficRecipe":
+        return cls(
+            pattern=data.get("pattern", "permutation"),
+            rate_bps=data.get("rate_bps", 500_000_000.0),
+            start_time=data.get("start_time", 1.0),
+            duration=data.get("duration", 30.0),
+            stagger=data.get("stagger", 0.0),
+            stride=data.get("stride", 1),
+            pairs=[list(pair) for pair in data.get("pairs", [])],
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """One complete, reproducible experiment as data."""
+
+    name: str = "scenario"
+    seed: int = 0
+    duration: float = 40.0              # simulated horizon in seconds
+    topology: TopologyRecipe = field(default_factory=TopologyRecipe)
+    protocol: ProtocolRecipe = field(default_factory=ProtocolRecipe)
+    traffic: TrafficRecipe = field(default_factory=TrafficRecipe)
+    injections: List[Injection] = field(default_factory=list)
+    # Extra SimulationConfig fields (fti_increment, des_fallback_timeout,
+    # stats_interval...); the scenario seed always wins over any "seed"
+    # given here.
+    sim_params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsense values."""
+        if self.duration <= 0:
+            raise ConfigurationError("scenario duration must be positive")
+        self.protocol.validate()
+        self.traffic.validate()
+        for injection in self.injections:
+            injection.validate()
+            if injection.last_effect_at() > self.duration:
+                raise ConfigurationError(
+                    f"injection {injection.label()} still acts at "
+                    f"t={injection.last_effect_at():g} after the scenario "
+                    f"ends (duration {self.duration})")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "duration": self.duration,
+            "topology": self.topology.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "injections": [inj.to_dict() for inj in self.injections],
+            "sim_params": dict(self.sim_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data.get("name", "scenario"),
+            seed=data.get("seed", 0),
+            duration=data.get("duration", 40.0),
+            topology=TopologyRecipe.from_dict(data["topology"]),
+            protocol=ProtocolRecipe.from_dict(data["protocol"]),
+            traffic=TrafficRecipe.from_dict(data["traffic"]),
+            injections=[injection_from_dict(d)
+                        for d in data.get("injections", [])],
+            sim_params=dict(data.get("sim_params", {})),
+        )
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        """Serialize; ``from_json`` of the result reproduces the spec."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ScenarioSpec {self.name!r} seed={self.seed} "
+            f"topo={self.topology.kind} proto={self.protocol.kind} "
+            f"injections={len(self.injections)}>"
+        )

@@ -1,0 +1,250 @@
+"""Integration: the scenario runner — materialization, injections
+acting on real protocols, recovery measurement, node failure."""
+
+import pytest
+
+from repro.api import Experiment, setup_bgp_for_routers
+from repro.core import SimulationConfig
+from repro.core.errors import ConfigurationError
+from repro.scenarios import (
+    CapacityDegrade,
+    LinkFail,
+    NodeFail,
+    NodeRecover,
+    Partition,
+    ProtocolRecipe,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologyRecipe,
+    TrafficBurst,
+    TrafficRecipe,
+    run_scenario,
+)
+
+
+def wan_ospf_spec(injections, duration=35.0, seed=0,
+                  traffic_pattern="pairs", pairs=None):
+    return ScenarioSpec(
+        name="itest",
+        seed=seed,
+        duration=duration,
+        topology=TopologyRecipe("wan", {}),
+        protocol=ProtocolRecipe("ospf", {"hello_interval": 1.0,
+                                         "dead_interval": 4.0}),
+        traffic=TrafficRecipe(
+            pattern=traffic_pattern,
+            pairs=pairs or [["h_seattle", "h_newyork"]],
+            rate_bps=5e8,
+            start_time=2.0,
+            duration=duration - 4.0,
+        ),
+        injections=injections,
+    )
+
+
+class TestRunnerBasics:
+    def test_converges_and_delivers_without_injections(self):
+        result = run_scenario(wan_ospf_spec([]))
+        assert result.converged
+        assert result.flows_delivered == result.flows_total == 1
+        assert result.delivered_fraction > 0.95
+
+    def test_link_fail_measures_recovery(self):
+        # The Seattle->NewYork shortest path crosses chicago-newyork;
+        # cutting it forces the southern detour after the dead interval.
+        result = run_scenario(wan_ospf_spec(
+            [LinkFail(at=12.0, node_a="chicago", node_b="newyork")]))
+        assert len(result.injections) == 1
+        outcome = result.injections[0]
+        assert outcome.at == pytest.approx(12.0)
+        assert outcome.recovered_at is not None
+        # dead interval is 4 s: recovery cannot be faster, nor absurd
+        assert 3.0 < outcome.recovery_seconds < 15.0
+        assert result.delivered_fraction < 0.99  # the outage cost bytes
+
+    def test_unrecovered_outage_stays_unrecovered(self):
+        """A permanently blackholed flow must not be reported as
+        recovered just because traffic eventually ends (an empty
+        network proves nothing about health)."""
+        result = run_scenario(wan_ospf_spec([
+            LinkFail(at=10.0, node_a="seattle", node_b="sunnyvale"),
+            LinkFail(at=10.0, node_a="seattle", node_b="denver"),
+        ], duration=30.0))
+        # Seattle is severed: both cuts must remain unrecovered.
+        assert result.recovered_count == 0
+        assert all(o.recovered_at is None for o in result.injections)
+        assert result.delivered_fraction < 0.5
+
+    def test_materialize_exposes_network(self):
+        runner = ScenarioRunner()
+        exp, outcomes = runner.materialize(wan_ospf_spec(
+            [LinkFail(at=12.0, node_a="chicago", node_b="newyork")]))
+        assert isinstance(exp, Experiment)
+        assert len(exp.network.links) == 25  # 14 fabric + 11 host uplinks
+        assert len(outcomes) == 1
+        assert exp.ospf_daemons
+
+    def test_unknown_protocol_rejected(self):
+        spec = wan_ospf_spec([])
+        spec.protocol.kind = "rip"
+        with pytest.raises(ConfigurationError):
+            run_scenario(spec)
+
+
+class TestNodeFailureInjection:
+    def test_node_fail_reroutes_and_recovery(self):
+        # Chicago is on the shortest Seattle->NewYork path; killing the
+        # whole router must detour traffic, and recovering it must not
+        # break anything.
+        result = run_scenario(wan_ospf_spec([
+            NodeFail(at=10.0, node="chicago"),
+            NodeRecover(at=20.0, node="chicago"),
+        ]))
+        assert result.converged
+        assert result.recovered_count == 2
+        fail_outcome = result.injections[0]
+        assert "node-fail chicago" in fail_outcome.label
+        assert fail_outcome.recovery_seconds > 3.0  # dead interval
+
+    def test_experiment_fail_node_api(self):
+        """fail_node is first-class and symmetric with fail_link."""
+        exp = Experiment("square", config=SimulationConfig())
+        for name, rid in (("r1", "1.1.1.1"), ("r2", "2.2.2.2"),
+                          ("r3", "3.3.3.3"), ("r4", "4.4.4.4")):
+            exp.add_router(name, router_id=rid)
+        exp.add_host("h1", "10.1.0.10")
+        exp.add_host("h4", "10.4.0.10")
+        exp.add_link("h1", "r1")
+        exp.add_link("h4", "r4")
+        for a, b in (("r1", "r2"), ("r2", "r4"), ("r1", "r3"), ("r3", "r4")):
+            exp.add_link(a, b)
+        daemons = setup_bgp_for_routers(
+            exp, asn_map={"r1": 65001, "r2": 65002, "r3": 65003,
+                          "r4": 65004},
+            hold_time=3.0, keepalive_interval=1.0,
+        )
+        flow = exp.add_flow("h1", "h4", rate_bps=5e8, start_time=0.0,
+                            duration=80.0)
+        exp.run(until=6.0)
+        assert flow.path.delivered
+        transit = flow.path.node_names()[2]  # h1 r1 <transit> r4 h4
+        other = "r3" if transit == "r2" else "r2"
+
+        exp.fail_node(transit)
+        assert not exp.network.get_node(transit).up
+        exp.run(until=25.0)
+        assert flow.path.delivered
+        assert transit not in flow.path.node_names()
+        assert other in flow.path.node_names()
+
+        exp.restore_node(transit)
+        assert exp.network.get_node(transit).up
+        exp.run(until=60.0)
+        assert all(d.all_established() for d in daemons.values())
+
+    def test_scheduled_node_failure(self):
+        exp = Experiment("sched", config=SimulationConfig())
+        exp.add_host("h1", "10.0.0.1")
+        exp.add_host("h2", "10.0.0.2")
+        exp.add_link("h1", "h2")
+        exp.fail_node("h2", at=5.0)
+        exp.run(until=4.0)
+        assert exp.network.get_node("h2").up
+        exp.run(until=6.0)
+        assert not exp.network.get_node("h2").up
+        assert not exp.network.links[0].up
+
+
+class TestGrayFailureInjection:
+    def test_capacity_degrade_throttles_without_cutting(self):
+        runner = ScenarioRunner()
+        spec = wan_ospf_spec(
+            [CapacityDegrade(at=10.0, node_a="chicago", node_b="newyork",
+                             factor=0.2, until=20.0)])
+        exp, __ = runner.materialize(spec)
+        flow = exp.network.flows[0]
+        exp.run(until=8.0)
+        path_before = flow.path.node_names()
+        assert flow.rate_bps == pytest.approx(5e8)
+
+        exp.run(until=15.0)
+        # Gray failure: routing never notices, the path is unchanged
+        # (the 2 Gbps degraded cap still exceeds the 0.5 Gbps demand).
+        assert flow.path.node_names() == path_before
+
+        link = exp._find_link("chicago", "newyork")
+        assert link.capacity_bps == pytest.approx(link.nominal_capacity_bps
+                                                  * 0.2)
+        exp.run(until=25.0)
+        assert link.capacity_bps == pytest.approx(link.nominal_capacity_bps)
+
+    def test_degrade_below_demand_squeezes_rate(self):
+        exp = Experiment("squeeze", config=SimulationConfig())
+        h1 = exp.add_host("h1", "10.0.0.1", gateway=None)
+        h2 = exp.add_host("h2", "10.0.0.2", gateway=None)
+        exp.add_link(h1, h2, capacity_bps=1e9)
+        flow = exp.add_flow("h1", "h2", rate_bps=8e8, start_time=0.0,
+                            duration=20.0)
+        exp.run(until=2.0)
+        assert flow.rate_bps == pytest.approx(8e8)
+        exp.degrade_link("h1", "h2", factor=0.5)  # 500 Mbps < 800 Mbps
+        exp.run(until=4.0)
+        assert flow.rate_bps == pytest.approx(5e8)
+        assert flow.path.delivered  # gray: still delivered, just slower
+
+    def test_bad_factor_rejected(self):
+        exp = Experiment("bad", config=SimulationConfig())
+        exp.add_host("h1", "10.0.0.1")
+        exp.add_host("h2", "10.0.0.2")
+        exp.add_link("h1", "h2")
+        with pytest.raises(ConfigurationError):
+            exp.degrade_link("h1", "h2", factor=1.5)
+
+
+class TestPartitionInjection:
+    WEST = ["seattle", "sunnyvale", "losangeles", "denver",
+            "h_seattle", "h_sunnyvale", "h_losangeles", "h_denver"]
+
+    def test_partition_blackholes_then_heals(self):
+        result = run_scenario(wan_ospf_spec(
+            [Partition(at=10.0, group=self.WEST, heal_at=18.0)],
+            duration=40.0))
+        cut, heal = result.injections
+        # While partitioned, Seattle cannot reach New York at all: the
+        # cut only recovers after the heal replugs the boundary.
+        assert cut.recovered_at is not None
+        assert cut.recovered_at >= 18.0
+        assert heal.recovered_at is not None
+        assert result.delivered_fraction < 0.85
+
+    def test_partition_without_crossing_links_rejected(self):
+        spec = wan_ospf_spec(
+            [Partition(at=10.0, group=["nowhere"], heal_at=18.0)])
+        with pytest.raises(ConfigurationError):
+            run_scenario(spec)
+
+
+class TestTrafficBurstInjection:
+    def test_burst_adds_flows_mid_run(self):
+        spec = wan_ospf_spec(
+            [TrafficBurst(at=10.0, duration=8.0, rate_bps=2e8, flows=5,
+                          seed=3)])
+        runner = ScenarioRunner()
+        exp, __ = runner.materialize(spec)
+        assert len(exp.network.flows) == 6  # 1 base + 5 burst
+        exp.run(until=14.0)
+        active = exp.network.active_flows()
+        assert len(active) == 6
+        result_bytes = sum(f.delivered_bytes for f in exp.network.flows)
+        assert result_bytes > 0
+
+    def test_burst_pairs_deterministic(self):
+        spec = wan_ospf_spec(
+            [TrafficBurst(at=10.0, duration=8.0, rate_bps=2e8, flows=5,
+                          seed=3)])
+        runner = ScenarioRunner()
+        exp1, __ = runner.materialize(spec)
+        keys1 = [(f.src.name, f.dst.name) for f in exp1.network.flows]
+        exp2, __ = runner.materialize(spec)
+        keys2 = [(f.src.name, f.dst.name) for f in exp2.network.flows]
+        assert keys1 == keys2

@@ -52,6 +52,67 @@ class TestCli:
         parser = cli.build_parser()
         assert parser.prog == "repro"
 
+    def test_version_flag(self):
+        import repro
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            with pytest.raises(SystemExit) as excinfo:
+                cli.main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in buffer.getvalue()
+
+
+class TestScenarioCli:
+    def test_scenario_run_by_seed(self):
+        code, out = run_cli(["scenario", "run", "--seed", "6",
+                             "--duration", "30"])
+        assert code == 0
+        assert "k-random-links-seed6" in out
+        assert "recovery" in out
+        assert "fp=" in out
+
+    def test_scenario_run_reproduces_sweep_line(self):
+        """A sweep line re-run by its seed matches bit-for-bit."""
+        args = ["--pattern", "flap-storm", "--duration", "30"]
+        code, swept = run_cli(["scenario", "sweep", "--count", "3",
+                               "--workers", "2"] + args)
+        assert code == 0
+        code, solo = run_cli(["scenario", "run", "--seed", "1"] + args)
+        assert code == 0
+        sweep_line = next(line for line in swept.splitlines()
+                          if "seed1 " in line)
+        assert sweep_line.split("fp=")[1].strip() in solo
+
+    def test_scenario_sweep_summary(self):
+        code, out = run_cli(["scenario", "sweep", "--count", "4",
+                             "--workers", "2", "--duration", "30"])
+        assert code == 0
+        assert "4 scenarios on 2 worker(s)" in out
+        assert "reproduce any line" in out
+
+    def test_scenario_spec_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        code, first = run_cli(["scenario", "run", "--seed", "9",
+                               "--duration", "30",
+                               "--save-spec", str(path)])
+        assert code == 0
+        code, second = run_cli(["scenario", "run", "--spec", str(path)])
+        assert code == 0
+        assert first.splitlines()[0] == second.splitlines()[0]
+
+    def test_scenario_run_json_output(self):
+        import json
+        code, out = run_cli(["scenario", "run", "--seed", "2",
+                             "--duration", "30", "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["seed"] == 2
+        assert payload["converged"] is True
+
+    def test_bad_pattern_param_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["scenario", "run", "--pattern-param", "nonsense"])
+
 
 class TestStatsExport:
     def make_collector(self):

@@ -107,6 +107,17 @@ class TestEventQueue:
         with pytest.raises(SchedulingError):
             queue.validate_not_past(event, now=2.0)
 
+    def test_seq_is_per_queue(self):
+        """Each queue numbers its events from zero, so traces do not
+        depend on how many simulations ran earlier in the process."""
+        first_queue = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            first_queue.push(CallbackEvent(t, lambda: None))
+        second_queue = EventQueue()
+        event = second_queue.push(CallbackEvent(1.0, lambda: None))
+        assert event.seq == 0
+        assert [first_queue.pop().seq for __ in range(3)] == [0, 1, 2]
+
 
 class TestHybridClock:
     def test_starts_in_des_for_hybrid(self):

@@ -1,0 +1,203 @@
+"""Unit tests: scenario specs, recipes and the injection library's
+serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios import (
+    CapacityDegrade,
+    LinkFail,
+    LinkFlap,
+    LinkRestore,
+    NodeFail,
+    NodeRecover,
+    Partition,
+    ProtocolRecipe,
+    ScenarioSpec,
+    TopologyRecipe,
+    TrafficBurst,
+    TrafficRecipe,
+    injection_from_dict,
+)
+
+ALL_INJECTIONS = [
+    LinkFail(at=5.0, node_a="r1", node_b="r2"),
+    LinkRestore(at=9.0, node_a="r1", node_b="r2"),
+    LinkFlap(at=4.0, node_a="a", node_b="b", cycles=5, period=2.0, duty=0.25),
+    NodeFail(at=3.0, node="core1"),
+    NodeRecover(at=8.0, node="core1"),
+    Partition(at=6.0, group=["r1", "r2"], heal_at=12.0),
+    CapacityDegrade(at=2.0, node_a="x", node_b="y", factor=0.3, until=10.0),
+    TrafficBurst(at=7.0, duration=4.0, rate_bps=1e8, flows=3, seed=11),
+]
+
+
+class TestInjectionRoundTrips:
+    @pytest.mark.parametrize("injection", ALL_INJECTIONS,
+                             ids=lambda i: i.kind)
+    def test_dict_round_trip(self, injection):
+        data = injection.to_dict()
+        again = injection_from_dict(data)
+        assert again == injection
+        assert type(again) is type(injection)
+
+    @pytest.mark.parametrize("injection", ALL_INJECTIONS,
+                             ids=lambda i: i.kind)
+    def test_dict_is_json_safe(self, injection):
+        text = json.dumps(injection.to_dict())
+        assert injection_from_dict(json.loads(text)) == injection
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            injection_from_dict({"kind": "meteor-strike", "at": 1.0})
+
+    def test_labels_are_distinct(self):
+        labels = [injection.label() for injection in ALL_INJECTIONS]
+        assert len(set(labels)) == len(labels)
+
+
+class TestInjectionValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkFail(at=-1.0, node_a="a", node_b="b").validate()
+
+    def test_flap_duty_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LinkFlap(at=1.0, node_a="a", node_b="b", duty=1.5).validate()
+
+    def test_flap_needs_cycles(self):
+        with pytest.raises(ConfigurationError):
+            LinkFlap(at=1.0, node_a="a", node_b="b", cycles=0).validate()
+
+    def test_partition_needs_group(self):
+        with pytest.raises(ConfigurationError):
+            Partition(at=1.0, group=[]).validate()
+
+    def test_partition_heal_ordering(self):
+        with pytest.raises(ConfigurationError):
+            Partition(at=5.0, group=["a"], heal_at=2.0).validate()
+
+    def test_degrade_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CapacityDegrade(at=1.0, node_a="a", node_b="b",
+                            factor=0.0).validate()
+
+    def test_burst_needs_flows_or_pairs(self):
+        with pytest.raises(ConfigurationError):
+            TrafficBurst(at=1.0, flows=0).validate()
+
+
+class TestTopologyRecipe:
+    @pytest.mark.parametrize("kind,params,expect_nodes", [
+        ("wan", {}, 22),                                     # 11 cities + hosts
+        ("linear", {"num_switches": 3}, 6),
+        ("star", {"num_hosts": 4}, 5),
+        ("leafspine", {"num_spines": 2, "num_leaves": 2,
+                       "hosts_per_leaf": 1}, 6),
+        ("fattree", {"k": 4}, 36),
+    ])
+    def test_build(self, kind, params, expect_nodes):
+        topo = TopologyRecipe(kind, params).build()
+        assert topo.node_count() == expect_nodes
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologyRecipe("torus", {}).build()
+
+    def test_round_trip(self):
+        recipe = TopologyRecipe("fattree", {"k": 6, "device": "router"})
+        assert TopologyRecipe.from_dict(recipe.to_dict()) == recipe
+
+
+class TestTrafficRecipe:
+    HOSTS = ["h0", "h1", "h2", "h3"]
+
+    def test_permutation_is_derangement(self):
+        import random
+        recipe = TrafficRecipe(pattern="permutation")
+        pairs = recipe.make_pairs(self.HOSTS, random.Random(1))
+        assert len(pairs) == 4
+        assert all(src != dst for src, dst in pairs)
+
+    def test_explicit_pairs(self):
+        import random
+        recipe = TrafficRecipe(pattern="pairs", pairs=[["h0", "h2"]])
+        assert recipe.make_pairs(self.HOSTS,
+                                 random.Random(1)) == [("h0", "h2")]
+
+    def test_none_pattern_empty(self):
+        import random
+        recipe = TrafficRecipe(pattern="none")
+        assert recipe.make_pairs(self.HOSTS, random.Random(1)) == []
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficRecipe(pattern="gossip").validate()
+
+    def test_round_trip(self):
+        recipe = TrafficRecipe(pattern="stride", stride=2, rate_bps=1e8,
+                               stagger=0.5)
+        assert TrafficRecipe.from_dict(recipe.to_dict()) == recipe
+
+
+class TestScenarioSpecRoundTrip:
+    def make_spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="roundtrip",
+            seed=17,
+            duration=30.0,
+            topology=TopologyRecipe("wan", {}),
+            protocol=ProtocolRecipe("ospf", {"hello_interval": 1.0,
+                                             "dead_interval": 4.0}),
+            traffic=TrafficRecipe(pattern="permutation", rate_bps=2e8,
+                                  duration=25.0),
+            injections=list(ALL_INJECTIONS),
+            sim_params={"fti_increment": 0.002},
+        )
+
+    def test_json_round_trip(self):
+        spec = self.make_spec()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        # and the serialized forms agree exactly too
+        assert again.to_json() == spec.to_json()
+
+    def test_dict_round_trip(self):
+        spec = self.make_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validate_accepts_good_spec(self):
+        self.make_spec().validate()
+
+    def test_validate_rejects_late_injection(self):
+        spec = self.make_spec()
+        spec.injections = [LinkFail(at=99.0, node_a="a", node_b="b")]
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    @pytest.mark.parametrize("injection", [
+        # starts in time, but keeps acting past the 30 s horizon
+        LinkFlap(at=10.0, node_a="a", node_b="b", cycles=5, period=8.0),
+        Partition(at=10.0, group=["a"], heal_at=35.0),
+        CapacityDegrade(at=10.0, node_a="a", node_b="b", factor=0.5,
+                        until=35.0),
+    ], ids=lambda i: i.kind)
+    def test_validate_rejects_effects_past_horizon(self, injection):
+        spec = self.make_spec()
+        spec.injections = [injection]
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_validate_rejects_bad_protocol(self):
+        spec = self.make_spec()
+        spec.protocol = ProtocolRecipe("rip", {})
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_validate_rejects_bad_duration(self):
+        spec = self.make_spec()
+        spec.duration = 0.0
+        with pytest.raises(ConfigurationError):
+            spec.validate()
