@@ -36,6 +36,12 @@ class SimulationConfig:
         patterns, jitter); guarantees reproducibility.
     max_events:
         Safety valve: abort after this many fired events (0 = off).
+    incremental_realloc:
+        Use the incremental fluid reallocation engine (dirty-flow
+        tracking + component-scoped max-min solves).  False forces a
+        full walk-and-solve on every reallocation — the pre-PR-2
+        behaviour, kept for A/B benchmarks and as a paranoia fallback.
+        Results are identical either way.
     """
 
     fti_increment: float = 0.001
@@ -45,6 +51,7 @@ class SimulationConfig:
     stats_interval: float = 0.5
     seed: int = 42
     max_events: int = 0
+    incremental_realloc: bool = True
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on nonsense values."""

@@ -47,7 +47,7 @@ class Event:
     queue's own counter (per-simulation determinism).
     """
 
-    __slots__ = ("time", "priority", "seq", "cancelled")
+    __slots__ = ("time", "priority", "seq", "cancelled", "queue")
 
     def __init__(self, time: float, priority: int = PRIORITY_DEFAULT):
         if time < 0:
@@ -56,6 +56,10 @@ class Event:
         self.priority = priority
         self.seq = _next_seq()
         self.cancelled = False
+        # The EventQueue currently holding this event (set on push,
+        # cleared on pop), so cancellation can keep the queue's live
+        # counter exact without a heap scan.
+        self.queue = None
 
     def sort_key(self) -> tuple:
         """The deterministic total-order key."""
@@ -63,7 +67,11 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancelled()
 
     def fire(self, sim: "Simulation") -> None:
         """Execute the event's effect.  Subclasses must override."""

@@ -3,6 +3,12 @@
 The queue is the heart of the DES half of the engine.  It orders events
 by ``(time, priority, seq)`` and supports O(log n) push/pop plus O(1)
 cancellation (cancelled events are dropped when they surface).
+
+The live count is maintained exactly: push/pop adjust it directly and
+:meth:`Event.cancel` notifies the owning queue, so ``len(queue)`` is
+O(1) instead of a heap scan.  When cancelled entries outnumber live
+ones (BGP keepalive churn cancels millions of timers), the queue
+compacts itself automatically, bounding heap growth.
 """
 
 from __future__ import annotations
@@ -13,6 +19,11 @@ from typing import Iterator, Optional
 
 from repro.core.errors import SchedulingError
 from repro.core.events import Event
+
+# Auto-compaction never fires below this raw heap size: tiny heaps are
+# cheap to scan and compacting them constantly would cost more than it
+# saves.
+_COMPACT_MIN_HEAP = 64
 
 
 class EventQueue:
@@ -28,6 +39,11 @@ class EventQueue:
         self._pushed = 0
         self._popped = 0
         self._cancelled_seen = 0
+        # Exact number of live (non-cancelled) events in the heap, and
+        # the number of cancelled entries still physically present.
+        self._live = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
         self._seq = itertools.count()
 
     def push(self, event: Event) -> Event:
@@ -38,8 +54,13 @@ class EventQueue:
         simulation.
         """
         event.seq = next(self._seq)
+        event.queue = self
         heapq.heappush(self._heap, event)
         self._pushed += 1
+        if event.cancelled:
+            self._cancelled_pending += 1
+        else:
+            self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -49,10 +70,13 @@ class EventQueue:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.queue = None
             if event.cancelled:
                 self._cancelled_seen += 1
+                self._cancelled_pending -= 1
                 continue
             self._popped += 1
+            self._live -= 1
             return event
         return None
 
@@ -62,7 +86,9 @@ class EventQueue:
             event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
+                event.queue = None
                 self._cancelled_seen += 1
+                self._cancelled_pending -= 1
                 continue
             return event
         return None
@@ -75,12 +101,11 @@ class EventQueue:
         return event.time
 
     def __len__(self) -> int:
-        # Live length is approximate while cancelled events linger;
-        # compact on demand if the exact count matters.
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Exact number of live events — O(1)."""
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek() is not None
+        return self._live > 0
 
     def __iter__(self) -> Iterator[Event]:
         """Iterate over live events in firing order (non-destructive)."""
@@ -88,14 +113,39 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event.queue = None
         self._heap.clear()
+        self._live = 0
+        self._cancelled_pending = 0
 
     def compact(self) -> None:
-        """Physically remove cancelled events (occasionally useful when
-        millions of timers get cancelled, e.g. BGP keepalive churn)."""
-        live = [event for event in self._heap if not event.cancelled]
+        """Physically remove cancelled events.
+
+        Called automatically when cancelled entries exceed half the raw
+        heap; also available for callers that want a tight heap before
+        a long quiescent period.
+        """
+        live = []
+        for event in self._heap:
+            if event.cancelled:
+                event.queue = None
+                self._cancelled_seen += 1
+            else:
+                live.append(event)
         heapq.heapify(live)
         self._heap = live
+        self._cancelled_pending = 0
+        self._compactions += 1
+
+    def _note_cancelled(self) -> None:
+        """Event.cancel() hook: keep the live count exact and compact
+        when garbage dominates the heap."""
+        self._live -= 1
+        self._cancelled_pending += 1
+        if (len(self._heap) >= _COMPACT_MIN_HEAP
+                and self._cancelled_pending * 2 > len(self._heap)):
+            self.compact()
 
     @property
     def stats(self) -> dict:
@@ -105,6 +155,9 @@ class EventQueue:
             "popped": self._popped,
             "cancelled_seen": self._cancelled_seen,
             "pending_raw": len(self._heap),
+            "live": self._live,
+            "cancelled_pending": self._cancelled_pending,
+            "compactions": self._compactions,
         }
 
     def validate_not_past(self, event: Event, now: float) -> None:

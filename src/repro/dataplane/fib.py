@@ -47,6 +47,9 @@ class FIB:
         self._trie = PrefixTrie()
         self.installs = 0
         self.withdrawals = 0
+        # Bumped on every mutation; the incremental reallocation engine
+        # uses it to spot routers whose forwarding changed.
+        self.version = 0
 
     def install(
         self,
@@ -73,6 +76,7 @@ class FIB:
         entry = FIBEntry(prefix=IPv4Prefix(prefix), next_hops=tuple(normalized))
         self._trie.insert(entry.prefix, entry)
         self.installs += 1
+        self.version += 1
         return entry
 
     def withdraw(self, prefix: "IPv4Prefix | str") -> bool:
@@ -80,6 +84,7 @@ class FIB:
         removed = self._trie.delete(IPv4Prefix(prefix))
         if removed:
             self.withdrawals += 1
+            self.version += 1
         return removed
 
     def lookup(self, dst: "IPv4Address | str | int") -> Optional[FIBEntry]:
@@ -102,6 +107,7 @@ class FIB:
     def clear(self) -> None:
         """Flush the table."""
         self._trie.clear()
+        self.version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FIB entries={len(self)}>"

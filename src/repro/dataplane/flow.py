@@ -25,7 +25,7 @@ from repro.netproto.packet import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataplane.flowtable import FlowEntry
     from repro.dataplane.host import Host
-    from repro.dataplane.link import LinkDirection
+    from repro.dataplane.link import Link, LinkDirection
     from repro.dataplane.switch import Switch
 
 
@@ -48,6 +48,11 @@ class PathResult:
     entries: List[Tuple["Switch", "FlowEntry"]] = field(default_factory=list)
     miss_node: Optional[str] = None
     detail: str = ""
+    # The down link that stopped the walk, when the walk was stopped by
+    # one.  It is not in ``hops`` (the flow never crossed it) but the
+    # incremental reallocation engine must re-walk this flow when that
+    # link changes state, so it is part of the walk's dependency set.
+    blocking_link: Optional["Link"] = None
 
     @property
     def delivered(self) -> bool:

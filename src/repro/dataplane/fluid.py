@@ -17,13 +17,231 @@ defining properties and is used heavily by the property-based tests:
 * demand-boundedness — no flow exceeds its demand;
 * bottleneck justification — every flow not meeting its demand crosses
   at least one saturated link where it receives a maximal share.
+
+Kernel design (PR 2)
+--------------------
+
+The solver hot loop runs on **dense integer-indexed arrays**, not on
+the id-keyed dicts and sets of the original implementation:
+
+* callers intern flow and link ids to contiguous integers once per
+  solve (:func:`max_min_allocation` does this internally for its
+  mapping API; the incremental reallocation engine in
+  :mod:`repro.dataplane.realloc` builds the arrays directly from its
+  path cache);
+* per-link state is three flat lists — residual capacity, live member
+  count and a precomputed member array — plus a flow→links adjacency
+  list, so one filling round is a branchy scan over flat lists instead
+  of dict lookups and set algebra;
+* freezing a flow decrements the live counters of exactly the links on
+  its path (via the adjacency) rather than subtracting a set from every
+  link's member set, removing the O(rounds × links × flows) set churn
+  of the original progressive filling.
+
+Two kernels share the interned-array representation:
+
+* :func:`progressive_filling` — the original round-based filling with
+  its arithmetic preserved operation-for-operation, so
+  :func:`max_min_allocation` stays bit-for-bit identical to the
+  pre-PR-2 implementation on the existing property-test corpus.  Cost:
+  O(rounds × (flows + links)); with distinct demands rounds ≈ flows,
+  i.e. quadratic.
+* :func:`bottleneck_filling` — **bottleneck-ordered filling**, the
+  reallocation engine's kernel.  In progressive filling every active
+  flow carries the same water level λ; the next freeze is therefore
+  either the smallest remaining demand or the smallest link saturation
+  level (capacity − frozen load) / active members.  Two lazy heaps
+  order those events, so each flow is frozen once at
+  min(demand, bottleneck level) in O(path × log) — O(flows × hops ×
+  log) total instead of quadratic.  Same unique max-min allocation,
+  different (exact) float arithmetic.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+import heapq
+from typing import Dict, Hashable, List, Mapping, Sequence
 
 EPSILON = 1e-9
+
+
+def progressive_filling(
+    demands: Sequence[float],
+    residuals: List[float],
+    capacities: Sequence[float],
+    link_members: Sequence[Sequence[int]],
+    flow_links: Sequence[Sequence[int]],
+) -> List[float]:
+    """Array-kernel progressive filling over interned flow/link indices.
+
+    Parameters
+    ----------
+    demands:
+        per-flow demand, indexed 0..F-1.
+    residuals:
+        per-link residual capacity, indexed 0..L-1.  **Mutated in
+        place** (callers pass a fresh copy).
+    capacities:
+        per-link original capacity (for the saturation epsilon scale).
+    link_members:
+        per-link array of member flow indices (only flows with demand
+        above ``EPSILON``; duplicates must be pre-deduplicated).
+    flow_links:
+        per-flow array of link indices on its path (deduplicated).
+
+    Returns
+    -------
+    list
+        per-flow allocated rate.
+    """
+    num_flows = len(demands)
+    num_links = len(residuals)
+    rates = [0.0] * num_flows
+    # Zero-demand flows are born frozen at 0.
+    alive = [demands[i] > EPSILON for i in range(num_flows)]
+    active = [i for i in range(num_flows) if alive[i]]
+    live = [len(members) for members in link_members]
+
+    # Each round raises all active flows by the largest uniform
+    # increment any constraint allows, then freezes the flows that hit
+    # their constraint.  Every round freezes at least one flow, so the
+    # loop runs at most F times.
+    while active:
+        increment = min(demands[i] - rates[i] for i in active)
+        limiting: List[int] = []
+        for link in range(num_links):
+            count = live[link]
+            if count == 0:
+                continue
+            share = residuals[link] / count
+            if share < increment - EPSILON:
+                increment = share
+                limiting = [link]
+            elif share <= increment + EPSILON:
+                limiting.append(link)
+        if increment < 0:
+            increment = 0.0
+
+        for i in active:
+            rates[i] += increment
+        for link in range(num_links):
+            count = live[link]
+            if count:
+                residuals[link] -= increment * count
+                if residuals[link] < 0:
+                    residuals[link] = 0.0
+
+        frozen: List[int] = []
+        for i in active:
+            if rates[i] >= demands[i] - EPSILON:
+                rates[i] = demands[i]
+                if alive[i]:
+                    alive[i] = False
+                    frozen.append(i)
+        for link in limiting:
+            if residuals[link] <= EPSILON * max(1.0, capacities[link]):
+                for i in link_members[link]:
+                    if alive[i]:
+                        alive[i] = False
+                        frozen.append(i)
+        if not frozen:
+            # Zero-increment round with nothing freezing would spin
+            # forever; freeze the flows on the tightest link outright.
+            if limiting:
+                for link in limiting:
+                    for i in link_members[link]:
+                        if alive[i]:
+                            alive[i] = False
+                            frozen.append(i)
+            else:
+                for i in active:
+                    alive[i] = False
+                    frozen.append(i)
+        for i in frozen:
+            for link in flow_links[i]:
+                live[link] -= 1
+        active = [i for i in active if alive[i]]
+
+    return rates
+
+
+def bottleneck_filling(
+    demands: Sequence[float],
+    capacities: Sequence[float],
+    link_members: Sequence[Sequence[int]],
+    flow_links: Sequence[Sequence[int]],
+) -> List[float]:
+    """Bottleneck-ordered max-min filling over interned indices.
+
+    Equivalent allocation to :func:`progressive_filling` (max-min is
+    unique) but event-driven: the global water level λ jumps straight
+    to the next constraint — the smallest unfrozen demand or the
+    smallest link saturation level — instead of being raised round by
+    round.  Freezing a flow updates only the links on its own path.
+
+    Parameters as for :func:`progressive_filling`, except capacities
+    are not mutated (no residual array needed).
+    """
+    num_flows = len(demands)
+    num_links = len(capacities)
+    rates = [0.0] * num_flows
+    # Zero-demand flows are born frozen at 0.
+    frozen = [demands[i] <= EPSILON for i in range(num_flows)]
+    alive_count = [len(members) for members in link_members]
+    frozen_load = [0.0] * num_links
+    current_key = [0.0] * num_links  # latest valid sat-heap key per link
+
+    demand_heap = [(demands[i], i) for i in range(num_flows) if not frozen[i]]
+    heapq.heapify(demand_heap)
+    sat_heap: List = []
+
+    def push_sat(link: int) -> None:
+        count = alive_count[link]
+        if count > 0:
+            level = (capacities[link] - frozen_load[link]) / count
+            current_key[link] = level
+            heapq.heappush(sat_heap, (level, link))
+
+    for link in range(num_links):
+        push_sat(link)
+
+    level = 0.0  # monotonically non-decreasing water level
+
+    def freeze(i: int, rate: float) -> None:
+        frozen[i] = True
+        rates[i] = rate
+        for link in flow_links[i]:
+            frozen_load[link] += rate
+            alive_count[link] -= 1
+            push_sat(link)
+
+    while True:
+        while demand_heap and frozen[demand_heap[0][1]]:
+            heapq.heappop(demand_heap)
+        while sat_heap and (alive_count[sat_heap[0][1]] == 0
+                            or sat_heap[0][0] != current_key[sat_heap[0][1]]):
+            heapq.heappop(sat_heap)
+        if not demand_heap and not sat_heap:
+            break
+        # Ties freeze by demand: the flow then gets its full demand.
+        if sat_heap and (not demand_heap
+                         or sat_heap[0][0] < demand_heap[0][0]):
+            sat_level, link = heapq.heappop(sat_heap)
+            if sat_level > level:
+                level = sat_level  # clamp against float undershoot
+            for i in link_members[link]:
+                if not frozen[i]:
+                    # level can overshoot a member's demand only by
+                    # float noise; never exceed the demand.
+                    freeze(i, level if level < demands[i] else demands[i])
+        else:
+            demand, i = heapq.heappop(demand_heap)
+            if frozen[i]:
+                continue
+            if demand > level:
+                level = demand
+            freeze(i, demand)
+    return rates
 
 
 def max_min_allocation(
@@ -48,82 +266,47 @@ def max_min_allocation(
     dict
         flow id -> allocated rate.
     """
-    rates: Dict[Hashable, float] = {}
-    active: set = set()
-    for flow_id in flow_paths:
+    # Intern flows (mapping order) and links (first-reference order)
+    # to dense indices, then run the array kernel.
+    flow_ids = list(flow_paths)
+    demands: List[float] = []
+    for flow_id in flow_ids:
         demand = flow_demands[flow_id]
         if demand < 0:
             raise ValueError(f"negative demand for flow {flow_id!r}")
-        rates[flow_id] = 0.0
-        if demand > EPSILON:
-            active.add(flow_id)
-        # zero-demand flows are born frozen at 0
+        demands.append(demand)
 
-    residual: Dict[Hashable, float] = {}
-    link_members: Dict[Hashable, set] = {}
-    for flow_id, path in flow_paths.items():
-        for link_id in path:
-            if link_id not in residual:
+    link_index: Dict[Hashable, int] = {}
+    residuals: List[float] = []
+    capacities: List[float] = []
+    link_members: List[List[int]] = []
+    flow_links: List[List[int]] = []
+    for flow_pos, flow_id in enumerate(flow_ids):
+        member = demands[flow_pos] > EPSILON
+        links_here: List[int] = []
+        seen_here = set()
+        for link_id in flow_paths[flow_id]:
+            pos = link_index.get(link_id)
+            if pos is None:
                 capacity = link_capacities[link_id]
                 if capacity < 0:
                     raise ValueError(f"negative capacity for link {link_id!r}")
-                residual[link_id] = float(capacity)
-                link_members[link_id] = set()
-            if flow_id in active:
-                link_members[link_id].add(flow_id)
+                pos = len(residuals)
+                link_index[link_id] = pos
+                residuals.append(float(capacity))
+                capacities.append(capacity)
+                link_members.append([])
+            if pos in seen_here:
+                continue  # a path crossing a link twice counts once
+            seen_here.add(pos)
+            links_here.append(pos)
+            if member:
+                link_members[pos].append(flow_pos)
+        flow_links.append(links_here)
 
-    # Progressive filling: every round raises all active flows by the
-    # largest uniform increment any constraint allows, then freezes the
-    # flows that hit their constraint.  Each round freezes at least one
-    # flow, so the loop runs at most len(flows) times.
-    while active:
-        increment = min(flow_demands[f] - rates[f] for f in active)
-        limiting_links: List[Hashable] = []
-        for link_id, members in link_members.items():
-            live = len(members)
-            if live == 0:
-                continue
-            share = residual[link_id] / live
-            if share < increment - EPSILON:
-                increment = share
-                limiting_links = [link_id]
-            elif share <= increment + EPSILON:
-                limiting_links.append(link_id)
-        if increment < 0:
-            increment = 0.0
-
-        for flow_id in active:
-            rates[flow_id] += increment
-        for link_id, members in link_members.items():
-            if members:
-                residual[link_id] -= increment * len(members)
-                if residual[link_id] < 0:
-                    residual[link_id] = 0.0
-
-        frozen = set()
-        for flow_id in active:
-            if rates[flow_id] >= flow_demands[flow_id] - EPSILON:
-                rates[flow_id] = flow_demands[flow_id]
-                frozen.add(flow_id)
-        for link_id in limiting_links:
-            saturated = residual[link_id] <= EPSILON * max(
-                1.0, link_capacities[link_id]
-            )
-            if saturated:
-                frozen.update(link_members[link_id])
-        if not frozen:
-            # Zero-increment round with nothing freezing would spin
-            # forever; freeze the flows on the tightest link outright.
-            if limiting_links:
-                for link_id in limiting_links:
-                    frozen.update(link_members[link_id])
-            else:
-                frozen = set(active)
-        active -= frozen
-        for members in link_members.values():
-            members -= frozen
-
-    return rates
+    rates = progressive_filling(demands, residuals, capacities,
+                                link_members, flow_links)
+    return {flow_id: rates[pos] for pos, flow_id in enumerate(flow_ids)}
 
 
 def validate_allocation(

@@ -84,16 +84,46 @@ class Link:
         self.id = next(self._ids)
         self.port_a = port_a
         self.port_b = port_b
-        self.capacity_bps = float(capacity_bps)
+        self._capacity_bps = float(capacity_bps)
         # The as-built capacity; gray-failure injection degrades
         # capacity_bps and restores it back to this.
         self.nominal_capacity_bps = float(capacity_bps)
         self.delay = float(delay)
-        self.up = True
+        self._up = True
+        # Version epochs for the incremental reallocation engine:
+        # path_epoch changes when the link's reachability flips (up or
+        # down — cached paths crossing or blocked by it are stale),
+        # cap_epoch when the capacity the solver sees changes (paths
+        # stay valid but rates must be re-solved).
+        self.path_epoch = 0
+        self.cap_epoch = 0
         self.forward = LinkDirection(self, port_a, port_b)
         self.reverse = LinkDirection(self, port_b, port_a)
         port_a.link = self
         port_b.link = self
+
+    @property
+    def up(self) -> bool:
+        """Administrative/operational state of the cable."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value != self._up:
+            self._up = value
+            self.path_epoch += 1
+
+    @property
+    def capacity_bps(self) -> float:
+        """Live capacity in bits per second (both directions)."""
+        return self._capacity_bps
+
+    @capacity_bps.setter
+    def capacity_bps(self, value: float) -> None:
+        value = float(value)
+        if value != self._capacity_bps:
+            self._capacity_bps = value
+            self.cap_epoch += 1
 
     def direction_from(self, port: "Port") -> LinkDirection:
         """The direction whose source is ``port``."""

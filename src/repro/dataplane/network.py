@@ -13,6 +13,12 @@ Recomputations triggered within the same instant are coalesced into a
 single event, so a burst of BGP route installs or a path-wide set of
 flow-mods costs one reallocation, not one per message.
 
+Reallocations themselves are *incremental* (PR 2): the
+:class:`~repro.dataplane.realloc.ReallocEngine` caches walked paths,
+re-walks only flows invalidated by epoch-tracked forwarding-state
+changes, and re-solves only the affected connected components of the
+flow/link sharing graph.
+
 The network also forwards *individual* packets (first packets of
 missing flows, PACKET_OUT frames) hop by hop with per-link delays.
 """
@@ -26,8 +32,8 @@ import networkx as nx
 
 from repro.core.errors import DataPlaneError, TopologyError
 from repro.dataplane.flow import FluidFlow, PathResult, PathStatus
-from repro.dataplane.fluid import max_min_allocation
 from repro.dataplane.host import Host
+from repro.dataplane.realloc import ReallocEngine
 from repro.dataplane.link import Link, LinkDirection
 from repro.dataplane.node import ForwardingDecision, Node
 from repro.dataplane.router import Router
@@ -55,6 +61,19 @@ class Network:
         self._last_accrual = 0.0
         self._last_recompute = -float("inf")
         self._routing_epoch = 0
+        # Bumped on any topology mutation (new node/link); the realloc
+        # engine answers with one full recompute, since cached walk
+        # outcomes can depend on state no per-entity epoch witnesses.
+        self.topo_epoch = 0
+        # The incremental reallocation engine (PR 2) and its master
+        # switch; False forces every recompute down the full path
+        # (benchmarks A/B against it, and it is the paranoia fallback).
+        self.realloc = ReallocEngine(self)
+        self.incremental_realloc = True
+        # Flows currently accruing bytes (active + delivered + rate>0),
+        # maintained by the realloc engine so accrue() does not scan
+        # every flow ever created.
+        self._accruing: List[FluidFlow] = []
         # Minimum spacing between reallocations, in simulated seconds.
         # 0 recomputes at every distinct change instant (exact).  A few
         # milliseconds models FIB/TCAM programming latency and lets a
@@ -72,6 +91,7 @@ class Network:
             raise TopologyError(f"duplicate node name {node.name!r}")
         node.network = self
         self.nodes[node.name] = node
+        self.topo_epoch += 1
         return node
 
     def add_host(self, name: str, ip, gateway=None) -> Host:
@@ -115,6 +135,7 @@ class Network:
         pb = self._pick_port(b, port_b)
         link = Link(pa, pb, capacity_bps=capacity_bps, delay=delay)
         self.links.append(link)
+        self.topo_epoch += 1
         return link
 
     @staticmethod
@@ -183,6 +204,8 @@ class Network:
         """Attach this network to a simulation (called by the sim)."""
         self.sim = sim
         self._last_accrual = sim.clock.now
+        self.incremental_realloc = getattr(
+            sim.config, "incremental_realloc", True)
 
     def _require_sim(self) -> "Simulation":
         if self.sim is None:
@@ -212,6 +235,7 @@ class Network:
         if flow.active:
             return
         flow.active = True
+        self.realloc.mark_flow_dirty(flow)
         self.invalidate_routing()
 
     def stop_flow(self, flow: FluidFlow) -> None:
@@ -221,6 +245,7 @@ class Network:
         self.accrue(self.now)
         flow.active = False
         flow.rate_bps = 0.0
+        self.realloc.mark_flow_dirty(flow)
         self.invalidate_routing()
 
     def active_flows(self) -> List[FluidFlow]:
@@ -272,6 +297,7 @@ class Network:
                 return PathResult(
                     PathStatus.DROPPED, hops=hops, entries=entries,
                     miss_node=node.name, detail="link down",
+                    blocking_link=port.link,
                 )
             direction = port.link.direction_from(port)
             hops.append(direction)
@@ -319,45 +345,20 @@ class Network:
         self.recompute(self.now)
 
     def recompute(self, now: float) -> None:
-        """Recompute paths and rates for every active flow, at ``now``."""
+        """Recompute paths and rates at ``now``.
+
+        The heavy lifting lives in :class:`ReallocEngine`: only flows
+        whose cached path crosses a changed link/node (or that started
+        or stopped) are re-walked, and only the affected connected
+        components of the flow/link sharing graph are re-solved.  With
+        ``incremental_realloc`` off, every recompute walks and solves
+        everything — same code path, everything marked dirty.
+        """
         self.accrue(now)
         self.recomputations += 1
         self._routing_epoch += 1
         self._last_recompute = now
-
-        flow_paths = {}
-        demands = {}
-        capacities = {}
-        delivered: List[FluidFlow] = []
-        for flow in self.active_flows():
-            result = self.compute_path(flow)
-            flow.path = result
-            if result.status is PathStatus.MISS:
-                self._report_miss(flow, result, now)
-            if result.delivered:
-                delivered.append(flow)
-                path_keys = [hop.key() for hop in result.hops]
-                flow_paths[flow.id] = path_keys
-                demands[flow.id] = flow.demand_bps
-                for hop in result.hops:
-                    capacities[hop.key()] = hop.capacity_bps
-            else:
-                flow.rate_bps = 0.0
-
-        rates = max_min_allocation(flow_paths, demands, capacities)
-
-        for direction in self._all_directions():
-            direction.current_load_bps = 0.0
-        for host in self.hosts():
-            host.rx_rate_bps = 0.0
-            host.tx_rate_bps = 0.0
-        for flow in delivered:
-            flow.rate_bps = rates[flow.id]
-            for hop in flow.path.hops:
-                hop.current_load_bps += flow.rate_bps
-            flow.dst.rx_rate_bps += flow.rate_bps
-            flow.src.tx_rate_bps += flow.rate_bps
-
+        self.realloc.recompute(now, full=not self.incremental_realloc)
         for hook in self.on_reallocation:
             hook(now)
 
@@ -393,12 +394,17 @@ class Network:
     # -- byte accounting -----------------------------------------------------------------
 
     def accrue(self, now: float) -> None:
-        """Integrate flow rates into byte counters up to ``now``."""
+        """Integrate flow rates into byte counters up to ``now``.
+
+        Only the accruing set — flows the last reallocation left active,
+        delivered and with a positive rate — is visited, not every flow
+        ever created; the guards below cover flows stopped since.
+        """
         dt = now - self._last_accrual
         if dt <= 0:
             return
         self._last_accrual = now
-        for flow in self.flows:
+        for flow in self._accruing:
             if not flow.active or flow.path is None or not flow.path.delivered:
                 continue
             if flow.rate_bps <= 0:

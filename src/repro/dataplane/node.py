@@ -84,10 +84,39 @@ class Node:
         self.name = name
         self.ports: Dict[int, Port] = {}
         self.network: Optional["Network"] = None
+        # Version epoch of this node's forwarding behaviour; bumped on
+        # any mutation that could change a forward_flow() outcome.  The
+        # incremental reallocation engine compares epochs to decide
+        # which cached flow paths to re-walk.
+        self._fwd_epoch = 0
         # Administrative state: a down node neither forwards fluid
         # flows nor processes packet events (node failure injection).
-        self.up = True
+        self._up = True
         self._next_port = 1
+
+    @property
+    def up(self) -> bool:
+        """Administrative state (node failure injection)."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value != self._up:
+            self._up = value
+            self._fwd_epoch += 1
+
+    @property
+    def fwd_epoch(self) -> int:
+        """Monotonic version of this node's forwarding state.
+
+        Subclasses fold in their table versions (flow table, groups,
+        FIB) so any mutation is visible as a change of this number.
+        """
+        return self._fwd_epoch
+
+    def bump_fwd_epoch(self) -> None:
+        """Record an out-of-band forwarding-state change."""
+        self._fwd_epoch += 1
 
     def add_port(self, number: "int | None" = None) -> Port:
         """Create a new port; auto-numbers when ``number`` is None."""

@@ -39,12 +39,19 @@ class Router(Node):
         # checks on the forwarding hot path.
         self._interface_ints: set[int] = set()
 
+    @property
+    def fwd_epoch(self) -> int:
+        """Node epoch folded with the FIB version: any route install or
+        withdrawal invalidates cached paths through this router."""
+        return self._fwd_epoch + self.fib.version
+
     def set_interface(self, port_no: int, address: "IPv4Address | str",
                       prefix: "IPv4Prefix | str | None" = None) -> None:
         """Assign an IP to a port; optionally install the connected route."""
         addr = IPv4Address(address)
         self.interface_addrs[port_no] = addr
         self._interface_ints.add(int(addr))
+        self.bump_fwd_epoch()  # the deliver-to-self set changed
         if prefix is not None:
             self.fib.install(prefix, [NextHop(port=port_no, gateway=None)])
 

@@ -41,9 +41,28 @@ class Switch(Node):
         self.dpid = dpid if dpid is not None else next(_dpid_counter)
         self.table = FlowTable()
         self.groups = GroupTable()
-        self.agent = None  # set by SwitchAgent.attach()
+        self._agent = None  # set by SwitchAgent.attach()
         for __ in range(num_ports):
             self.add_port()
+
+    @property
+    def fwd_epoch(self) -> int:
+        """Node epoch folded with the flow/group table versions: every
+        flow-mod, group-mod or expiry shows up as a change here."""
+        return self._fwd_epoch + self.table.version + self.groups.version
+
+    @property
+    def agent(self):
+        """The attached switch agent (controller connection), if any."""
+        return self._agent
+
+    @agent.setter
+    def agent(self, value) -> None:
+        if value is not self._agent:
+            self._agent = value
+            # Attaching/detaching a controller changes what a table
+            # miss means (MISS vs DROP), i.e. the forwarding outcome.
+            self._fwd_epoch += 1
 
     def forward_flow(self, flow_key: "FiveTuple", in_port: "int | None",
                      macs=None):

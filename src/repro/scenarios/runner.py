@@ -13,6 +13,13 @@ yields *bit-for-bit identical* results (``wall_seconds`` excepted,
 which is excluded from equality and fingerprints).  The runner resets
 every process-global id counter before building, and the event queue
 numbers its events per simulation, so nothing leaks between runs.
+
+Scenario runs ride the incremental reallocation engine (PR 2): the
+path cache and dependency index live on the :class:`Network` for the
+whole run, so a flap-storm's tenth injection re-walks only the flows
+the ninth one left dirty.  Traces are identical either way — pass
+``sim_params={"incremental_realloc": False}`` in a spec to force full
+recomputes (A/B measurements, paranoia reruns).
 """
 
 from __future__ import annotations

@@ -2,7 +2,12 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dataplane.fluid import max_min_allocation, validate_allocation
+from repro.dataplane.fluid import (
+    EPSILON,
+    bottleneck_filling,
+    max_min_allocation,
+    validate_allocation,
+)
 
 
 @st.composite
@@ -53,6 +58,47 @@ def test_insertion_order_irrelevant(instance):
     backward = max_min_allocation(shuffled, demands, capacities)
     for flow in paths:
         assert abs(forward[flow] - backward[flow]) < 1e-6
+
+
+@given(fluid_instances())
+@settings(max_examples=300, deadline=None)
+def test_bottleneck_kernel_matches_progressive_filling(instance):
+    """The engine's bottleneck-ordered kernel computes the same (unique)
+    max-min allocation as the round-based reference, up to float noise
+    from the different (exact) arithmetic."""
+    paths, demands, capacities = instance
+    reference = max_min_allocation(paths, demands, capacities)
+
+    flow_ids = list(paths)
+    link_index = {}
+    caps = []
+    link_members = []
+    flow_links = []
+    dense_demands = []
+    for pos, flow in enumerate(flow_ids):
+        dense_demands.append(demands[flow])
+        links_here = []
+        for link in paths[flow]:
+            dense = link_index.setdefault(link, len(caps))
+            if dense == len(caps):
+                caps.append(capacities[link])
+                link_members.append([])
+            if dense not in links_here:
+                links_here.append(dense)
+                if demands[flow] > EPSILON:
+                    link_members[dense].append(pos)
+        flow_links.append(links_here)
+
+    rates = bottleneck_filling(dense_demands, caps, link_members, flow_links)
+    for pos, flow in enumerate(flow_ids):
+        scale = max(1.0, demands[flow])
+        assert abs(rates[pos] - reference[flow]) < 1e-6 * scale
+    problems = validate_allocation(
+        paths, demands, capacities,
+        {flow: rates[pos] for pos, flow in enumerate(flow_ids)},
+        tolerance=1e-5,
+    )
+    assert problems == [], problems
 
 
 @given(fluid_instances(), st.floats(min_value=1.5, max_value=4.0))

@@ -95,6 +95,46 @@ class TestEventQueue:
         queue.compact()
         assert queue.stats["pending_raw"] == 5
 
+    def test_len_is_exact_through_churn(self):
+        """push/pop/cancel keep the live counter exact (O(1) len)."""
+        queue = EventQueue()
+        events = [queue.push(CallbackEvent(float(t), lambda: None))
+                  for t in range(20)]
+        assert len(queue) == 20
+        for event in events[::2]:
+            event.cancel()
+        assert len(queue) == 10
+        for __ in range(4):
+            queue.pop()
+        assert len(queue) == 6
+        events[1].cancel()  # double-cancel of a popped-or-live event
+        events[1].cancel()
+        assert len(queue) <= 6
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        first = queue.push(CallbackEvent(1.0, lambda: None))
+        queue.push(CallbackEvent(2.0, lambda: None))
+        assert queue.pop() is first
+        first.cancel()  # stale cancel handle (PeriodicTimer.stop pattern)
+        assert len(queue) == 1
+
+    def test_auto_compact_when_garbage_dominates(self):
+        queue = EventQueue()
+        events = [queue.push(CallbackEvent(float(t), lambda: None))
+                  for t in range(128)]
+        for event in events[:100]:
+            event.cancel()
+        # More than half the raw heap was cancelled: the queue must
+        # have compacted itself away from the O(heap) garbage.  (Tiny
+        # heaps — below the compaction floor — may keep some garbage.)
+        assert queue.stats["compactions"] >= 1
+        assert queue.stats["pending_raw"] < 64
+        assert len(queue) == 28
+
     def test_iter_sorted(self):
         queue = EventQueue()
         for t in (3.0, 1.0, 2.0):
