@@ -1,0 +1,129 @@
+"""Result-store throughput — append, reopen (resume scan), stream.
+
+The store must never be the bottleneck of a campaign: a scenario takes
+tens of milliseconds to simulate, so appends (one fsync'd JSONL line +
+one index line) must stay well under that, reopening a store to answer
+"which (spec, seed) pairs already ran?" must stay cheap at 10k records
+(sidecar only — no record parsing), and a full streaming read powers
+``repro campaign report``.
+
+Knobs:
+
+* ``REPRO_BENCH_STORE_RECORDS`` — records to write (default 2000)
+
+Run:  pytest benchmarks/bench_result_store.py --benchmark-only
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.results import ResultStore, aggregate_records, make_record
+
+from conftest import record_rows
+
+_timings = {}
+
+
+def record_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_STORE_RECORDS", "2000"))
+
+
+def synthetic_record(seed: int) -> dict:
+    """A realistically-sized record (spec + result + metrics) without
+    paying for a simulation per append."""
+    spec = {
+        "schema_version": 2, "name": f"bench-seed{seed}", "seed": seed,
+        "duration": 40.0,
+        "topology": {"kind": "wan", "params": {}},
+        "protocol": {"kind": "ospf", "params": {"hello_interval": 1.0}},
+        "traffic": {"pattern": "permutation", "rate_bps": 5e8},
+        "injections": [{"kind": "link_fail", "at": 10.0 + seed % 7,
+                        "node_a": "chicago", "node_b": "newyork"}],
+        "slos": [{"kind": "converged_within", "seconds": 30.0}],
+        "sim_params": {},
+    }
+    result = {
+        "schema_version": 2, "name": f"bench-seed{seed}", "seed": seed,
+        "sim_seconds": 40.0, "events_fired": 2000 + seed,
+        "recomputations": 50 + seed % 13, "converged": True,
+        "convergence_time": 20.0 + (seed % 97) / 10.0,
+        "flows_delivered": 11, "flows_total": 11,
+        "delivered_bytes": 1.6e10, "demanded_bytes": 1.7e10,
+        "control_messages": 1380 + seed % 5, "control_bytes": 43000,
+        "injections": [{"label": "link-fail chicago-newyork",
+                        "at": 10.0, "recovered_at": 15.0}],
+        "slos": [{"slo": "converged_within<=30s",
+                  "kind": "converged_within", "status": "pass",
+                  "observed": 20.0, "threshold": 30.0, "detail": ""}],
+        "diagnostics": {"realloc": {"cached_paths": 11,
+                                    "incremental_recomputes": 50}},
+        "wall_seconds": 0.05,
+    }
+    metrics = {"converged": True, "convergence_time": 20.0,
+               "delivered_fraction": 0.94, "control_messages": 1380,
+               "recomputations": 50}
+    return make_record(spec, result, fingerprint=f"{seed:016x}",
+                       metrics=metrics)
+
+
+@pytest.fixture(scope="module")
+def populated(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("bench") / "store")
+    store = ResultStore(path)
+    for seed in range(record_count()):
+        store.append(synthetic_record(seed))
+    return path
+
+
+def test_store_append(benchmark, tmp_path):
+    records = [synthetic_record(seed) for seed in range(record_count())]
+
+    def append_all():
+        store = ResultStore(str(tmp_path / "append"))
+        for record in records:
+            store.append(record)
+        return store
+
+    store = benchmark.pedantic(append_all, rounds=1, iterations=1)
+    assert len(store) == record_count()
+    _timings["append"] = benchmark.stats.stats.mean
+
+
+def test_store_reopen(benchmark, populated):
+    """The resume question: how long to learn what already ran."""
+    store = benchmark(lambda: ResultStore(populated))
+    assert len(store) == record_count()
+    _timings["reopen"] = benchmark.stats.stats.mean
+
+
+def test_store_stream_aggregate(benchmark, populated):
+    """The report path: stream every record through the rollups."""
+    store = ResultStore(populated)
+    aggregate = benchmark(
+        lambda: aggregate_records(store.iter_records()))
+    assert aggregate.records == record_count()
+    _timings["aggregate"] = benchmark.stats.stats.mean
+
+
+def test_store_bench_report(benchmark, populated):
+    benchmark(lambda: None)  # report-only test; table assembly below
+    if not _timings:
+        pytest.skip("no measurements collected")
+    n = record_count()
+    size_mb = os.path.getsize(
+        os.path.join(populated, "records.jsonl")) / 1e6
+    rows = []
+    for phase in ("append", "reopen", "aggregate"):
+        if phase not in _timings:
+            continue
+        seconds = _timings[phase]
+        rows.append(f"{phase:>10} {n:>8} {seconds * 1e3:>10.1f} "
+                    f"{n / seconds:>12.0f}")
+    rows.append(f"{'file_mb':>10} {size_mb:>8.1f} {'':>10} {'':>12}")
+    record_rows(
+        "result_store",
+        f"{'phase':>10} {'records':>8} {'total_ms':>10} {'rec_per_s':>12}",
+        rows,
+    )

@@ -1,24 +1,39 @@
 #!/usr/bin/env python3
-"""A declarative failure campaign: BGP convergence under link flaps.
+"""A declarative failure campaign: BGP convergence under link flaps —
+persisted, resumable, and judged by SLOs.
 
 The point of the scenario engine is that *none of this is a script*:
 the whole experiment — an Abilene-like WAN running eBGP with fast
 timers, a seeded permutation of CBR flows, and a storm of flapping
 fabric links — is one :class:`ScenarioSpec` per seed, generated from
-a single seed integer.  The campaign fans 12 seeds across worker
-processes, aggregates convergence / delivery / recovery, and then
-proves the reproducibility contract by re-running one seed solo and
-comparing fingerprints bit-for-bit.
+a single seed integer.  PR 3's results subsystem adds the durable
+half: every finished scenario streams into an on-disk
+:class:`ResultStore` (JSONL + index sidecar), a killed sweep resumes
+from what the store already holds, and SLO assertions ride the spec
+so the sweep doubles as a regression gate.
 
 Equivalent from the shell::
 
-    repro scenario sweep --count 12 --workers 4 \
+    repro campaign run --store flap_store --count 12 --workers 4 \
         --pattern flap-storm --protocol bgp \
-        --protocol-param hold_time=3 --protocol-param keepalive_interval=1
+        --protocol-param hold_time=3 --protocol-param keepalive_interval=1 \
+        --slo converged_within=30 --slo min_delivered_fraction=0.5
+    repro campaign resume --store flap_store --count 12 --workers 4 ...
+    repro campaign report --store flap_store --csv flap.csv
+    repro campaign check  --store flap_store
 
 Run:  python examples/scenario_campaign.py
 """
 
+import tempfile
+
+from repro.results import (
+    ConvergedWithin,
+    MetricExpression,
+    MinDeliveredFraction,
+    ResultStore,
+    aggregate_records,
+)
 from repro.scenarios import (
     Campaign,
     ProtocolRecipe,
@@ -28,8 +43,9 @@ from repro.scenarios import (
 
 
 def flap_scenario(seed: int):
-    """One seed -> one BGP-under-flap-storm scenario."""
-    return generate_scenario(
+    """One seed -> one BGP-under-flap-storm scenario, with the SLOs it
+    must satisfy evaluated in-run."""
+    spec = generate_scenario(
         seed,
         pattern="flap-storm",
         protocol=ProtocolRecipe("bgp", {"hold_time": 3.0,
@@ -37,6 +53,12 @@ def flap_scenario(seed: int):
         duration=35.0,
         pattern_params={"links": 2, "cycles": 2, "period": 6.0},
     )
+    spec.slos = [
+        ConvergedWithin(seconds=30.0),
+        MinDeliveredFraction(fraction=0.5),
+        MetricExpression(expression="control_messages < 20000"),
+    ]
+    return spec
 
 
 def main() -> None:
@@ -46,26 +68,38 @@ def main() -> None:
         print(f"  {line}")
     print("  ...\n")
 
-    campaign = Campaign.seed_sweep(flap_scenario, range(12), workers=4)
-    outcome = campaign.run()
-    print(outcome.summary())
+    store_dir = tempfile.mkdtemp(prefix="flap_store_")
 
-    # The reproducibility contract: any line of the table above can be
-    # regenerated from its seed alone, bit for bit.
+    # A "crashed" sweep: only the first 5 seeds make it to the store.
+    Campaign.seed_sweep(flap_scenario, range(5), workers=4).run(
+        store=ResultStore(store_dir))
+    print(f"interrupted sweep left {len(ResultStore(store_dir))} "
+          f"records in {store_dir}")
+
+    # Resume: same campaign, same store — only seeds 5..11 actually run.
+    stats = Campaign.seed_sweep(flap_scenario, range(12), workers=4).run(
+        store=ResultStore(store_dir))
+    print(f"resume: {stats.summary()}\n")
+
+    # Stream the records back for the report: nothing above held the
+    # results in memory, the store is the source of truth.
+    store = ResultStore(store_dir)
+    aggregate = aggregate_records(store.iter_records())
+    print(aggregate.report())
+
+    # The reproducibility contract now spans the store: any persisted
+    # record can be regenerated from its seed alone, bit for bit.
     seed = 7
     solo = ScenarioRunner().run(flap_scenario(seed))
-    swept = outcome.result_for_seed(seed)
-    print(f"\nseed {seed} re-run solo:  {solo.fingerprint()}")
-    print(f"seed {seed} from sweep:   {swept.fingerprint()}")
-    print(f"bit-for-bit identical: {solo == swept}")
-
-    recoveries = outcome.recovery_times
-    if recoveries:
-        print(f"\nper-flap recovery times across the campaign "
-              f"({len(recoveries)} flaps):")
-        print(f"  min {min(recoveries):.2f}s  "
-              f"mean {sum(recoveries) / len(recoveries):.2f}s  "
-              f"max {max(recoveries):.2f}s")
+    persisted = store.get(flap_scenario(seed).spec_hash(), seed)
+    print(f"\nseed {seed} re-run solo:   {solo.fingerprint()}")
+    print(f"seed {seed} from store:    {persisted['fingerprint']}")
+    print(f"bit-for-bit identical: "
+          f"{solo.fingerprint() == persisted['fingerprint']}")
+    print(f"in-run SLO verdicts:   "
+          f"{[v['status'] for v in persisted['result']['slos']]}")
+    print(f"\ngate (repro campaign check): "
+          f"{'OK' if aggregate.gate_ok else 'FAILING'}")
 
 
 if __name__ == "__main__":

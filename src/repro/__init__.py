@@ -20,6 +20,6 @@ Quickstart::
 See README.md for the full tour and DESIGN.md for the architecture.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

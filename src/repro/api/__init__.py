@@ -37,6 +37,7 @@ from repro.api.metrics import (
     bgp_convergence,
     ospf_convergence,
     fti_share,
+    scenario_metrics,
 )
 
 __all__ = [
@@ -58,4 +59,5 @@ __all__ = [
     "bgp_convergence",
     "ospf_convergence",
     "fti_share",
+    "scenario_metrics",
 ]

@@ -9,7 +9,7 @@ exists to measure quickly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.experiment import Experiment
@@ -91,6 +91,56 @@ def ospf_convergence(exp: "Experiment") -> ConvergenceReport:
         control_messages=cm_stats["control_messages"],
         control_bytes=cm_stats["control_bytes"],
     )
+
+
+def scenario_metrics(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """Flatten a serialized scenario result into the name->value view
+    SLO predicates, CSV columns and rollups address.
+
+    ``result`` is a :meth:`ScenarioResult.to_dict` payload (any schema
+    version — missing fields default).  Derived quantities
+    (``delivered_fraction``, recovery extremes) are computed here so
+    every consumer sees the same definitions.
+
+    ``wall_seconds`` is reporting-only: it is non-deterministic, so
+    the runner strips it from the namespace SLO expressions evaluate
+    against (verdicts are fingerprint-covered).
+    """
+    demanded = float(result.get("demanded_bytes") or 0.0)
+    delivered = float(result.get("delivered_bytes") or 0.0)
+    fraction = delivered / demanded if demanded > 0 else 1.0
+
+    recoveries = []
+    unrecovered = 0
+    for outcome in result.get("injections", []):
+        recovered_at = outcome.get("recovered_at")
+        if recovered_at is None:
+            unrecovered += 1
+        else:
+            recoveries.append(recovered_at - outcome["at"])
+
+    return {
+        "seed": result.get("seed", 0),
+        "sim_seconds": result.get("sim_seconds", 0.0),
+        "events_fired": result.get("events_fired", 0),
+        "recomputations": result.get("recomputations", 0),
+        "converged": bool(result.get("converged", False)),
+        "convergence_time": result.get("convergence_time"),
+        "flows_delivered": result.get("flows_delivered", 0),
+        "flows_total": result.get("flows_total", 0),
+        "delivered_bytes": delivered,
+        "demanded_bytes": demanded,
+        "delivered_fraction": fraction,
+        "control_messages": result.get("control_messages", 0),
+        "control_bytes": result.get("control_bytes", 0),
+        "injection_count": len(result.get("injections", [])),
+        "recovered_count": len(recoveries),
+        "unrecovered_count": unrecovered,
+        "max_recovery_seconds": max(recoveries) if recoveries else None,
+        "mean_recovery_seconds": (sum(recoveries) / len(recoveries)
+                                  if recoveries else None),
+        "wall_seconds": result.get("wall_seconds", 0.0),
+    }
 
 
 def fti_share(exp: "Experiment") -> Dict[str, float]:

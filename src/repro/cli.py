@@ -13,6 +13,17 @@ Subcommands:
   fans a seeded campaign out across worker processes.  Any sweep line
   can be reproduced bit-for-bit by ``scenario run`` with the same
   generator options and that line's seed.
+* ``campaign`` — the durable half: ``campaign run`` streams a seeded
+  sweep into an on-disk result store (JSONL + index sidecar),
+  ``campaign resume`` finishes an interrupted sweep (only the
+  missing (spec, seed) pairs run), ``campaign report`` prints
+  percentile rollups (optionally exporting CSV), and ``campaign
+  check`` exits non-zero when any SLO failed — a sweep as a
+  regression gate.
+
+SLO assertions (``--slo``) ride the specs and are evaluated inside
+the runner, e.g. ``--slo converged_within=20 --slo
+min_delivered_fraction=0.9 --slo "expr=recomputations < 500"``.
 
 Examples::
 
@@ -21,6 +32,12 @@ Examples::
     python -m repro.cli fig3 --sizes 4,6 --scale 0.02
     python -m repro.cli scenario sweep --count 20 --workers 4
     python -m repro.cli scenario run --seed 7 --pattern flap-storm
+    python -m repro.cli campaign run --store sweep/ --count 200 \
+        --workers 8 --slo converged_within=30
+    python -m repro.cli campaign resume --store sweep/ --count 200 \
+        --workers 8 --slo converged_within=30
+    python -m repro.cli campaign report --store sweep/ --csv sweep.csv
+    python -m repro.cli campaign check --store sweep/
 """
 
 from __future__ import annotations
@@ -133,10 +150,38 @@ def _parse_kv_params(pairs: "List[str] | None") -> dict:
     return params
 
 
+def _parse_slos(raw_slos: "List[str] | None"):
+    """``--slo kind=value`` strings -> SLO objects.
+
+    ``converged_within=20``, ``max_recovery_time=10``,
+    ``min_delivered_fraction=0.9``, ``max_control_messages=5000``, and
+    ``expr=<metric expression>`` (everything after the first ``=`` is
+    the expression).  Kinds and value coercions come from the one
+    registry in :mod:`repro.results.slo`.
+    """
+    from repro.core.errors import ConfigurationError
+    from repro.results import SLO_KINDS, slo_from_kv
+
+    slos = []
+    for raw in raw_slos or []:
+        if "=" not in raw:
+            raise SystemExit(
+                f"bad SLO {raw!r}; expected kind=value with kind one of "
+                f"{sorted(SLO_KINDS)}")
+        kind, value = raw.split("=", 1)
+        try:
+            slo = slo_from_kv(kind.strip(), value.strip())
+            slo.validate()
+        except ConfigurationError as exc:
+            raise SystemExit(f"bad SLO {raw!r}: {exc}")
+        slos.append(slo)
+    return slos
+
+
 def _build_generated_spec(args: argparse.Namespace, seed: int):
     """The scenario a (generator options, seed) pair describes —
-    shared by ``scenario run`` and ``scenario sweep`` so a sweep line
-    reproduces exactly."""
+    shared by ``scenario run``, ``scenario sweep`` and the ``campaign``
+    commands so a sweep line reproduces exactly."""
     from repro.scenarios import (
         ProtocolRecipe,
         TopologyRecipe,
@@ -148,7 +193,7 @@ def _build_generated_spec(args: argparse.Namespace, seed: int):
     if args.protocol is not None:
         protocol = ProtocolRecipe(args.protocol,
                                   _parse_kv_params(args.protocol_param))
-    return generate_scenario(
+    spec = generate_scenario(
         seed,
         pattern=args.pattern,
         topology=topology,
@@ -156,6 +201,8 @@ def _build_generated_spec(args: argparse.Namespace, seed: int):
         duration=args.duration,
         pattern_params=_parse_kv_params(args.pattern_param),
     )
+    spec.slos = _parse_slos(getattr(args, "slo", None))
+    return spec
 
 
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
@@ -171,6 +218,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
                 SimulationError) as exc:
             raise SystemExit(
                 f"cannot load scenario spec {args.spec!r}: {exc!r}")
+        # CLI-given SLOs compose with whatever the spec file carries.
+        spec.slos = list(spec.slos) + _parse_slos(args.slo)
     else:
         spec = _build_generated_spec(args, args.seed)
     if args.save_spec:
@@ -181,17 +230,21 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         import json as _json
 
         print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
-        return 0
+        return 0 if result.slos_ok else 1
     print(result.summary())
     for outcome in result.injections:
         recovery = (f"{outcome.recovery_seconds:.3f}s"
                     if outcome.recovery_seconds is not None
                     else "not recovered")
         print(f"  {outcome.label:<44} recovery {recovery}")
+    for verdict in result.slos:
+        observed = ("" if verdict.observed is None
+                    else f" observed={verdict.observed:g}")
+        print(f"  SLO {verdict.slo:<40} {verdict.status}{observed}")
     print(f"wall {result.wall_seconds:.3f}s, "
           f"{result.events_fired} events, "
           f"{result.recomputations} reallocations")
-    return 0
+    return 0 if result.slos_ok else 1
 
 
 def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
@@ -203,16 +256,20 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
         seeds, workers=args.workers,
     )
     outcome = campaign.run()
+    # Non-zero when any SLO failed OR any scenario crashed: the
+    # fault-isolated workers keep the sweep running, but a crash must
+    # not read as success to a calling script.
+    ok = outcome.slo_failures == 0 and outcome.failed_count == 0
     if args.json:
         import json as _json
 
         print(_json.dumps([r.to_dict() for r in outcome.results],
                           indent=2, sort_keys=True))
-        return 0
+        return 0 if ok else 1
     print(outcome.summary())
     print("reproduce any line: repro scenario run --seed <seed> "
           + _generator_options_string(args))
-    return 0
+    return 0 if ok else 1
 
 
 def _generator_options_string(args: argparse.Namespace) -> str:
@@ -227,7 +284,121 @@ def _generator_options_string(args: argparse.Namespace) -> str:
                         ("--protocol-param", args.protocol_param)):
         for pair in pairs or []:
             parts.append(f"{flag} {pair}")
+    import shlex
+
+    for slo in getattr(args, "slo", None) or []:
+        parts.append(f"--slo {shlex.quote(slo)}")
     return " ".join(parts)
+
+
+def _open_store(path: str, must_exist: bool, readonly: bool = False):
+    from repro.core.errors import SimulationError
+    from repro.results import ResultStore
+
+    try:
+        return ResultStore(path, create=not must_exist, readonly=readonly)
+    except (OSError, SimulationError) as exc:
+        raise SystemExit(f"cannot open result store {path!r}: {exc}")
+
+
+def _campaign_from_args(args: argparse.Namespace):
+    from repro.scenarios import Campaign
+
+    seeds = range(args.seed_base, args.seed_base + args.count)
+    return Campaign.seed_sweep(
+        lambda seed: _build_generated_spec(args, seed),
+        seeds, workers=args.workers,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace, resume: bool = False) -> int:
+    store = _open_store(args.store, must_exist=resume)
+    campaign = _campaign_from_args(args)
+    if not resume and len(store) > 0:
+        raise SystemExit(
+            f"store {args.store!r} already holds {len(store)} record(s); "
+            f"use 'repro campaign resume' to finish an interrupted sweep")
+    if resume and len(store) > 0:
+        # spec_hash covers every generator option and SLO: a resume
+        # with different flags would silently re-run all seeds and mix
+        # two spec families in one store. Refuse instead.
+        overlap = sum(1 for spec in campaign.specs
+                      if (spec.spec_hash(), spec.seed) in store)
+        if overlap == 0:
+            raise SystemExit(
+                f"none of this sweep's {len(campaign.specs)} (spec, seed) "
+                f"pairs match the {len(store)} record(s) in "
+                f"{args.store!r} — the generator/--slo options differ "
+                f"from the original run; re-check them (or use "
+                f"'campaign run' with a fresh store)")
+    from repro.results import aggregate_records
+
+    stats = campaign.run(
+        store=store,
+        retry_errors=getattr(args, "retry_errors", False))
+    # Gate on the WHOLE store, not just this invocation: a resume that
+    # only runs passing leftovers must still exit non-zero when the
+    # interrupted half persisted failures — same contract as sweep.
+    code = 0 if aggregate_records(store.iter_records()).gate_ok else 1
+    if args.json:
+        import dataclasses
+        import json as _json
+
+        print(_json.dumps(dataclasses.asdict(stats), indent=2,
+                          sort_keys=True))
+        return code
+    print(stats.summary())
+    print("inspect:  repro campaign report --store " + args.store)
+    print("gate:     repro campaign check --store " + args.store)
+    return code
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _cmd_campaign_run(args, resume=True)
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.results import aggregate_records, write_csv
+
+    # Read-only: report must be safe to run against a live sweep.
+    store = _open_store(args.store, must_exist=True, readonly=True)
+    aggregate = aggregate_records(store.iter_records())
+    print(aggregate.report())
+    if args.csv:
+        rows = write_csv(store.iter_records(), args.csv)
+        print(f"wrote {rows} row(s) to {args.csv}")
+    return 0
+
+
+def _cmd_campaign_check(args: argparse.Namespace) -> int:
+    """The regression gate: exit 0 iff every persisted SLO verdict
+    passed and no scenario errored."""
+    from repro.results import aggregate_records
+
+    store = _open_store(args.store, must_exist=True, readonly=True)
+    aggregate = aggregate_records(store.iter_records())
+    if aggregate.records == 0:
+        # A gate needs evidence: an empty store (sweep died before its
+        # first record, or wrong --store path) must not pass.
+        print(f"check FAILED: store {args.store!r} holds no records")
+        return 1
+    if not aggregate.slo_tallies and aggregate.errors == 0:
+        print(f"{aggregate.records} record(s), no SLOs attached — "
+              f"nothing to check")
+        return 0
+    for label in sorted(aggregate.slo_tallies):
+        tally = aggregate.slo_tallies[label]
+        status = "ok" if tally.ok else "VIOLATED"
+        print(f"{label:<44} {status} "
+              f"(pass={tally.passed} fail={tally.failed} "
+              f"error={tally.errored})")
+    if aggregate.errors:
+        print(f"{aggregate.errors} scenario(s) errored mid-run")
+    if aggregate.gate_ok:
+        print(f"check OK: {aggregate.records} record(s) clean")
+        return 0
+    print(f"check FAILED: {aggregate.gate_detail()}")
+    return 1
 
 
 def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
@@ -256,6 +427,11 @@ def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
         help="protocol timer (e.g. hold_time=3); repeatable")
     parser.add_argument("--duration", type=float, default=40.0,
                         help="simulated horizon per scenario, seconds")
+    parser.add_argument(
+        "--slo", action="append", metavar="KIND=VALUE",
+        help="SLO assertion evaluated in-run (converged_within=S, "
+             "max_recovery_time=S, min_delivered_fraction=F, "
+             "max_control_messages=N, expr=EXPRESSION); repeatable")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of a table")
 
@@ -319,6 +495,61 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes")
     _add_scenario_generator_options(sweep)
     sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="durable sweeps: stream to a result store, resume, "
+             "report, gate on SLOs")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def add_store_option(parser_obj):
+        parser_obj.add_argument("--store", required=True, metavar="DIR",
+                                help="result store directory")
+
+    crun = campaign_sub.add_parser(
+        "run", help="run a seeded sweep, streaming results to a store")
+    add_store_option(crun)
+    crun.add_argument("--count", type=int, default=20,
+                      help="number of seeds to sweep")
+    crun.add_argument("--seed-base", type=int, default=0,
+                      help="first seed of the sweep")
+    crun.add_argument("--workers", type=int, default=2,
+                      help="worker processes")
+    _add_scenario_generator_options(crun)
+    crun.set_defaults(func=_cmd_campaign_run)
+
+    cresume = campaign_sub.add_parser(
+        "resume",
+        help="finish an interrupted sweep: only (spec, seed) pairs "
+             "missing from the store run")
+    add_store_option(cresume)
+    cresume.add_argument("--count", type=int, default=20,
+                         help="number of seeds to sweep")
+    cresume.add_argument("--seed-base", type=int, default=0,
+                         help="first seed of the sweep")
+    cresume.add_argument("--workers", type=int, default=2,
+                         help="worker processes")
+    cresume.add_argument(
+        "--retry-errors", action="store_true",
+        help="also re-run scenarios whose persisted record is an "
+             "error result, superseding it")
+    _add_scenario_generator_options(cresume)
+    cresume.set_defaults(func=_cmd_campaign_resume)
+
+    creport = campaign_sub.add_parser(
+        "report", help="percentile/mean rollups over a store")
+    add_store_option(creport)
+    creport.add_argument("--csv", default=None, metavar="FILE",
+                         help="also export one CSV row per scenario")
+    creport.set_defaults(func=_cmd_campaign_report)
+
+    ccheck = campaign_sub.add_parser(
+        "check",
+        help="regression gate: non-zero exit if any SLO failed or any "
+             "scenario errored")
+    add_store_option(ccheck)
+    ccheck.set_defaults(func=_cmd_campaign_check)
 
     return parser
 

@@ -1,0 +1,90 @@
+"""The results subsystem: durable, streaming, judgeable sweeps.
+
+Horse's value is running *many* control-plane experiments fast; this
+package is where their results go once the scenario engine has
+produced them:
+
+* :mod:`~repro.results.records`   — the self-describing persisted
+  record (schema version, spec + hash, seed, fingerprint, flat
+  metrics, SLO verdicts, diagnostics);
+* :mod:`~repro.results.store`     — :class:`ResultStore`, an
+  append-only JSONL store with an index sidecar: streaming writes,
+  O(1) "has (spec, seed) run?" lookups, crash-tolerant resume;
+* :mod:`~repro.results.slo`       — declarative SLO assertions
+  (``converged_within``, ``max_recovery_time``,
+  ``min_delivered_fraction``, ``max_control_messages``, custom metric
+  expressions) evaluated inside the runner so every record carries
+  pass/fail verdicts;
+* :mod:`~repro.results.aggregate` — percentile/mean rollups, CSV
+  export and the text report behind ``repro campaign report|check``.
+
+Quickstart::
+
+    from repro.results import ResultStore
+    from repro.scenarios import Campaign, generate_scenario
+
+    store = ResultStore("sweep_store")
+    campaign = Campaign.seed_sweep(generate_scenario, range(1000),
+                                   workers=8)
+    campaign.run(store=store)          # killed halfway? just re-run:
+    campaign.run(store=store)          # only the remaining seeds run
+"""
+
+from repro.results.records import (
+    RESULT_SCHEMA_VERSION,
+    canonical_json,
+    make_record,
+    record_key,
+    spec_hash,
+)
+from repro.results.slo import (
+    SLO,
+    SLO_KINDS,
+    ConvergedWithin,
+    MaxControlMessages,
+    MaxRecoveryTime,
+    MetricExpression,
+    MinDeliveredFraction,
+    SLOVerdict,
+    evaluate_expression,
+    evaluate_slos,
+    slo_from_dict,
+    slo_from_kv,
+)
+from repro.results.store import IndexEntry, ResultStore
+from repro.results.aggregate import (
+    MetricRollup,
+    SLOTally,
+    StoreAggregate,
+    aggregate_records,
+    percentile,
+    write_csv,
+)
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "canonical_json",
+    "make_record",
+    "record_key",
+    "spec_hash",
+    "SLO",
+    "SLO_KINDS",
+    "ConvergedWithin",
+    "MaxRecoveryTime",
+    "MinDeliveredFraction",
+    "MaxControlMessages",
+    "MetricExpression",
+    "SLOVerdict",
+    "evaluate_expression",
+    "evaluate_slos",
+    "slo_from_dict",
+    "slo_from_kv",
+    "ResultStore",
+    "IndexEntry",
+    "MetricRollup",
+    "SLOTally",
+    "StoreAggregate",
+    "aggregate_records",
+    "percentile",
+    "write_csv",
+]

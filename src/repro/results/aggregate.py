@@ -1,0 +1,237 @@
+"""Rollups, CSV export and text reports over a result store.
+
+The consumers of a big sweep never want the records themselves — they
+want *"p99 convergence across 10 000 seeds"*, *"which SLOs failed"*, a
+CSV for the plotting notebook.  Everything here reads records as a
+stream (one line in memory at a time for CSV; per-metric value lists
+for percentiles, a few floats per record) so report generation scales
+with the store like the store itself does.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.results.records import record_error, record_slos
+from repro.results.slo import ERROR, FAIL, PASS
+
+#: The metrics the rollup computes percentiles over (when present).
+ROLLUP_METRICS = (
+    "convergence_time",
+    "delivered_fraction",
+    "max_recovery_seconds",
+    "mean_recovery_seconds",
+    "control_messages",
+    "events_fired",
+    "recomputations",
+    "wall_seconds",
+)
+
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a
+    *sorted* non-empty list — the numpy default, dependency-free."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100.0) * (len(values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(values) - 1)
+    weight = rank - low
+    return values[low] * (1.0 - weight) + values[high] * weight
+
+
+@dataclass
+class MetricRollup:
+    """count / mean / min / max / percentiles of one metric."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, bool) or value is None:
+            return
+        if isinstance(value, (int, float)):
+            self.values.append(float(value))
+
+    def stats(self) -> Optional[Dict[str, float]]:
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        out = {
+            "count": float(len(ordered)),
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+        }
+        for q in PERCENTILES:
+            out[f"p{q:g}"] = percentile(ordered, q)
+        return out
+
+
+@dataclass
+class SLOTally:
+    """pass/fail/error counts for one SLO label across a store."""
+
+    label: str
+    passed: int = 0
+    failed: int = 0
+    errored: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.passed + self.failed + self.errored
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0 and self.errored == 0
+
+
+@dataclass
+class StoreAggregate:
+    """Everything the report/check commands need, computed in one
+    streaming pass over a store's records."""
+
+    records: int = 0
+    errors: int = 0                     # scenarios that died mid-run
+    converged: int = 0
+    metric_rollups: Dict[str, MetricRollup] = field(default_factory=dict)
+    slo_tallies: Dict[str, SLOTally] = field(default_factory=dict)
+
+    @property
+    def slo_failures(self) -> int:
+        return sum(t.failed for t in self.slo_tallies.values())
+
+    @property
+    def slo_errors(self) -> int:
+        return sum(t.errored for t in self.slo_tallies.values())
+
+    @property
+    def gate_ok(self) -> bool:
+        """The regression-gate answer: no SLO failed, no SLO (or
+        scenario) errored."""
+        return (self.slo_failures == 0 and self.slo_errors == 0
+                and self.errors == 0)
+
+    def add(self, record: Dict[str, Any]) -> None:
+        self.records += 1
+        metrics = record.get("metrics", {})
+        errored = record_error(record) is not None
+        if errored:
+            self.errors += 1
+        if metrics.get("converged"):
+            self.converged += 1
+        if not errored:
+            # An errored scenario measured nothing: its zero-default
+            # metrics would skew every percentile toward "healthy".
+            for name in ROLLUP_METRICS:
+                if name in metrics:
+                    self.metric_rollups.setdefault(
+                        name, MetricRollup(name)).add(metrics[name])
+        for verdict in record_slos(record):
+            tally = self.slo_tallies.setdefault(
+                verdict["slo"], SLOTally(verdict["slo"]))
+            if verdict["status"] == PASS:
+                tally.passed += 1
+            elif verdict["status"] == FAIL:
+                tally.failed += 1
+            elif verdict["status"] == ERROR:
+                tally.errored += 1
+
+    def report(self) -> str:
+        """The multi-line text report ``repro campaign report`` prints."""
+        lines = [f"{self.records} record(s), {self.converged} converged, "
+                 f"{self.errors} scenario error(s)"]
+        if self.metric_rollups:
+            lines.append("")
+            lines.append(f"{'metric':<24} {'count':>6} {'mean':>12} "
+                         f"{'p50':>12} {'p90':>12} {'p99':>12} {'max':>12}")
+            for name in ROLLUP_METRICS:
+                rollup = self.metric_rollups.get(name)
+                stats = rollup.stats() if rollup else None
+                if stats is None:
+                    continue
+                lines.append(
+                    f"{name:<24} {stats['count']:>6.0f} {stats['mean']:>12.4f} "
+                    f"{stats['p50']:>12.4f} {stats['p90']:>12.4f} "
+                    f"{stats['p99']:>12.4f} {stats['max']:>12.4f}")
+        if self.slo_tallies:
+            lines.append("")
+            lines.append(f"{'SLO':<44} {'pass':>6} {'fail':>6} {'error':>6}")
+            for label in sorted(self.slo_tallies):
+                tally = self.slo_tallies[label]
+                lines.append(f"{label:<44} {tally.passed:>6} "
+                             f"{tally.failed:>6} {tally.errored:>6}")
+            verdict = "OK" if self.gate_ok else "FAILING"
+            lines.append(f"gate: {verdict} ({self.gate_detail()})")
+        return "\n".join(lines)
+
+    def gate_detail(self) -> str:
+        """The gate tally, without double-counting: errored scenarios
+        and their per-SLO error verdicts are distinct figures."""
+        return (f"{self.slo_failures} SLO failure(s), "
+                f"{self.slo_errors} SLO error verdict(s), "
+                f"{self.errors} errored scenario(s)")
+
+
+def aggregate_records(records: Iterable[Dict[str, Any]]) -> StoreAggregate:
+    """One streaming pass: records in, :class:`StoreAggregate` out."""
+    aggregate = StoreAggregate()
+    for record in records:
+        aggregate.add(record)
+    return aggregate
+
+
+# -- CSV export ------------------------------------------------------------
+
+_CSV_ID_COLUMNS = ("name", "seed", "spec_hash", "fingerprint",
+                   "schema_version")
+
+
+def _csv_row(record: Dict[str, Any]) -> "Tuple[Dict[str, Any], List[str]]":
+    """Flatten one record into (row, column names in record order)."""
+    row: Dict[str, Any] = {col: record.get(col, "")
+                           for col in _CSV_ID_COLUMNS}
+    columns = list(_CSV_ID_COLUMNS)
+    for name, value in sorted(record.get("metrics", {}).items()):
+        column = f"metric.{name}"
+        row[column] = value
+        columns.append(column)
+    for verdict in record_slos(record):
+        column = f"slo.{verdict['slo']}"
+        row[column] = verdict["status"]
+        columns.append(column)
+    row["error"] = record_error(record) or ""
+    columns.append("error")
+    return row, columns
+
+
+def write_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
+    """Export records to a flat CSV (one row per scenario); returns
+    the row count.
+
+    Two streaming passes would be needed to union columns up front; we
+    instead buffer only the *rows* (flat dicts of numbers — tiny next
+    to the records) and write once the header is known.
+    """
+    rows: List[Dict[str, Any]] = []
+    columns: List[str] = []
+    seen = set()
+    for record in records:
+        row, record_columns = _csv_row(record)
+        rows.append(row)
+        for column in record_columns:
+            if column not in seen:
+                seen.add(column)
+                columns.append(column)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)

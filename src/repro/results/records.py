@@ -1,0 +1,87 @@
+"""The persisted result record: what one scenario run leaves behind.
+
+A *record* is the self-describing JSON object a
+:class:`~repro.results.store.ResultStore` appends for every finished
+scenario: the spec that was run (plus its canonical hash), the seed,
+the result's bit-for-bit fingerprint, the flattened metrics an SLO or
+a CSV column can address by name, the SLO verdicts, and free-form
+diagnostics.  Everything a later reader needs to aggregate, re-check
+or re-run the scenario is inside the record — no side tables, no
+in-memory campaign object.
+
+This module deliberately knows nothing about live scenario objects
+(no :mod:`repro.scenarios` import): records are plain dicts so the
+results layer stays importable from the spec layer without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Tuple
+
+#: Version of the persisted result schema.  v1 was the implicit PR 1
+#: ``ScenarioResult.to_dict`` shape; v2 adds ``control_messages`` /
+#: ``control_bytes``, the ``slos`` verdict list and the (fingerprint-
+#: excluded) ``diagnostics`` blob.
+RESULT_SCHEMA_VERSION = 2
+
+
+def canonical_json(payload: Any) -> str:
+    """The one serialized form used for hashing: sorted keys, no
+    whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec_dict: Dict[str, Any]) -> str:
+    """Stable digest of a serialized spec — the identity half of the
+    (spec, seed) resume key.  Hashes the canonical JSON of the full
+    spec dict, so any change to topology, protocol, traffic,
+    injections, SLOs or duration yields a different hash."""
+    return hashlib.sha256(canonical_json(spec_dict).encode()).hexdigest()[:16]
+
+
+def record_key(record: Dict[str, Any]) -> Tuple[str, int]:
+    """The (spec_hash, seed) identity of a persisted record."""
+    return (record["spec_hash"], record["seed"])
+
+
+def make_record(
+    spec_dict: Dict[str, Any],
+    result_dict: Dict[str, Any],
+    fingerprint: str,
+    metrics: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Assemble the self-describing record for one finished scenario.
+
+    ``result_dict`` is the full :meth:`ScenarioResult.to_dict` payload
+    (which itself carries the SLO verdicts and diagnostics);
+    ``metrics`` is the flat name->number view from
+    :func:`repro.api.metrics.scenario_metrics`.
+    """
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "spec_hash": spec_hash(spec_dict),
+        "seed": spec_dict.get("seed", result_dict.get("seed", 0)),
+        "name": result_dict.get("name", spec_dict.get("name", "")),
+        "fingerprint": fingerprint,
+        "spec": spec_dict,
+        "result": result_dict,
+        "metrics": metrics,
+    }
+
+
+def record_slos(record: Dict[str, Any]) -> list:
+    """The SLO verdict dicts of a record (they live inside the result
+    payload — the record stores exactly one copy)."""
+    return record.get("result", {}).get("slos", [])
+
+
+def record_diagnostics(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The diagnostics blob of a record."""
+    return record.get("result", {}).get("diagnostics", {})
+
+
+def record_error(record: Dict[str, Any]) -> "str | None":
+    """The error string of a scenario that died mid-run, else None."""
+    return record_diagnostics(record).get("error")

@@ -1,0 +1,306 @@
+"""Streaming, append-only, resumable persistence for campaign results.
+
+A :class:`ResultStore` is a directory holding two files:
+
+* ``records.jsonl`` — one self-describing record per line (see
+  :mod:`repro.results.records`), appended the moment each scenario
+  finishes, so a 10 000-scenario sweep never holds results in memory
+  and a killed sweep loses at most the scenario it was writing;
+* ``index.jsonl``   — a sidecar with one small line per record
+  (spec_hash, seed, name, fingerprint, byte offset).  Opening a store
+  reads only the sidecar, so "which (spec, seed) pairs already ran?"
+  — the resume question — never scans the full records file.
+
+The sidecar is derived state: if it is missing, truncated (a crash
+between the record write and the index write), or unparsable, opening
+the store rebuilds it from ``records.jsonl``.  A partial trailing
+record line (killed mid-write) is dropped during the rebuild, which is
+exactly the at-most-one-scenario loss the resume contract allows.
+
+Single-writer, many-reader: campaigns append from one process (workers
+return results to the parent, which writes); readers open with
+``readonly=True`` so they stream without repairing anything on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.results.records import (
+    RESULT_SCHEMA_VERSION,
+    record_error,
+    record_key,
+)
+
+RECORDS_FILE = "records.jsonl"
+INDEX_FILE = "index.jsonl"
+
+
+@dataclass
+class IndexEntry:
+    """One sidecar line: where a record lives and what it claims.
+
+    ``error`` marks a fault-isolation record (the scenario died); it
+    lets resume decide to retry such pairs without parsing records.
+    A key appearing on several sidecar lines means the later line
+    superseded the earlier (an error retried into a real result) —
+    loading keeps the last.
+    """
+
+    spec_hash: str
+    seed: int
+    name: str
+    fingerprint: str
+    offset: int
+    error: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spec_hash": self.spec_hash, "seed": self.seed,
+                "name": self.name, "fingerprint": self.fingerprint,
+                "offset": self.offset, "error": self.error}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IndexEntry":
+        return cls(spec_hash=data["spec_hash"], seed=data["seed"],
+                   name=data["name"], fingerprint=data["fingerprint"],
+                   offset=data["offset"], error=data.get("error", False))
+
+
+class ResultStore:
+    """Append-only JSONL store keyed by (spec_hash, seed).
+
+    ``readonly=True`` opens the store without *any* on-disk repair —
+    torn tails and stale sidecars are handled in memory only, and
+    :meth:`append` refuses.  Readers (report/check on a sweep that may
+    still be running) must use it: the writer's in-flight record looks
+    exactly like a crash's torn tail, and a repairing reader would
+    truncate it out from under the writer.
+    """
+
+    def __init__(self, path: str, create: bool = True,
+                 readonly: bool = False):
+        self.path = os.path.abspath(path)
+        self.readonly = readonly
+        if not os.path.isdir(self.path):
+            if not create or readonly:
+                raise ConfigurationError(
+                    f"result store {path!r} does not exist")
+            os.makedirs(self.path, exist_ok=True)
+        self.records_path = os.path.join(self.path, RECORDS_FILE)
+        self.index_path = os.path.join(self.path, INDEX_FILE)
+        self._index: Dict[Tuple[str, int], IndexEntry] = {}
+        self._order: List[Tuple[str, int]] = []
+        self._load_index()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load_index(self) -> None:
+        """Read the sidecar; fall back to a full rebuild whenever it
+        disagrees with (or lags) the records file."""
+        if not os.path.exists(self.records_path):
+            # No records: a leftover sidecar is stale (partial copy,
+            # manual deletion) — drop it before it grafts phantom keys
+            # onto future appends.
+            if not self.readonly and os.path.exists(self.index_path):
+                os.remove(self.index_path)
+            return
+        entries = self._read_sidecar()
+        if entries is None or not self._sidecar_is_complete(entries):
+            entries = self._rebuild_index()
+        for entry in entries:
+            self._admit(entry)
+
+    def _admit(self, entry: IndexEntry) -> None:
+        """Fold one sidecar line into the in-memory index; a repeated
+        key supersedes (last line wins), keeping its original slot in
+        the append order."""
+        key = (entry.spec_hash, entry.seed)
+        if key not in self._index:
+            self._order.append(key)
+        self._index[key] = entry
+
+    def _read_sidecar(self) -> "Optional[List[IndexEntry]]":
+        if not os.path.exists(self.index_path):
+            return None
+        entries: List[IndexEntry] = []
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        entries.append(IndexEntry.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError):
+            return None
+        return entries
+
+    def _sidecar_is_complete(self, entries: List[IndexEntry]) -> bool:
+        """The sidecar covers the records file iff the byte past the
+        furthest indexed record is the end of the file (modulo a
+        partial trailing line a crash left behind, which a rebuild
+        drops)."""
+        size = os.path.getsize(self.records_path)
+        if not entries:
+            return size == 0
+        last = max(entries, key=lambda entry: entry.offset)
+        with open(self.records_path, "rb") as handle:
+            handle.seek(last.offset)
+            line = handle.readline()
+            if not line.endswith(b"\n"):
+                return False
+            return handle.tell() == size
+
+    def _rebuild_index(self) -> List[IndexEntry]:
+        """Re-derive the index by scanning records.jsonl.  A key met
+        twice keeps the later record (a retried error); a
+        complete-but-unparsable line is skipped (its offset simply
+        stays dead).  Writable opens also repair the disk: the sidecar
+        is rewritten atomically and a torn trailing line (crash
+        mid-write) is physically truncated away — otherwise the next
+        append would glue its record onto the partial line, corrupting
+        it.  Read-only opens skip both repairs (the "torn tail" may be
+        a concurrent writer's in-flight record)."""
+        entries: List[IndexEntry] = []
+        truncate_at = None
+        with open(self.records_path, "rb") as handle:
+            offset = 0
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    truncate_at = offset
+                    break  # torn tail from a crash mid-write
+                try:
+                    record = json.loads(line)
+                    entries.append(IndexEntry(
+                        spec_hash=record["spec_hash"],
+                        seed=record["seed"],
+                        name=record.get("name", ""),
+                        fingerprint=record.get("fingerprint", ""),
+                        offset=offset,
+                        error=record_error(record) is not None,
+                    ))
+                except (ValueError, KeyError, TypeError):
+                    pass  # complete but corrupt line: skip it alone
+                offset += len(line)
+        if self.readonly:
+            return entries
+        if truncate_at is not None:
+            with open(self.records_path, "r+b") as handle:
+                handle.truncate(truncate_at)
+        tmp_path = self.index_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+        os.replace(tmp_path, self.index_path)
+        return entries
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any],
+               replace: bool = False) -> IndexEntry:
+        """Persist one finished scenario's record.
+
+        The record line is written and flushed before its index line,
+        so a crash can leave an unindexed record (healed by rebuild)
+        but never an index entry pointing at nothing.
+
+        ``replace=True`` supersedes an existing record for the same
+        key (append-only on disk; the index moves to the new line) —
+        how a retried error record is replaced by a real result.
+        """
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        key = record_key(record)
+        if key in self._index and not replace:
+            raise ConfigurationError(
+                f"store already holds a record for spec_hash={key[0]} "
+                f"seed={key[1]}")
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        # Binary append so offsets are true byte positions (text-mode
+        # tell() returns opaque cookies).
+        with open(self.records_path, "ab") as handle:
+            handle.seek(0, os.SEEK_END)
+            offset = handle.tell()
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        entry = IndexEntry(spec_hash=key[0], seed=key[1],
+                           name=record.get("name", ""),
+                           fingerprint=record.get("fingerprint", ""),
+                           offset=offset,
+                           error=record_error(record) is not None)
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+        self._admit(entry)
+        return entry
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return tuple(key) in self._index
+
+    def keys(self) -> List[Tuple[str, int]]:
+        """(spec_hash, seed) pairs in append order."""
+        return list(self._order)
+
+    def has_error(self, key: Tuple[str, int]) -> bool:
+        """True when the key's (current) record is a fault-isolation
+        error record — the pairs ``retry_errors`` reruns."""
+        entry = self._index.get(tuple(key))
+        return entry is not None and entry.error
+
+    def errored_keys(self) -> List[Tuple[str, int]]:
+        """Keys whose current record is an error record."""
+        return [key for key in self._order if self._index[key].error]
+
+    def entries(self) -> List[IndexEntry]:
+        """Index entries in append order (no record parsing)."""
+        return [self._index[key] for key in self._order]
+
+    def get(self, spec_hash: str, seed: int) -> Dict[str, Any]:
+        """Load one record by key (one seek, one line parse)."""
+        try:
+            entry = self._index[(spec_hash, seed)]
+        except KeyError:
+            raise KeyError(
+                f"no record for spec_hash={spec_hash} seed={seed}") from None
+        with open(self.records_path, "rb") as handle:
+            handle.seek(entry.offset)
+            return json.loads(handle.readline())
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Stream every *live* record in file order, one line in
+        memory at a time — the aggregation/report path for huge
+        sweeps.  Superseded lines (an error record later replaced by a
+        retry) and an unindexed/torn tail are skipped."""
+        if not os.path.exists(self.records_path):
+            return
+        live = {entry.offset for entry in self._index.values()}
+        with open(self.records_path, "rb") as handle:
+            offset = 0
+            for line in handle:
+                if offset in live:
+                    yield json.loads(line)
+                offset += len(line)
+
+    def fingerprints(self) -> Dict[Tuple[str, int], str]:
+        """key -> result fingerprint, from the sidecar alone."""
+        return {key: self._index[key].fingerprint for key in self._order}
+
+    def schema_versions(self) -> Dict[int, int]:
+        """schema_version -> record count (streaming scan)."""
+        versions: Dict[int, int] = {}
+        for record in self.iter_records():
+            version = record.get("schema_version", 1)
+            versions[version] = versions.get(version, 0) + 1
+        return versions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ResultStore {self.path!r} records={len(self)} "
+                f"schema=v{RESULT_SCHEMA_VERSION}>")

@@ -16,7 +16,10 @@ generate, store, sweep and parallelize:
 * :mod:`~repro.scenarios.runner`     — :class:`ScenarioRunner`, spec
   in, bit-for-bit reproducible :class:`ScenarioResult` out;
 * :mod:`~repro.scenarios.campaign`   — :class:`Campaign`, fanning a
-  seed sweep or parameter grid across worker processes.
+  seed sweep or parameter grid across worker processes, optionally
+  streaming every result into a durable, resumable
+  :class:`~repro.results.store.ResultStore` (see :mod:`repro.results`
+  for persistence, SLO assertions and aggregation).
 
 Quickstart::
 
@@ -40,6 +43,7 @@ from repro.scenarios.injections import (
     injection_from_dict,
 )
 from repro.scenarios.spec import (
+    SPEC_SCHEMA_VERSION,
     ProtocolRecipe,
     ScenarioSpec,
     TopologyRecipe,
@@ -57,12 +61,16 @@ from repro.scenarios.runner import (
     InjectionOutcome,
     ScenarioResult,
     ScenarioRunner,
+    error_result,
+    result_fingerprint,
     run_scenario,
 )
 from repro.scenarios.campaign import (
     Campaign,
     CampaignResult,
+    CampaignRunStats,
     run_scenario_dict,
+    run_scenario_dict_safe,
 )
 
 __all__ = [
@@ -86,11 +94,16 @@ __all__ = [
     "flap_storm",
     "rolling_maintenance",
     "gray_brownout",
+    "SPEC_SCHEMA_VERSION",
     "ScenarioRunner",
     "ScenarioResult",
     "InjectionOutcome",
     "run_scenario",
+    "error_result",
+    "result_fingerprint",
     "Campaign",
     "CampaignResult",
+    "CampaignRunStats",
     "run_scenario_dict",
+    "run_scenario_dict_safe",
 ]

@@ -8,6 +8,20 @@ serialized results back — then aggregates.  Workers are plain
 scratch and resets the process-global counters, so a result is the
 same whether it ran first, last, alone, or in a pool (the
 reproducibility tests pin this down).
+
+Two ways to run:
+
+* ``campaign.run()`` — everything in memory, a :class:`CampaignResult`
+  back (fine for dozens of scenarios);
+* ``campaign.run(store=ResultStore(...))`` — every finished scenario
+  is appended to the store the moment it arrives and *not* kept in
+  memory, (spec, seed) pairs already in the store are skipped, and a
+  killed sweep re-run with the same store completes only the remaining
+  work — bit-for-bit identical to an uninterrupted run.
+
+Either way a worker that raises mid-scenario records a failed result
+(error string in diagnostics, SLO verdicts ``error``) instead of
+aborting the whole sweep.
 """
 
 from __future__ import annotations
@@ -16,10 +30,20 @@ import itertools
 import multiprocessing
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
+)
 
 from repro.core.errors import ConfigurationError
-from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.api.metrics import scenario_metrics
+from repro.results.records import make_record
+from repro.results.store import ResultStore
+from repro.scenarios.runner import (
+    ScenarioResult,
+    ScenarioRunner,
+    error_result,
+    result_fingerprint,
+)
 from repro.scenarios.spec import ScenarioSpec
 
 
@@ -28,6 +52,23 @@ def run_scenario_dict(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
     and serialization-only so it pickles into pool workers)."""
     spec = ScenarioSpec.from_dict(spec_dict)
     return ScenarioRunner().run(spec).to_dict()
+
+
+def run_scenario_dict_safe(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Fault-isolated worker entry point: a scenario that blows up
+    mid-run returns an error result dict instead of poisoning the
+    pool.  ``KeyboardInterrupt``/``SystemExit`` still propagate — a
+    killed sweep should die, that's what resume is for."""
+    try:
+        return run_scenario_dict(spec_dict)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        message = f"{type(exc).__name__}: {exc}"
+        try:
+            spec = ScenarioSpec.from_dict(spec_dict)
+        except Exception:  # even deserialization failed
+            spec = ScenarioSpec(name=spec_dict.get("name", "scenario"),
+                                seed=spec_dict.get("seed", 0))
+        return error_result(spec, message).to_dict()
 
 
 @dataclass
@@ -47,6 +88,16 @@ class CampaignResult:
         return sum(1 for r in self.results if r.converged)
 
     @property
+    def failed_count(self) -> int:
+        """Scenarios that died mid-run (fault isolation results)."""
+        return sum(1 for r in self.results if r.error is not None)
+
+    @property
+    def slo_failures(self) -> int:
+        """SLO verdicts that did not pass, campaign-wide (fail+error)."""
+        return sum(1 for r in self.results for v in r.slos if not v.passed)
+
+    @property
     def mean_convergence_time(self) -> Optional[float]:
         times = [r.convergence_time for r in self.results
                  if r.convergence_time is not None]
@@ -56,10 +107,13 @@ class CampaignResult:
 
     @property
     def mean_delivered_fraction(self) -> float:
-        if not self.results:
+        # Errored scenarios measured nothing (their zero demand reads
+        # as delivered_fraction == 1.0) — keep them out of the mean.
+        healthy = [r for r in self.results if r.error is None]
+        if not healthy:
             return 0.0
-        return (sum(r.delivered_fraction for r in self.results)
-                / len(self.results))
+        return (sum(r.delivered_fraction for r in healthy)
+                / len(healthy))
 
     @property
     def recovery_times(self) -> List[float]:
@@ -94,8 +148,42 @@ class CampaignResult:
             + f", mean delivered {self.mean_delivered_fraction * 100:.1f}%"
             + (f", mean recovery {sum(recoveries) / len(recoveries):.3f}s "
                f"({len(recoveries)} measured)" if recoveries else "")
+            + (f", {self.failed_count} errored" if self.failed_count else "")
+            + (f", {self.slo_failures} SLO violation(s)"
+               if self.slo_failures else "")
         )
         return "\n".join(lines)
+
+
+@dataclass
+class CampaignRunStats:
+    """What a *streaming* campaign run did — counts, not results.
+
+    When a campaign runs against a :class:`ResultStore` the results
+    live on disk, not in this object (that is the point: a
+    10k-scenario sweep never holds results in memory).  Use
+    ``store.iter_records()`` / :mod:`repro.results.aggregate` to read
+    them back.
+    """
+
+    total: int = 0                # scenarios the campaign describes
+    executed: int = 0             # run (and persisted) this invocation
+    skipped: int = 0              # already in the store (resume)
+    failed: int = 0               # executed but died mid-run
+    slo_failures: int = 0         # non-passing verdicts this invocation
+    wall_seconds: float = 0.0
+    workers: int = 1
+    store_path: str = ""
+
+    def summary(self) -> str:
+        return (
+            f"{self.executed}/{self.total} scenario(s) executed "
+            f"({self.skipped} already in store, {self.failed} errored"
+            + (f", {self.slo_failures} SLO violation(s)"
+               if self.slo_failures else "")
+            + f") on {self.workers} worker(s) in {self.wall_seconds:.2f}s "
+            f"-> {self.store_path}"
+        )
 
 
 class Campaign:
@@ -140,17 +228,102 @@ class Campaign:
         specs = [factory(**dict(zip(axes, combo))) for combo in combos]
         return cls(specs, workers=workers)
 
-    def run(self) -> CampaignResult:
-        """Execute every scenario; parallel when ``workers > 1``."""
+    def _stream_results(
+        self, payloads: List[Dict[str, Any]],
+    ) -> "Iterator[Dict[str, Any]]":
+        """Yield result dicts in spec order as workers finish them.
+
+        ``imap`` (not ``map``) so results stream back one at a time —
+        the parent appends each to the store and drops it, instead of
+        materializing the whole sweep.
+        """
+        if self.workers == 1 or len(payloads) <= 1:
+            for payload in payloads:
+                yield run_scenario_dict_safe(payload)
+            return
+        with multiprocessing.get_context().Pool(self.workers) as pool:
+            for raw in pool.imap(run_scenario_dict_safe, payloads,
+                                 chunksize=1):
+                yield raw
+
+    def run(
+        self, store: "Optional[ResultStore]" = None,
+        retry_errors: bool = False,
+    ) -> "CampaignResult | CampaignRunStats":
+        """Execute every scenario; parallel when ``workers > 1``.
+
+        Without ``store``: everything in memory, a
+        :class:`CampaignResult` back.  With ``store``: scenarios whose
+        (spec_hash, seed) is already persisted are skipped, each
+        finished result is appended to the store immediately and
+        released, and a :class:`CampaignRunStats` summarizes what
+        happened — so an interrupted sweep re-run with the same store
+        finishes exactly the remaining work.  ``retry_errors`` also
+        re-runs pairs whose persisted record is a fault-isolation
+        error result (a transient worker failure), superseding it.
+        """
         start = _time.perf_counter()
-        payloads = [spec.to_dict() for spec in self.specs]
-        if self.workers == 1 or len(payloads) == 1:
-            raw = [run_scenario_dict(payload) for payload in payloads]
-        else:
-            with multiprocessing.get_context().Pool(self.workers) as pool:
-                raw = pool.map(run_scenario_dict, payloads, chunksize=1)
+        pending = list(self.specs)
+        skipped = 0
+        retrying = set()
+        if store is not None:
+            remaining = []
+            dispatched = set()
+            for spec in pending:
+                key = (spec.spec_hash(), spec.seed)
+                if key in dispatched:
+                    # Identical specs can't normally coexist (names are
+                    # unique and hashed), but dedupe defensively rather
+                    # than crash on append mid-sweep.
+                    skipped += 1
+                    continue
+                dispatched.add(key)
+                if key not in store:
+                    remaining.append(spec)
+                elif retry_errors and store.has_error(key):
+                    retrying.add(key)
+                    remaining.append(spec)
+                else:
+                    skipped += 1
+            pending = remaining
+
+        payloads = [spec.to_dict() for spec in pending]
+        results: List[ScenarioResult] = []
+        failed = 0
+        slo_failures = 0
+        for payload, raw in zip(payloads, self._stream_results(payloads)):
+            if raw.get("diagnostics", {}).get("error") is not None:
+                failed += 1
+            slo_failures += sum(1 for verdict in raw.get("slos", [])
+                                if verdict.get("status") != "pass")
+            if store is None:
+                results.append(ScenarioResult.from_dict(raw))
+            else:
+                # The worker's dict is already a to_dict payload:
+                # fingerprint and flatten it directly instead of
+                # round-tripping through a ScenarioResult.
+                record = make_record(
+                    payload, raw,
+                    fingerprint=result_fingerprint(raw),
+                    metrics=scenario_metrics(raw),
+                )
+                store.append(record,
+                             replace=(record["spec_hash"],
+                                      record["seed"]) in retrying)
+
+        if store is not None:
+            return CampaignRunStats(
+                total=len(self.specs),
+                executed=len(payloads),
+                skipped=skipped,
+                failed=failed,
+                slo_failures=slo_failures,
+                wall_seconds=_time.perf_counter() - start,
+                workers=self.workers,
+                store_path=store.path,
+            )
         return CampaignResult(
-            results=[ScenarioResult.from_dict(item) for item in raw],
+            results=results,
             wall_seconds=_time.perf_counter() - start,
             workers=self.workers,
         )

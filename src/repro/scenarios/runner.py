@@ -36,13 +36,19 @@ from repro.api.control_setup import (
     setup_ospf_for_routers,
 )
 from repro.api.experiment import Experiment
-from repro.api.metrics import bgp_convergence, ospf_convergence
+from repro.api.metrics import (
+    bgp_convergence,
+    ospf_convergence,
+    scenario_metrics,
+)
 from repro.core.config import SimulationConfig
 from repro.core.errors import ConfigurationError
 from repro.dataplane.flow import FluidFlow
 from repro.dataplane.link import Link
 from repro.dataplane.node import reset_auto_macs
 from repro.dataplane.switch import reset_dpids
+from repro.results.records import RESULT_SCHEMA_VERSION
+from repro.results.slo import SLOVerdict, evaluate_slos
 from repro.scenarios.spec import ScenarioSpec
 from repro.traffic.generators import TrafficSpec, cbr_udp_flows
 
@@ -83,7 +89,11 @@ class ScenarioResult:
     """Everything one scenario run measured.
 
     Equality and :meth:`fingerprint` deliberately ignore
-    ``wall_seconds`` — two runs of the same spec must compare equal.
+    ``wall_seconds`` and ``diagnostics`` — two runs of the same spec
+    must compare equal even when engine internals (cache sizes, timing
+    observations, error reprs) differ in presentation.  SLO verdicts
+    *are* covered: they are pure functions of the deterministic
+    metrics, and a regression gate wants them pinned.
     """
 
     name: str = ""
@@ -97,7 +107,13 @@ class ScenarioResult:
     flows_total: int = 0
     delivered_bytes: float = 0.0
     demanded_bytes: float = 0.0
+    control_messages: int = 0
+    control_bytes: int = 0
     injections: List[InjectionOutcome] = field(default_factory=list)
+    slos: List[SLOVerdict] = field(default_factory=list)
+    # Engine internals and failure forensics (realloc stats, error
+    # strings); excluded from equality and fingerprints.
+    diagnostics: Dict[str, Any] = field(default_factory=dict, compare=False)
     wall_seconds: float = field(default=0.0, compare=False)
 
     @property
@@ -111,8 +127,28 @@ class ScenarioResult:
     def recovered_count(self) -> int:
         return sum(1 for o in self.injections if o.recovered_at is not None)
 
+    @property
+    def error(self) -> Optional[str]:
+        """The failure string when the scenario died mid-run (fault
+        isolation records it in diagnostics), else None."""
+        return self.diagnostics.get("error")
+
+    @property
+    def slo_passed(self) -> int:
+        return sum(1 for v in self.slos if v.passed)
+
+    @property
+    def slos_ok(self) -> bool:
+        """True when every attached SLO holds (vacuously with none)."""
+        return all(v.passed for v in self.slos)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The flat metric view SLOs and CSV exports address."""
+        return scenario_metrics(self.to_dict())
+
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "name": self.name,
             "seed": self.seed,
             "sim_seconds": self.sim_seconds,
@@ -124,12 +160,17 @@ class ScenarioResult:
             "flows_total": self.flows_total,
             "delivered_bytes": self.delivered_bytes,
             "demanded_bytes": self.demanded_bytes,
+            "control_messages": self.control_messages,
+            "control_bytes": self.control_bytes,
             "injections": [o.to_dict() for o in self.injections],
+            "slos": [v.to_dict() for v in self.slos],
+            "diagnostics": dict(self.diagnostics),
             "wall_seconds": self.wall_seconds,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        # Tolerates v1 payloads: the v2 fields all default.
         return cls(
             name=data["name"],
             seed=data["seed"],
@@ -142,29 +183,48 @@ class ScenarioResult:
             flows_total=data["flows_total"],
             delivered_bytes=data["delivered_bytes"],
             demanded_bytes=data["demanded_bytes"],
+            control_messages=data.get("control_messages", 0),
+            control_bytes=data.get("control_bytes", 0),
             injections=[InjectionOutcome.from_dict(d)
                         for d in data.get("injections", [])],
+            slos=[SLOVerdict.from_dict(d) for d in data.get("slos", [])],
+            diagnostics=dict(data.get("diagnostics", {})),
             wall_seconds=data.get("wall_seconds", 0.0),
         )
 
     def fingerprint(self) -> str:
         """Stable digest of the deterministic fields — the bit-for-bit
         reproducibility check campaigns rely on."""
-        payload = self.to_dict()
-        payload.pop("wall_seconds")
-        canonical = json.dumps(payload, sort_keys=True)
-        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return result_fingerprint(self.to_dict())
 
     def summary(self) -> str:
         """One result line for tables and logs."""
+        if self.error is not None:
+            return (f"{self.name:<28} ERROR {self.error[:48]} "
+                    f"fp={self.fingerprint()}")
         conv = (f"{self.convergence_time:.3f}s"
                 if self.convergence_time is not None else "-")
+        slo = (f"slo={self.slo_passed}/{len(self.slos)} "
+               if self.slos else "")
         return (
             f"{self.name:<28} conv={conv:>8} "
             f"delivered={self.delivered_fraction * 100:5.1f}% "
             f"recovered={self.recovered_count}/{len(self.injections)} "
-            f"fp={self.fingerprint()}"
+            f"{slo}fp={self.fingerprint()}"
         )
+
+
+def result_fingerprint(result_dict: Dict[str, Any]) -> str:
+    """Fingerprint of a serialized result, without materializing a
+    :class:`ScenarioResult` (campaigns hash the worker's dict as-is).
+    Excludes ``wall_seconds`` and ``diagnostics`` (non-deterministic)
+    and ``schema_version`` (presentation, not measurement)."""
+    payload = dict(result_dict)
+    payload.pop("wall_seconds", None)
+    payload.pop("diagnostics", None)
+    payload.pop("schema_version", None)
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 def _reset_process_counters() -> None:
@@ -208,7 +268,9 @@ class ScenarioRunner:
         return exp, outcomes
 
     def run(self, spec: ScenarioSpec) -> ScenarioResult:
-        """Materialize, inject, simulate to the horizon, summarize."""
+        """Materialize, inject, simulate to the horizon, summarize —
+        including the SLO verdicts and engine diagnostics every
+        persisted record carries."""
         start_wall = _time.perf_counter()
         exp, outcomes = self.materialize(spec)
         result = exp.run(until=spec.duration)
@@ -219,8 +281,9 @@ class ScenarioRunner:
             for flow in exp.network.flows
         )
         delivered = sum(flow.delivered_bytes for flow in exp.network.flows)
+        cm_stats = exp.sim.cm.stats()
 
-        return ScenarioResult(
+        scenario_result = ScenarioResult(
             name=spec.name,
             seed=spec.seed,
             sim_seconds=result.report.simulated_seconds,
@@ -232,9 +295,22 @@ class ScenarioRunner:
             flows_total=result.flows_total,
             delivered_bytes=delivered,
             demanded_bytes=demanded,
+            control_messages=cm_stats["control_messages"],
+            control_bytes=cm_stats["control_bytes"],
             injections=outcomes,
+            diagnostics={
+                "realloc": dict(exp.network.realloc.stats),
+                "incremental_realloc": exp.network.incremental_realloc,
+            },
             wall_seconds=_time.perf_counter() - start_wall,
         )
+        # Strip wall_seconds from the SLO namespace: verdicts are
+        # fingerprint-covered and must stay pure functions of the
+        # deterministic measurements.
+        slo_metrics = scenario_result.metrics()
+        slo_metrics.pop("wall_seconds", None)
+        scenario_result.slos = evaluate_slos(spec.slos, slo_metrics)
+        return scenario_result
 
     # -- internals ---------------------------------------------------------
 
@@ -321,6 +397,25 @@ class ScenarioRunner:
         """Seconds of [0, horizon] the flow wanted to send for."""
         end = horizon if flow.end_time is None else min(flow.end_time, horizon)
         return max(0.0, end - flow.start_time)
+
+
+def error_result(spec: ScenarioSpec, error: str) -> ScenarioResult:
+    """The result recorded for a scenario that died mid-run.
+
+    Fault isolation for campaigns: the error string lands in
+    diagnostics (fingerprint-excluded — exception text can embed
+    memory addresses), every attached SLO gets an ``error`` verdict
+    with a fixed detail string (an errored sweep must not pass a
+    gate), and all measurements stay at their zero defaults — so two
+    identical failures produce identical fingerprints.
+    """
+    return ScenarioResult(
+        name=spec.name,
+        seed=spec.seed,
+        converged=False,
+        slos=evaluate_slos(spec.slos, None, error=True),
+        diagnostics={"error": error},
+    )
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
+from repro.results.records import spec_hash as _spec_hash
+from repro.results.slo import SLO, slo_from_dict
 from repro.scenarios.injections import Injection, injection_from_dict
 from repro.topology.builders import (
     jellyfish_topo,
@@ -33,6 +35,12 @@ from repro.topology.builders import (
 from repro.topology.fattree import FatTreeTopo
 from repro.topology.topo import Topo
 from repro.traffic import patterns
+
+
+#: Version of the serialized spec schema.  v1 was the PR 1 shape; v2
+#: adds the ``slos`` assertion list (older spec files load fine — the
+#: list defaults empty).
+SPEC_SCHEMA_VERSION = 2
 
 
 def _fattree(**params) -> Topo:
@@ -188,6 +196,9 @@ class ScenarioSpec:
     protocol: ProtocolRecipe = field(default_factory=ProtocolRecipe)
     traffic: TrafficRecipe = field(default_factory=TrafficRecipe)
     injections: List[Injection] = field(default_factory=list)
+    # SLO assertions evaluated inside the runner; every result/record
+    # carries one verdict per entry.
+    slos: List[SLO] = field(default_factory=list)
     # Extra SimulationConfig fields (fti_increment, des_fallback_timeout,
     # stats_interval...); the scenario seed always wins over any "seed"
     # given here.
@@ -206,11 +217,14 @@ class ScenarioSpec:
                     f"injection {injection.label()} still acts at "
                     f"t={injection.last_effect_at():g} after the scenario "
                     f"ends (duration {self.duration})")
+        for slo in self.slos:
+            slo.validate()
 
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "seed": self.seed,
             "duration": self.duration,
@@ -218,11 +232,14 @@ class ScenarioSpec:
             "protocol": self.protocol.to_dict(),
             "traffic": self.traffic.to_dict(),
             "injections": [inj.to_dict() for inj in self.injections],
+            "slos": [slo.to_dict() for slo in self.slos],
             "sim_params": dict(self.sim_params),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        # Accepts any schema version to date: v1 files simply have no
+        # "slos" (or "schema_version") key.
         return cls(
             name=data.get("name", "scenario"),
             seed=data.get("seed", 0),
@@ -232,6 +249,7 @@ class ScenarioSpec:
             traffic=TrafficRecipe.from_dict(data["traffic"]),
             injections=[injection_from_dict(d)
                         for d in data.get("injections", [])],
+            slos=[slo_from_dict(d) for d in data.get("slos", [])],
             sim_params=dict(data.get("sim_params", {})),
         )
 
@@ -242,6 +260,11 @@ class ScenarioSpec:
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Canonical digest of the serialized spec — with the seed,
+        the (spec, seed) identity a result store keys records by."""
+        return _spec_hash(self.to_dict())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -201,3 +201,58 @@ class TestScenarioSpecRoundTrip:
         spec.duration = 0.0
         with pytest.raises(ConfigurationError):
             spec.validate()
+
+
+class TestSpecSlos:
+    """The v2 spec schema: the slos field, version stamp, and the
+    content-addressed spec hash."""
+
+    def make_spec_with_slos(self) -> ScenarioSpec:
+        from repro.results import ConvergedWithin, MetricExpression
+
+        spec = TestScenarioSpecRoundTrip().make_spec()
+        spec.slos = [ConvergedWithin(seconds=20.0),
+                     MetricExpression(expression="recomputations < 500")]
+        return spec
+
+    def test_round_trip_with_slos(self):
+        spec = self.make_spec_with_slos()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_json() == spec.to_json()
+
+    def test_schema_version_stamped(self):
+        from repro.scenarios import SPEC_SCHEMA_VERSION
+
+        data = self.make_spec_with_slos().to_dict()
+        assert data["schema_version"] == SPEC_SCHEMA_VERSION == 2
+        assert len(data["slos"]) == 2
+
+    def test_v1_dict_still_loads(self):
+        """A PR 1 era spec file (no slos, no schema_version) must keep
+        loading — the list just defaults empty."""
+        data = TestScenarioSpecRoundTrip().make_spec().to_dict()
+        del data["slos"]
+        del data["schema_version"]
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.slos == []
+        assert spec.name == "roundtrip"
+
+    def test_validate_rejects_bad_slo(self):
+        from repro.results import MinDeliveredFraction
+
+        spec = self.make_spec_with_slos()
+        spec.slos.append(MinDeliveredFraction(fraction=2.0))
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_spec_hash_tracks_content(self):
+        spec = self.make_spec_with_slos()
+        base = spec.spec_hash()
+        assert ScenarioSpec.from_json(spec.to_json()).spec_hash() == base
+        spec.slos[0].seconds = 21.0
+        assert spec.spec_hash() != base
+        spec.slos[0].seconds = 20.0
+        assert spec.spec_hash() == base
+        spec.seed = 99
+        assert spec.spec_hash() != base

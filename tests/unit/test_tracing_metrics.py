@@ -176,3 +176,50 @@ class TestConvergenceMetrics:
         exp = Experiment("empty")
         share = fti_share(exp)
         assert share == {"des": 0.0, "fti": 0.0}
+
+
+class TestScenarioMetrics:
+    """The flat metric extraction SLOs and CSV exports address."""
+
+    RESULT = {
+        "name": "m", "seed": 4, "sim_seconds": 30.0, "events_fired": 100,
+        "recomputations": 12, "converged": True, "convergence_time": 9.5,
+        "flows_delivered": 3, "flows_total": 4,
+        "delivered_bytes": 750.0, "demanded_bytes": 1000.0,
+        "control_messages": 42, "control_bytes": 999,
+        "injections": [
+            {"label": "a", "at": 10.0, "recovered_at": 14.0},
+            {"label": "b", "at": 12.0, "recovered_at": 13.0},
+            {"label": "c", "at": 15.0, "recovered_at": None},
+        ],
+        "wall_seconds": 0.5,
+    }
+
+    def test_flattening(self):
+        from repro.api import scenario_metrics
+
+        metrics = scenario_metrics(self.RESULT)
+        assert metrics["delivered_fraction"] == pytest.approx(0.75)
+        assert metrics["control_messages"] == 42
+        assert metrics["injection_count"] == 3
+        assert metrics["recovered_count"] == 2
+        assert metrics["unrecovered_count"] == 1
+        assert metrics["max_recovery_seconds"] == pytest.approx(4.0)
+        assert metrics["mean_recovery_seconds"] == pytest.approx(2.5)
+
+    def test_no_demand_means_full_delivery(self):
+        from repro.api import scenario_metrics
+
+        metrics = scenario_metrics({"demanded_bytes": 0.0})
+        assert metrics["delivered_fraction"] == 1.0
+        assert metrics["max_recovery_seconds"] is None
+
+    def test_v1_payload_defaults(self):
+        """PR 1 era result dicts (no control stats) still flatten."""
+        from repro.api import scenario_metrics
+
+        old = {key: value for key, value in self.RESULT.items()
+               if key not in ("control_messages", "control_bytes")}
+        metrics = scenario_metrics(old)
+        assert metrics["control_messages"] == 0
+        assert metrics["converged"] is True
