@@ -27,12 +27,14 @@ Run:  python examples/scenario_campaign.py
 
 import tempfile
 
+from repro.fleet import FleetExecutor
 from repro.results import (
     ConvergedWithin,
     MetricExpression,
     MinDeliveredFraction,
     ResultStore,
     aggregate_records,
+    diff_stores,
 )
 from repro.scenarios import (
     Campaign,
@@ -100,6 +102,29 @@ def main() -> None:
           f"{[v['status'] for v in persisted['result']['slos']]}")
     print(f"\ngate (repro campaign check): "
           f"{'OK' if aggregate.gate_ok else 'FAILING'}")
+
+    # --- PR 4: the same sweep through a two-worker local fleet --------
+    # The FleetExecutor swaps the multiprocessing pool for a
+    # coordinator + workers speaking the fleet TCP protocol: chunks
+    # are leased with heartbeats, records stream into per-worker
+    # shard stores, and the shards merge (`repro store merge` is the
+    # same machinery) into a store that must be record-for-record
+    # what the single-box run produced.  Across machines this is
+    # `repro fleet serve` + `repro fleet join host:port`.
+    fleet_dir = tempfile.mkdtemp(prefix="flap_fleet_")
+    fleet_store = ResultStore(fleet_dir)
+    stats = Campaign.seed_sweep(flap_scenario, range(12)).run(
+        store=fleet_store,
+        executor=FleetExecutor(workers=2, transport="multiprocessing"))
+    print(f"\nfleet run: {stats.summary()}")
+    print(f"fleet provenance: {fleet_store.metadata['runs'][-1]}")
+
+    # ... and `repro campaign diff` is the A/B gate: the fleet store
+    # vs the single-box store must be bit-for-bit equivalent.
+    diff = diff_stores(store, ResultStore(fleet_dir))
+    print(f"\nfleet vs single-box (repro campaign diff):")
+    print(diff.report())
+    assert diff.identical, "fleet run diverged from single-box!"
 
 
 if __name__ == "__main__":

@@ -17,9 +17,21 @@ Subcommands:
   sweep into an on-disk result store (JSONL + index sidecar),
   ``campaign resume`` finishes an interrupted sweep (only the
   missing (spec, seed) pairs run), ``campaign report`` prints
-  percentile rollups (optionally exporting CSV), and ``campaign
-  check`` exits non-zero when any SLO failed — a sweep as a
-  regression gate.
+  percentile rollups (optionally exporting CSV), ``campaign check``
+  exits non-zero when any SLO failed — a sweep as a regression gate —
+  and ``campaign diff`` A/B-compares two stores record-for-record
+  (non-zero exit on any divergence).  ``campaign run --fleet N``
+  swaps the local pool for a worker fleet (in-process threads, local
+  processes, or TCP workers).
+* ``fleet``    — distributed fan-out: ``fleet serve`` coordinates a
+  sweep over a length-prefixed JSON-over-TCP protocol, ``fleet join
+  host:port`` turns any box into a worker, ``fleet status`` snapshots
+  a running coordinator.  Chunks are leased with liveness heartbeats
+  and stolen back from dead or silent workers (bound a run against a
+  live-but-stuck worker with ``--wait-timeout``); the merged store is
+  record-for-record identical to a single-box run.
+* ``store``    — maintenance: ``store merge`` folds shard stores into
+  one canonical store, dedup by (spec_hash, seed).
 
 SLO assertions (``--slo``) ride the specs and are evaluated inside
 the runner, e.g. ``--slo converged_within=20 --slo
@@ -38,6 +50,12 @@ Examples::
         --workers 8 --slo converged_within=30
     python -m repro.cli campaign report --store sweep/ --csv sweep.csv
     python -m repro.cli campaign check --store sweep/
+    python -m repro.cli campaign run --store sweep/ --count 200 --fleet 4
+    python -m repro.cli campaign diff baseline_store/ candidate_store/
+    python -m repro.cli fleet serve --store sweep/ --port 7654 --count 1000
+    python -m repro.cli fleet join otherbox:7654
+    python -m repro.cli fleet status otherbox:7654
+    python -m repro.cli store merge merged/ shard_a/ shard_b/
 """
 
 from __future__ import annotations
@@ -311,6 +329,77 @@ def _campaign_from_args(args: argparse.Namespace):
     )
 
 
+def _announce_fleet_address(address) -> None:
+    """Print the line a worker pastes to join.  The bind address may
+    be the listen wildcard, which is not a dialable destination — the
+    printed command substitutes this machine's hostname."""
+    import socket as _socket
+
+    host, port = address[0], address[1]
+    if host in ("0.0.0.0", "::"):
+        host = _socket.gethostname()
+    print(f"fleet coordinator listening on {address[0]}:{port} "
+          f"-- join with:")
+    print(f"  repro fleet join {host}:{port}")
+    sys.stdout.flush()
+
+
+def _fleet_executor_from_args(args: argparse.Namespace):
+    """The ``--fleet N`` option family -> a FleetExecutor (or None)."""
+    fleet_workers = getattr(args, "fleet", None)
+    if not fleet_workers:
+        return None
+    from repro.fleet import FleetExecutor
+
+    transport = getattr(args, "transport", "multiprocessing")
+    # The tcp transport launches nothing: workers join from outside,
+    # so they need a reachable listener and the address printed.
+    external = transport == "tcp"
+    return FleetExecutor(
+        workers=fleet_workers,
+        transport=transport,
+        chunk_size=getattr(args, "chunk_size", None),
+        lease_timeout=getattr(args, "lease_timeout", 30.0),
+        host="0.0.0.0" if external else "127.0.0.1",
+        port=getattr(args, "fleet_port", 0) or 0,
+        wait_timeout=getattr(args, "wait_timeout", None),
+        on_listening=_announce_fleet_address if external else None,
+    )
+
+
+def _campaign_stats_exit_code(stats, store) -> int:
+    """The shared gate for campaign-style runs.
+
+    Gate on the WHOLE store, not just this invocation: a resume that
+    only runs passing leftovers must still exit non-zero when the
+    interrupted half persisted failures — same contract as sweep.
+    A fleet run that left chunks permanently failed produced NO
+    records for those specs, which the store aggregate can't see, so
+    it gates separately.
+    """
+    from repro.results import aggregate_records
+
+    code = 0 if aggregate_records(store.iter_records()).gate_ok else 1
+    if stats.fleet and (stats.fleet.get("unfinished")
+                        or stats.fleet.get("failed_chunks")):
+        code = 1
+    return code
+
+
+def _emit_campaign_stats(stats, as_json: bool) -> bool:
+    """Print run stats; True means JSON went out (suppress any
+    trailing human-oriented hint lines)."""
+    if as_json:
+        import dataclasses
+        import json as _json
+
+        print(_json.dumps(dataclasses.asdict(stats), indent=2,
+                          sort_keys=True))
+        return True
+    print(stats.summary())
+    return False
+
+
 def _cmd_campaign_run(args: argparse.Namespace, resume: bool = False) -> int:
     store = _open_store(args.store, must_exist=resume)
     campaign = _campaign_from_args(args)
@@ -331,23 +420,13 @@ def _cmd_campaign_run(args: argparse.Namespace, resume: bool = False) -> int:
                 f"{args.store!r} — the generator/--slo options differ "
                 f"from the original run; re-check them (or use "
                 f"'campaign run' with a fresh store)")
-    from repro.results import aggregate_records
-
     stats = campaign.run(
         store=store,
-        retry_errors=getattr(args, "retry_errors", False))
-    # Gate on the WHOLE store, not just this invocation: a resume that
-    # only runs passing leftovers must still exit non-zero when the
-    # interrupted half persisted failures — same contract as sweep.
-    code = 0 if aggregate_records(store.iter_records()).gate_ok else 1
-    if args.json:
-        import dataclasses
-        import json as _json
-
-        print(_json.dumps(dataclasses.asdict(stats), indent=2,
-                          sort_keys=True))
+        retry_errors=getattr(args, "retry_errors", False),
+        executor=_fleet_executor_from_args(args))
+    code = _campaign_stats_exit_code(stats, store)
+    if _emit_campaign_stats(stats, args.json):
         return code
-    print(stats.summary())
     print("inspect:  repro campaign report --store " + args.store)
     print("gate:     repro campaign check --store " + args.store)
     return code
@@ -399,6 +478,160 @@ def _cmd_campaign_check(args: argparse.Namespace) -> int:
         return 0
     print(f"check FAILED: {aggregate.gate_detail()}")
     return 1
+
+
+def _cmd_campaign_diff(args: argparse.Namespace) -> int:
+    """A/B store comparison; non-zero exit on any divergence (the
+    controller-testing gate)."""
+    from repro.results import diff_stores
+
+    store_a = _open_store(args.store_a, must_exist=True, readonly=True)
+    store_b = _open_store(args.store_b, must_exist=True, readonly=True)
+    if len(store_a) == 0 and len(store_b) == 0:
+        # Same philosophy as `campaign check`: a gate needs evidence,
+        # and two empty stores compared nothing.
+        message = (f"both {args.store_a!r} and {args.store_b!r} hold no "
+                   f"records — nothing was compared")
+        if args.json:
+            import json as _json
+
+            print(_json.dumps({"identical": False, "error": message},
+                              indent=2, sort_keys=True))
+        else:
+            print(f"diff FAILED: {message}")
+        return 1
+    diff = diff_stores(store_a, store_b)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.report())
+    return 0 if diff.identical else 1
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    """Concatenate shard stores into one, dedup by (spec_hash, seed)."""
+    target = _open_store(args.target, must_exist=False)
+    sources = [_open_store(path, must_exist=True, readonly=True)
+               for path in args.sources]
+    merged = target.merge_from(sources)
+    if args.compact:
+        target.compact()
+    from repro import __version__
+
+    target.record_provenance({
+        "transport": "merge",
+        "merged": merged,
+        "merged_from": list(args.sources),
+        "repro_version": __version__,
+    })
+    print(f"merged {merged} record(s) from {len(sources)} store(s) "
+          f"into {args.target} ({len(target)} total)")
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Coordinate a sweep for workers that join over TCP."""
+    from repro.fleet import FleetExecutor
+
+    store = _open_store(args.store, must_exist=False)
+    campaign = _campaign_from_args(args)
+    # The tcp transport launches nothing, but `workers` still sizes
+    # the chunk plan (~4 chunks per expected worker) — too few chunks
+    # would leave late joiners idle and make each steal forfeit a
+    # huge slice.
+    executor = FleetExecutor(
+        workers=args.expect_workers,
+        transport="tcp",
+        chunk_size=args.chunk_size,
+        lease_timeout=args.lease_timeout,
+        host=args.host, port=args.port,
+        wait_timeout=args.wait_timeout,
+        on_listening=_announce_fleet_address,
+    )
+    from repro.core.errors import SimulationError
+
+    try:
+        stats = campaign.run(store=store, executor=executor)
+    except SimulationError as exc:
+        raise SystemExit(f"fleet serve failed: {exc}")
+    code = _campaign_stats_exit_code(stats, store)
+    _emit_campaign_stats(stats, args.json)
+    return code
+
+
+def _cmd_fleet_join(args: argparse.Namespace) -> int:
+    """Work for a coordinator until it runs out of chunks."""
+    from repro.fleet import parse_address, worker_main
+    from repro.fleet.protocol import ProtocolError
+
+    try:
+        host, port = parse_address(args.address)
+    except ProtocolError as exc:
+        raise SystemExit(str(exc))
+    return worker_main(host, port, worker_id=args.worker_id,
+                       connect_timeout=args.connect_timeout)
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """One status snapshot from a running coordinator."""
+    import socket as _socket
+
+    from repro.fleet import parse_address, recv_message, send_message
+    from repro.fleet.protocol import ProtocolError
+
+    try:
+        host, port = parse_address(args.address)
+    except ProtocolError as exc:
+        raise SystemExit(str(exc))
+    try:
+        with _socket.create_connection((host, port), timeout=5.0) as sock:
+            send_message(sock, {"type": "status"})
+            reply = recv_message(sock)
+    except (OSError, ProtocolError) as exc:
+        raise SystemExit(f"cannot reach coordinator at {args.address}: {exc}")
+    if reply is None or reply.get("type") != "status_reply":
+        raise SystemExit(f"unexpected reply from {args.address}: {reply}")
+    status = reply.get("status", {})
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    chunks = status.get("chunks", {})
+    print(f"chunks: {chunks.get('done', 0)}/{chunks.get('total', 0)} done, "
+          f"{chunks.get('leased', 0)} leased, "
+          f"{chunks.get('pending', 0)} pending, "
+          f"{chunks.get('failed', 0)} failed")
+    print(f"records ingested: {status.get('records_ingested', 0)} "
+          f"({status.get('duplicates_dropped', 0)} duplicate(s) dropped, "
+          f"{status.get('reclaimed', 0)} lease(s) reclaimed)")
+    for name, info in sorted(status.get("workers", {}).items()):
+        state = "up" if info.get("connected") else "gone"
+        print(f"  worker {name:<24} {state:<5} "
+              f"records={info.get('records', 0)} "
+              f"chunks={info.get('chunks_done', 0)} "
+              f"idle={info.get('idle_seconds', 0):.1f}s")
+    print(f"done: {status.get('done')}")
+    return 0
+
+
+def _add_fleet_tuning_options(parser: argparse.ArgumentParser) -> None:
+    """Chunking/lease knobs shared by ``fleet serve`` and
+    ``campaign run --fleet``."""
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="scenarios per lease (default: ~4 chunks "
+                             "per worker)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="seconds without any frame (records or "
+                             "liveness heartbeats) from a worker before "
+                             "its chunks are reclaimed; bound a run with "
+                             "a live-but-stuck worker via --wait-timeout")
+    parser.add_argument("--wait-timeout", type=float, default=None,
+                        help="give up if the sweep is not finished after "
+                             "this many seconds (completed records are "
+                             "still merged; resume finishes the rest)")
 
 
 def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
@@ -491,8 +724,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of seeds to sweep")
     sweep.add_argument("--seed-base", type=int, default=0,
                        help="first seed of the sweep")
-    sweep.add_argument("--workers", type=int, default=2,
-                       help="worker processes")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all usable CPUs, "
+                            "cgroup-aware)")
     _add_scenario_generator_options(sweep)
     sweep.set_defaults(func=_cmd_scenario_sweep)
 
@@ -507,6 +741,21 @@ def build_parser() -> argparse.ArgumentParser:
         parser_obj.add_argument("--store", required=True, metavar="DIR",
                                 help="result store directory")
 
+    def add_fleet_backend_options(parser_obj):
+        parser_obj.add_argument(
+            "--fleet", type=int, default=None, metavar="N",
+            help="run through a fleet of N workers instead of the "
+                 "local pool (see --transport)")
+        parser_obj.add_argument(
+            "--transport", default="multiprocessing",
+            choices=["inprocess", "multiprocessing", "tcp"],
+            help="how --fleet workers run (tcp: workers must "
+                 "'repro fleet join' this process)")
+        parser_obj.add_argument(
+            "--fleet-port", type=int, default=0,
+            help="coordinator TCP port for --fleet (default: ephemeral)")
+        _add_fleet_tuning_options(parser_obj)
+
     crun = campaign_sub.add_parser(
         "run", help="run a seeded sweep, streaming results to a store")
     add_store_option(crun)
@@ -514,8 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="number of seeds to sweep")
     crun.add_argument("--seed-base", type=int, default=0,
                       help="first seed of the sweep")
-    crun.add_argument("--workers", type=int, default=2,
-                      help="worker processes")
+    crun.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: all usable CPUs, "
+                           "cgroup-aware)")
+    add_fleet_backend_options(crun)
     _add_scenario_generator_options(crun)
     crun.set_defaults(func=_cmd_campaign_run)
 
@@ -528,12 +779,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of seeds to sweep")
     cresume.add_argument("--seed-base", type=int, default=0,
                          help="first seed of the sweep")
-    cresume.add_argument("--workers", type=int, default=2,
-                         help="worker processes")
+    cresume.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: all usable "
+                              "CPUs, cgroup-aware)")
     cresume.add_argument(
         "--retry-errors", action="store_true",
         help="also re-run scenarios whose persisted record is an "
              "error result, superseding it")
+    add_fleet_backend_options(cresume)
     _add_scenario_generator_options(cresume)
     cresume.set_defaults(func=_cmd_campaign_resume)
 
@@ -550,6 +803,79 @@ def build_parser() -> argparse.ArgumentParser:
              "scenario errored")
     add_store_option(ccheck)
     ccheck.set_defaults(func=_cmd_campaign_check)
+
+    cdiff = campaign_sub.add_parser(
+        "diff",
+        help="A/B-compare two stores of the same spec family; "
+             "non-zero exit on any divergence")
+    cdiff.add_argument("store_a", metavar="STORE_A",
+                       help="reference store directory")
+    cdiff.add_argument("store_b", metavar="STORE_B",
+                       help="candidate store directory")
+    cdiff.add_argument("--json", action="store_true",
+                       help="emit the diff as JSON")
+    cdiff.set_defaults(func=_cmd_campaign_diff)
+
+    store = sub.add_parser(
+        "store", help="result-store maintenance (merge shards, ...)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    smerge = store_sub.add_parser(
+        "merge",
+        help="concatenate stores into one, dedup by (spec_hash, seed) "
+             "— healthy records supersede error records")
+    smerge.add_argument("target", metavar="TARGET",
+                        help="destination store (created if missing)")
+    smerge.add_argument("sources", nargs="+", metavar="SOURCE",
+                        help="shard store directories to fold in")
+    smerge.add_argument("--compact", action="store_true",
+                        help="also rewrite the target dropping "
+                             "superseded/dead bytes")
+    smerge.set_defaults(func=_cmd_store_merge)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="distributed campaigns: one coordinator, workers anywhere")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fserve = fleet_sub.add_parser(
+        "serve",
+        help="coordinate a sweep for TCP workers (repro fleet join)")
+    add_store_option(fserve)
+    fserve.add_argument("--count", type=int, default=20,
+                        help="number of seeds to sweep")
+    fserve.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the sweep")
+    fserve.add_argument("--host", default="0.0.0.0",
+                        help="listen address (default: all interfaces)")
+    fserve.add_argument("--port", type=int, default=0,
+                        help="listen port (default: ephemeral, printed)")
+    fserve.add_argument("--expect-workers", type=int, default=4,
+                        metavar="N",
+                        help="how many workers will join — sizes the "
+                             "chunk plan (~4 chunks per worker) so "
+                             "everyone gets work and a steal forfeits "
+                             "little (default 4)")
+    _add_fleet_tuning_options(fserve)
+    _add_scenario_generator_options(fserve)
+    fserve.set_defaults(func=_cmd_fleet_serve, workers=None)
+
+    fjoin = fleet_sub.add_parser(
+        "join", help="work for a coordinator until its sweep finishes")
+    fjoin.add_argument("address", metavar="HOST:PORT",
+                       help="coordinator address printed by fleet serve")
+    fjoin.add_argument("--worker-id", default=None,
+                       help="worker name (default: hostname-pid)")
+    fjoin.add_argument("--connect-timeout", type=float, default=10.0,
+                       help="seconds to keep retrying the first connect")
+    fjoin.set_defaults(func=_cmd_fleet_join)
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="snapshot a running coordinator's progress")
+    fstatus.add_argument("address", metavar="HOST:PORT",
+                         help="coordinator address")
+    fstatus.add_argument("--json", action="store_true",
+                         help="emit the snapshot as JSON")
+    fstatus.set_defaults(func=_cmd_fleet_status)
 
     return parser
 

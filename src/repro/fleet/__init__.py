@@ -1,0 +1,76 @@
+"""The fleet subsystem: multi-box campaign fan-out.
+
+PR 1 made experiments data (:mod:`repro.scenarios`), PR 3 made their
+results durable (:mod:`repro.results`); this layer sits between them
+and removes the last scale ceiling — one machine's cores.  A
+:class:`FleetCoordinator` shards a sweep's ``(spec_hash, seed)`` work
+into chunks and leases them to workers over a length-prefixed
+JSON-over-TCP protocol (:mod:`~repro.fleet.protocol`); workers —
+in-process threads, local processes, or ``repro fleet join`` clients
+on other machines (:mod:`~repro.fleet.transport`) — stream records
+back into per-worker shard stores; leases expire and chunks are
+stolen from dead or stalled workers; and the shards merge into one
+canonical :class:`~repro.results.store.ResultStore` that is
+record-for-record what a single-box ``Campaign.run`` would have
+written.
+
+Quickstart::
+
+    from repro.fleet import FleetExecutor
+    from repro.results import ResultStore
+    from repro.scenarios import Campaign, generate_scenario
+
+    campaign = Campaign.seed_sweep(generate_scenario, range(100))
+    campaign.run(store=ResultStore("sweep"),
+                 executor=FleetExecutor(workers=4,
+                                        transport="multiprocessing"))
+
+Or across machines::
+
+    # box A
+    repro fleet serve --store sweep --port 7654 --count 1000
+    # boxes B, C, ...
+    repro fleet join boxA:7654
+"""
+
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.fleet.coordinator import FleetCoordinator, FleetRunStats
+from repro.fleet.worker import FleetWorker, WorkerStats, worker_main
+from repro.fleet.transport import (
+    TRANSPORTS,
+    InProcessTransport,
+    MultiprocessTransport,
+    TcpTransport,
+    transport_from_name,
+)
+from repro.fleet.executor import FleetExecutor, run_fleet_campaign
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "recv_message",
+    "send_message",
+    "parse_address",
+    "FleetCoordinator",
+    "FleetRunStats",
+    "FleetWorker",
+    "WorkerStats",
+    "worker_main",
+    "TRANSPORTS",
+    "InProcessTransport",
+    "MultiprocessTransport",
+    "TcpTransport",
+    "transport_from_name",
+    "FleetExecutor",
+    "run_fleet_campaign",
+]

@@ -1,0 +1,605 @@
+"""The fleet coordinator: leases chunks out, herds the records home.
+
+One coordinator owns one campaign's worth of pending work.  It plans
+the sweep's spec payloads into contiguous chunks (see
+:func:`repro.scenarios.campaign.plan_chunks`), serves them to workers
+over the frame protocol, and streams every returned record into a
+per-worker *shard* :class:`~repro.results.store.ResultStore` under
+``<store>/shards/``.  When every chunk is resolved it merges the
+shards into the target store in the sweep's canonical spec order — so
+a fleet run's store is record-for-record identical to a single-box
+``Campaign.run`` of the same specs.
+
+Failure model (work stealing):
+
+* a worker's TCP connection dying (SIGKILL, OOM, network) immediately
+  reclaims its leased chunks and re-queues them for the next
+  ``request``;
+* a worker that stays connected but stops making progress loses its
+  lease after ``lease_timeout`` seconds without a frame (records and
+  heartbeats both refresh it) — the monitor thread re-queues the
+  chunk, and late records from the zombie are deduplicated away;
+* a worker reporting ``chunk_error`` (infrastructure failure outside
+  the per-scenario fault isolation) gets the chunk re-queued, up to
+  ``max_chunk_attempts`` per chunk before it is marked failed.
+
+Duplicate completions are inevitable under reclaim (the original
+worker may finish after the steal); the coordinator dedups record
+ingest by ``(spec_hash, seed)``.  Records are deterministic given a
+spec, so which copy survives does not matter — except that a healthy
+record always supersedes an error record, both at ingest and at
+merge, so a flaky worker cannot poison a key another worker completed.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shutil
+import socket
+import threading
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.results.records import record_error, record_slos, spec_hash
+from repro.results.store import (
+    ResultStore,
+    SHARDS_DIR,
+    list_shards,
+    shard_store_name,
+)
+from repro.fleet.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.scenarios.campaign import WorkChunk, plan_chunks
+
+_log = logging.getLogger("repro.fleet")
+
+_PENDING, _LEASED, _DONE, _FAILED = "pending", "leased", "done", "failed"
+
+
+@dataclass
+class _ChunkState:
+    chunk: WorkChunk
+    status: str = _PENDING
+    worker: Optional[str] = None
+    deadline: float = 0.0
+    attempts: int = 0
+
+
+@dataclass
+class FleetRunStats:
+    """What one fleet run did, beyond the records it produced."""
+
+    chunks: int = 0
+    chunk_size: int = 0
+    workers: List[str] = field(default_factory=list)
+    reclaimed: int = 0            # leases stolen back (death or expiry)
+    failed_chunks: int = 0        # chunks that exhausted their attempts
+    records_ingested: int = 0     # accepted into shard stores
+    duplicates_dropped: int = 0   # re-runs of already-ingested keys
+    merged: int = 0               # records appended to the final store
+    unfinished: int = 0           # specs never completed (failed chunks)
+    failed: int = 0               # merged records that are error records
+    slo_failures: int = 0         # non-passing verdicts in merged records
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "chunks": self.chunks, "chunk_size": self.chunk_size,
+            "workers": list(self.workers), "reclaimed": self.reclaimed,
+            "failed_chunks": self.failed_chunks,
+            "records_ingested": self.records_ingested,
+            "duplicates_dropped": self.duplicates_dropped,
+            "merged": self.merged, "unfinished": self.unfinished,
+            "failed": self.failed, "slo_failures": self.slo_failures,
+        }
+
+
+class FleetCoordinator:
+    """Serve one campaign's chunks to fleet workers over TCP."""
+
+    def __init__(
+        self,
+        payloads: List[Dict[str, Any]],
+        store: ResultStore,
+        chunk_size: Optional[int] = None,
+        workers_hint: int = 1,
+        lease_timeout: float = 30.0,
+        max_chunk_attempts: int = 5,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_hint: float = 0.2,
+    ):
+        if store.readonly:
+            raise ConfigurationError("fleet target store is read-only")
+        if lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be > 0, got {lease_timeout}")
+        self.store = store
+        self.lease_timeout = lease_timeout
+        self.max_chunk_attempts = max_chunk_attempts
+        self.poll_hint = poll_hint
+        self._host_req, self._port_req = host, port
+        # Canonical order: the sweep's spec order, which is also the
+        # append order of a single-box run — merge preserves it.
+        self._order_keys: List[Tuple[str, int]] = [
+            (spec_hash(payload), payload.get("seed", 0))
+            for payload in payloads]
+        self._valid_keys = set(self._order_keys)
+        chunks = plan_chunks(payloads, chunk_size=chunk_size,
+                             workers=workers_hint)
+        self.stats = FleetRunStats(
+            chunks=len(chunks),
+            chunk_size=max((len(c.payloads) for c in chunks), default=0))
+        self._chunks: Dict[int, _ChunkState] = {
+            c.chunk_id: _ChunkState(chunk=c) for c in chunks}
+        self._queue = deque(sorted(self._chunks))
+        self._seen: Dict[Tuple[str, int], bool] = {}   # key -> is_error
+        # worker -> chunk ids it currently leases: keeps lease touch/
+        # expiry scans proportional to live leases, not total chunks.
+        self._worker_leases: Dict[str, set] = {}
+        self._shards: Dict[str, ResultStore] = {}
+        self._worker_info: Dict[str, Dict[str, Any]] = {}
+        self._connected: set = set()
+        self._lock = threading.RLock()
+        self._done = threading.Event()
+        self._stopping = threading.Event()
+        self._server: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._clients: List[socket.socket] = []
+        if not self._chunks:
+            self._done.set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise ConfigurationError("coordinator is not started")
+        return self._server.getsockname()[:2]
+
+    def start(self) -> "FleetCoordinator":
+        # A crashed fleet run can leave unmerged shards behind; their
+        # keys would collide with this run's re-executed specs, so the
+        # slate is wiped (the target store, not the shards, is the
+        # resume source of truth).
+        shards_root = os.path.join(self.store.path, SHARDS_DIR)
+        if os.path.isdir(shards_root):
+            _log.warning("fleet: discarding stale shards in %s", shards_root)
+            shutil.rmtree(shards_root, ignore_errors=True)
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self._host_req, self._port_req))
+        server.listen(64)
+        # Accept with a timeout: a blocked accept() is not reliably
+        # woken by close() from another thread, and stop() must not
+        # hang on it.
+        server.settimeout(0.25)
+        self._server = server
+        for target in (self._accept_loop, self._monitor_loop):
+            thread = threading.Thread(target=target, daemon=True,
+                                      name=f"fleet-{target.__name__}")
+            thread.start()
+            self._threads.append(thread)
+        _log.info("fleet coordinator serving %d chunk(s) on %s:%d",
+                  len(self._chunks), *self.address)
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every chunk is resolved (done or failed)."""
+        return self._done.wait(timeout)
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Give connected workers a moment to hear ``done`` and hang
+        up cleanly before :meth:`stop` slams the sockets — otherwise a
+        worker blocked on its next ``request`` reads the close as a
+        coordinator crash and exits non-zero."""
+        deadline = _time.monotonic() + timeout
+        while _time.monotonic() < deadline:
+            with self._lock:
+                if not self._connected:
+                    return
+            _time.sleep(0.05)
+
+    def stop(self) -> None:
+        """Tear down the sockets and threads (idempotent)."""
+        self._stopping.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        with self._lock:
+            clients = list(self._clients)
+        for sock in clients:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=2.0)
+
+    # -- server loops ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            sock.settimeout(None)  # workers block on recv indefinitely
+            with self._lock:
+                self._clients.append(sock)
+            thread = threading.Thread(target=self._serve_client,
+                                      args=(sock, addr), daemon=True,
+                                      name=f"fleet-client-{addr[1]}")
+            thread.start()
+            self._threads.append(thread)
+
+    def _monitor_loop(self) -> None:
+        tick = max(0.05, self.lease_timeout / 5.0)
+        while not self._stopping.is_set():
+            if self._stopping.wait(tick):
+                return
+            with self._lock:
+                self._reclaim_expired_locked(_time.monotonic())
+
+    def _serve_client(self, sock: socket.socket,
+                      addr: Tuple[str, int]) -> None:
+        """One connection's read loop.  Garbage in -> a best-effort
+        ``error`` frame and a closed socket, never a coordinator
+        crash; the dropped worker's leases are reclaimed."""
+        worker: Optional[str] = None
+        try:
+            while True:
+                message = recv_message(sock)
+                if message is None or message["type"] == "bye":
+                    return
+                worker = self._dispatch(sock, message, worker)
+        except ProtocolError as exc:
+            _log.warning("fleet: dropping %s:%d (%s)", addr[0], addr[1], exc)
+            try:
+                send_message(sock, {"type": "error", "message": str(exc)})
+            except OSError:
+                pass
+        except OSError:
+            pass  # peer vanished mid-write; disconnect handling below
+        except Exception:  # noqa: BLE001 - the no-crash contract
+            # Hostile input must never take a serving thread down
+            # silently; anything the dispatchers didn't classify is
+            # logged and treated like a protocol violation.
+            _log.exception("fleet: unexpected error serving %s:%d; "
+                           "dropping the connection", addr[0], addr[1])
+            try:
+                send_message(sock, {"type": "error",
+                                    "message": "internal coordinator error"})
+            except OSError:
+                pass
+        finally:
+            if worker is not None:
+                self._on_disconnect(worker)
+            with self._lock:
+                if sock in self._clients:
+                    self._clients.remove(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- message dispatch --------------------------------------------------
+
+    def _dispatch(self, sock: socket.socket, message: Dict[str, Any],
+                  worker: Optional[str]) -> Optional[str]:
+        kind = message["type"]
+        if kind == "status":
+            send_message(sock, {"type": "status_reply",
+                                "status": self.status()})
+            return worker
+        if kind == "hello":
+            if worker is not None:
+                # A second hello would register a phantom worker the
+                # disconnect cleanup never removes.
+                raise ProtocolError("repeated hello on one connection")
+            return self._on_hello(sock, message)
+        if worker is None:
+            raise ProtocolError(f"{kind!r} before hello")
+        with self._lock:
+            info = self._worker_info.get(worker)
+            if info is not None:
+                info["last_seen"] = _time.monotonic()
+        if kind == "request":
+            self._on_request(sock, worker)
+        elif kind == "record":
+            self._on_record(worker, message)
+        elif kind == "chunk_done":
+            self._on_chunk_done(worker, message)
+        elif kind == "chunk_error":
+            self._on_chunk_error(worker, message)
+        elif kind == "heartbeat":
+            self._touch_leases(worker)
+        else:
+            raise ProtocolError(f"unknown message type {kind!r}")
+        return worker
+
+    def _on_hello(self, sock: socket.socket,
+                  message: Dict[str, Any]) -> str:
+        if message.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: coordinator speaks "
+                f"{PROTOCOL_VERSION}, worker sent "
+                f"{message.get('protocol')!r}")
+        requested = message.get("worker")
+        if not isinstance(requested, str) or not requested:
+            requested = "worker"
+        with self._lock:
+            # Uniquify on the SANITIZED shard name too: ids like
+            # 'w:1' and 'w;1' differ raw but map to the same shard
+            # directory, and two live workers must never share one
+            # (concurrent appends would interleave records).
+            taken_shards = {shard_store_name(name)
+                            for name in self._connected}
+            worker = requested
+            suffix = 2
+            while (worker in self._connected
+                   or shard_store_name(worker) in taken_shards):
+                worker = f"{requested}~{suffix}"
+                suffix += 1
+            self._connected.add(worker)
+            self._worker_info[worker] = {
+                "records": 0, "chunks_done": 0,
+                "last_seen": _time.monotonic(),
+            }
+            if worker not in self.stats.workers:
+                self.stats.workers.append(worker)
+        _log.info("fleet: worker %s joined", worker)
+        send_message(sock, {"type": "welcome", "worker": worker,
+                            "chunks": len(self._chunks),
+                            "heartbeat": self.lease_timeout / 3.0})
+        return worker
+
+    def _on_request(self, sock: socket.socket, worker: str) -> None:
+        now = _time.monotonic()
+        with self._lock:
+            self._reclaim_expired_locked(now)
+            if self._queue:
+                chunk_id = self._queue.popleft()
+                state = self._chunks[chunk_id]
+                state.status = _LEASED
+                state.worker = worker
+                state.deadline = now + self.lease_timeout
+                state.attempts += 1
+                self._worker_leases.setdefault(worker, set()).add(chunk_id)
+                reply = {"type": "chunk", "chunk": chunk_id,
+                         "specs": state.chunk.payloads}
+            elif self._done.is_set():
+                reply = {"type": "done"}
+            else:
+                reply = {"type": "wait", "seconds": self.poll_hint}
+        send_message(sock, reply)
+
+    def _on_record(self, worker: str, message: Dict[str, Any]) -> None:
+        record = message.get("record")
+        if not isinstance(record, dict):
+            raise ProtocolError("record message without a record object")
+        try:
+            key = (record["spec_hash"], record["seed"])
+        except KeyError as exc:
+            raise ProtocolError(f"record missing {exc}") from None
+        if not isinstance(key[0], str) or not isinstance(key[1], int):
+            raise ProtocolError("record key is not (str spec_hash, int seed)")
+        if key not in self._valid_keys:
+            # Not part of this sweep: a worker built against different
+            # spec code (mismatched hashing) or a hostile peer.  Either
+            # way it must not leak into the canonical store.
+            raise ProtocolError(
+                f"record key {key} is not in this sweep's work list")
+        is_error = record_error(record) is not None
+        with self._lock:
+            self._touch_leases_locked(worker)
+            if key in self._seen and not (self._seen[key] and not is_error):
+                # Duplicate from a reclaimed-but-alive worker; a healthy
+                # record is only re-admitted over a previous error one.
+                self.stats.duplicates_dropped += 1
+                return
+            self._seen[key] = is_error
+            shard = self._shards.get(worker)
+            if shard is None:
+                shard = ResultStore(os.path.join(
+                    self.store.path, SHARDS_DIR, shard_store_name(worker)))
+                self._shards[worker] = shard
+        # The fsync-bearing append happens OUTSIDE the global lock: a
+        # shard is written only by its own worker's connection thread,
+        # and serializing every worker's disk flush behind one lock
+        # would also stall the heartbeat/lease handling that shares it.
+        try:
+            shard.append(record, replace=key in shard)
+        except Exception:
+            with self._lock:
+                # Release the claim so another worker can land the key
+                # (unless someone already upgraded it meanwhile).
+                if self._seen.get(key) == is_error:
+                    del self._seen[key]
+            raise
+        with self._lock:
+            self.stats.records_ingested += 1
+            info = self._worker_info.get(worker)
+            if info is not None:
+                info["records"] += 1
+
+    def _chunk_state(self, message: Dict[str, Any],
+                     kind: str) -> _ChunkState:
+        """The chunk a message refers to — type-checked, because the
+        id came off the wire and e.g. an unhashable list must read as
+        a protocol violation, not a TypeError in the dict lookup."""
+        chunk_id = message.get("chunk")
+        if not isinstance(chunk_id, int):
+            raise ProtocolError(
+                f"{kind} with non-integer chunk id {chunk_id!r}")
+        state = self._chunks.get(chunk_id)
+        if state is None:
+            raise ProtocolError(f"{kind} for unknown chunk {chunk_id!r}")
+        return state
+
+    def _on_chunk_done(self, worker: str, message: Dict[str, Any]) -> None:
+        with self._lock:
+            state = self._chunk_state(message, "chunk_done")
+            # Only the current lease holder resolves the chunk: a
+            # zombie finishing a stolen chunk is ignored (its records
+            # were deduplicated on arrival anyway).
+            if state.status == _LEASED and state.worker == worker:
+                state.status = _DONE
+                self._release_lease_locked(state)
+                info = self._worker_info.get(worker)
+                if info is not None:
+                    info["chunks_done"] += 1
+                self._check_complete_locked()
+
+    def _on_chunk_error(self, worker: str, message: Dict[str, Any]) -> None:
+        with self._lock:
+            state = self._chunk_state(message, "chunk_error")
+            if state.status == _LEASED and state.worker == worker:
+                _log.warning("fleet: chunk %s failed on %s (%s)",
+                             state.chunk.chunk_id, worker,
+                             message.get("error"))
+                self._requeue_locked(state)
+
+    # -- leases ------------------------------------------------------------
+
+    def _touch_leases(self, worker: str) -> None:
+        with self._lock:
+            self._touch_leases_locked(worker)
+
+    def _touch_leases_locked(self, worker: str) -> None:
+        deadline = _time.monotonic() + self.lease_timeout
+        for chunk_id in self._worker_leases.get(worker, ()):
+            self._chunks[chunk_id].deadline = deadline
+
+    def _release_lease_locked(self, state: _ChunkState) -> None:
+        if state.worker is not None:
+            self._worker_leases.get(state.worker, set()).discard(
+                state.chunk.chunk_id)
+        state.worker = None
+
+    def _requeue_locked(self, state: _ChunkState) -> None:
+        """Give a reclaimed/errored chunk another chance — or fail it
+        for good once its attempts are spent."""
+        self._release_lease_locked(state)
+        if state.attempts >= self.max_chunk_attempts:
+            state.status = _FAILED
+            self.stats.failed_chunks += 1
+            _log.error("fleet: chunk %d failed permanently after %d "
+                       "attempt(s)", state.chunk.chunk_id, state.attempts)
+            self._check_complete_locked()
+        else:
+            state.status = _PENDING
+            self._queue.append(state.chunk.chunk_id)
+
+    def _reclaim_expired_locked(self, now: float) -> None:
+        for worker, chunk_ids in list(self._worker_leases.items()):
+            for chunk_id in list(chunk_ids):
+                state = self._chunks[chunk_id]
+                if state.status == _LEASED and now > state.deadline:
+                    _log.warning("fleet: lease on chunk %d (worker %s) "
+                                 "expired; re-queueing", chunk_id, worker)
+                    self.stats.reclaimed += 1
+                    self._requeue_locked(state)
+
+    def _on_disconnect(self, worker: str) -> None:
+        with self._lock:
+            self._connected.discard(worker)
+            for chunk_id in list(self._worker_leases.get(worker, ())):
+                state = self._chunks[chunk_id]
+                if state.status == _LEASED:
+                    _log.warning(
+                        "fleet: worker %s disconnected holding chunk %d; "
+                        "re-queueing", worker, chunk_id)
+                    self.stats.reclaimed += 1
+                    self._requeue_locked(state)
+
+    def _check_complete_locked(self) -> None:
+        if all(state.status in (_DONE, _FAILED)
+               for state in self._chunks.values()):
+            self._done.set()
+
+    # -- observation & merge ----------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Snapshot for ``repro fleet status`` and the executor."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for state in self._chunks.values():
+                by_status[state.status] = by_status.get(state.status, 0) + 1
+            now = _time.monotonic()
+            workers = {
+                name: {"records": info["records"],
+                       "chunks_done": info["chunks_done"],
+                       "connected": name in self._connected,
+                       "idle_seconds": round(now - info["last_seen"], 3)}
+                for name, info in self._worker_info.items()}
+            return {
+                "chunks": {"total": len(self._chunks), **by_status},
+                "records_ingested": self.stats.records_ingested,
+                "duplicates_dropped": self.stats.duplicates_dropped,
+                "reclaimed": self.stats.reclaimed,
+                "workers": workers,
+                "done": self._done.is_set(),
+            }
+
+    def finish(self, transport: str = "tcp",
+               cleanup: bool = True) -> FleetRunStats:
+        """Merge the shard stores into the target store (canonical
+        spec order, key dedup, healthy-beats-error) and write the run
+        provenance.  Call after :meth:`wait`; returns the run stats."""
+        shards_root = os.path.join(self.store.path, SHARDS_DIR)
+        shard_paths = list_shards(shards_root)
+        shards = [ResultStore(path, create=False) for path in shard_paths]
+        offsets_before = {(e.spec_hash, e.seed): e.offset
+                          for e in self.store.entries()}
+        self.stats.merged = self.store.merge_from(
+            shards, order=self._order_keys, replace_errors=True)
+        # Keys whose record this merge appended — including error
+        # records it superseded (their index entry moved to a new
+        # offset), which must count toward failed/slo_failures too.
+        offsets_after = {(e.spec_hash, e.seed): e.offset
+                         for e in self.store.entries()}
+        merged_keys = [key for key in self._order_keys
+                       if key in offsets_after
+                       and offsets_after[key] != offsets_before.get(key)]
+        for record in self.store.records_at(merged_keys):
+            if record_error(record) is not None:
+                self.stats.failed += 1
+            self.stats.slo_failures += sum(
+                1 for verdict in record_slos(record)
+                if verdict.get("status") != "pass")
+        self.stats.unfinished = sum(
+            1 for key in self._order_keys if key not in self.store)
+        from repro import __version__
+
+        self.store.record_provenance({
+            "transport": transport,
+            "workers": len(self.stats.workers),
+            "worker_ids": list(self.stats.workers),
+            "chunks": self.stats.chunks,
+            "chunk_size": self.stats.chunk_size,
+            "lease_timeout": self.lease_timeout,
+            "reclaimed": self.stats.reclaimed,
+            "merged": self.stats.merged,
+            "merged_from": [os.path.basename(p) for p in shard_paths],
+            "repro_version": __version__,
+        })
+        if cleanup and os.path.isdir(shards_root):
+            shutil.rmtree(shards_root, ignore_errors=True)
+        return self.stats

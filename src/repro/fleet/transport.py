@@ -1,0 +1,127 @@
+"""How fleet workers come to exist: the pluggable transport layer.
+
+Every transport speaks the same frame protocol to the same
+coordinator — what varies is only where the workers run:
+
+* ``inprocess``       — worker loops in daemon threads of the current
+  process, connected over loopback.  Zero spawn cost; the test and
+  notebook transport.  (Scenario runs hold the GIL, so this measures
+  coordination, not parallel speedup.)
+* ``multiprocessing`` — worker processes on this box (``spawn``
+  context: the coordinator's server threads make ``fork`` unsafe),
+  connected over loopback.  The one-box scale-out transport.
+* ``tcp``             — launches nothing; the coordinator's port is
+  the contract and workers join from anywhere with
+  ``repro fleet join host:port``.
+
+A transport only *launches and reaps* workers; all work assignment,
+failure handling and result flow happen in the protocol, which is why
+a test can kill a ``multiprocessing`` worker with SIGKILL and the
+coordinator's reclaim logic — not the transport — carries the run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.fleet.worker import worker_main
+
+TRANSPORTS = ("inprocess", "multiprocessing", "tcp")
+
+
+class InProcessTransport:
+    """Workers as daemon threads of this very process."""
+
+    name = "inprocess"
+    #: Supervised transports launched every worker themselves, so
+    #: "none alive before the work is done" means the run is wedged.
+    supervised = True
+
+    def __init__(self) -> None:
+        self._threads: List[threading.Thread] = []
+
+    def launch(self, address: Tuple[str, int], count: int) -> None:
+        host, port = address
+        for index in range(count):
+            thread = threading.Thread(
+                target=worker_main, args=(host, port, f"inproc-{index}"),
+                daemon=True, name=f"fleet-worker-{index}")
+            thread.start()
+            self._threads.append(thread)
+
+    def alive(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def shutdown(self) -> None:
+        self.join(timeout=1.0)
+
+
+class MultiprocessTransport:
+    """Workers as local processes (``spawn`` start method)."""
+
+    name = "multiprocessing"
+    supervised = True
+
+    def __init__(self) -> None:
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+
+    def launch(self, address: Tuple[str, int], count: int) -> None:
+        host, port = address
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(count):
+            process = ctx.Process(
+                target=worker_main, args=(host, port, f"mp-{index}"),
+                daemon=True, name=f"fleet-worker-{index}")
+            process.start()
+            self._processes.append(process)
+
+    def alive(self) -> bool:
+        return any(process.is_alive() for process in self._processes)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        for process in self._processes:
+            process.join(timeout)
+
+    def shutdown(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        self.join(timeout=2.0)
+
+
+class TcpTransport:
+    """No launching at all: workers join over the network."""
+
+    name = "tcp"
+    supervised = False
+
+    def launch(self, address: Tuple[str, int], count: int) -> None:
+        pass  # the coordinator's listener is the whole transport
+
+    def alive(self) -> bool:
+        return True  # external workers may join at any time
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+
+def transport_from_name(name: str):
+    """CLI/config string -> transport instance."""
+    if name == "inprocess":
+        return InProcessTransport()
+    if name == "multiprocessing":
+        return MultiprocessTransport()
+    if name == "tcp":
+        return TcpTransport()
+    raise ConfigurationError(
+        f"unknown fleet transport {name!r}; expected one of {TRANSPORTS}")

@@ -1,0 +1,223 @@
+"""The fleet worker: lease a chunk, run it, stream the records back.
+
+A :class:`FleetWorker` is a pull-based client of the coordinator: it
+connects (over loopback for the in-process/multiprocessing transports,
+across the network for ``repro fleet join``), introduces itself, and
+loops *request -> run -> records -> chunk_done* until the coordinator
+says ``done``.  Scenario execution reuses the campaign's fault-
+isolated entry point (:func:`run_scenario_dict_safe`) and record
+assembly, so a record produced by a fleet worker is byte-for-byte the
+record a single-box campaign would have persisted for the same spec.
+
+A background heartbeat thread keeps the lease alive while a long
+scenario runs (the interval comes from the coordinator's ``welcome``);
+socket writes are serialized by a lock since records and heartbeats
+share the connection.
+
+Test hook: ``REPRO_FLEET_SELFKILL_AFTER=<n>`` makes the worker SIGKILL
+its own process after streaming ``n`` records — how the reclaim tests
+simulate a machine dying mid-chunk without cooperation.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.api.metrics import scenario_metrics
+from repro.core.errors import SimulationError
+from repro.fleet.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.results.records import make_record
+from repro.scenarios.campaign import run_scenario_dict_safe
+from repro.scenarios.runner import result_fingerprint
+
+_log = logging.getLogger("repro.fleet")
+
+_SELFKILL_ENV = "REPRO_FLEET_SELFKILL_AFTER"
+
+#: Scenario determinism rides process-global id counters that every
+#: run resets (see ``ScenarioRunner``); two scenarios running
+#: concurrently in ONE process would interleave allocations and
+#: corrupt each other's results.  Workers therefore serialize
+#: execution per process — a real cost only for the in-process
+#: transport (several worker threads share this lock), which exists to
+#: exercise coordination, not to parallelize CPU-bound scenario runs
+#: the GIL would serialize anyway.
+_EXECUTION_LOCK = threading.Lock()
+
+
+@dataclass
+class WorkerStats:
+    """What one worker session did."""
+
+    worker_id: str = ""
+    chunks: int = 0
+    records: int = 0
+    errors: int = 0   # chunk-level failures reported back
+
+
+class FleetWorker:
+    """One worker session against a coordinator."""
+
+    def __init__(self, host: str, port: int,
+                 worker_id: Optional[str] = None,
+                 connect_timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+        self._records_sent = 0
+        self._selfkill_after = int(os.environ.get(_SELFKILL_ENV, "0") or 0)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        """Dial the coordinator, retrying until ``connect_timeout`` —
+        ``repro fleet join`` often races ``fleet serve`` coming up."""
+        deadline = _time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout)
+                # The timeout bounds the CONNECT only; session recvs
+                # block indefinitely (a busy coordinator may be slow
+                # to answer, which must not read as worker death).
+                sock.settimeout(None)
+                return sock
+            except OSError:
+                if _time.monotonic() >= deadline:
+                    raise
+                _time.sleep(0.1)
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        assert self._sock is not None
+        with self._send_lock:
+            send_message(self._sock, message)
+
+    def _recv(self) -> Dict[str, Any]:
+        assert self._sock is not None
+        message = recv_message(self._sock)
+        if message is None:
+            raise ProtocolError("coordinator closed the connection")
+        if message["type"] == "error":
+            raise ProtocolError(
+                f"coordinator rejected us: {message.get('message')}")
+        return message
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop_heartbeat.wait(interval):
+            try:
+                self._send({"type": "heartbeat"})
+            except OSError:
+                return
+
+    # -- the work ----------------------------------------------------------
+
+    def _run_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One spec dict -> the exact record a single-box
+        ``Campaign.run(store=...)`` would append for it."""
+        with _EXECUTION_LOCK:
+            raw = run_scenario_dict_safe(payload)
+        return make_record(payload, raw,
+                           fingerprint=result_fingerprint(raw),
+                           metrics=scenario_metrics(raw))
+
+    def _run_chunk(self, chunk_id: int, specs: Any) -> None:
+        if not isinstance(specs, list):
+            raise ProtocolError("chunk message without a spec list")
+        for payload in specs:
+            record = self._run_payload(payload)
+            self._send({"type": "record", "chunk": chunk_id,
+                        "record": record})
+            self._records_sent += 1
+            if 0 < self._selfkill_after <= self._records_sent:
+                _log.warning("fleet worker %s: self-kill test hook firing",
+                             self.worker_id)
+                os.kill(os.getpid(), signal.SIGKILL)
+        self._send({"type": "chunk_done", "chunk": chunk_id})
+
+    def run(self) -> WorkerStats:
+        """Serve until the coordinator runs out of work."""
+        stats = WorkerStats(worker_id=self.worker_id)
+        self._sock = self._connect()
+        heartbeat: Optional[threading.Thread] = None
+        try:
+            self._send({"type": "hello", "worker": self.worker_id,
+                        "protocol": PROTOCOL_VERSION})
+            welcome = self._recv()
+            if welcome["type"] != "welcome":
+                raise ProtocolError(
+                    f"expected welcome, got {welcome['type']!r}")
+            # The coordinator may have uniquified our name.
+            self.worker_id = welcome.get("worker", self.worker_id)
+            stats.worker_id = self.worker_id
+            interval = float(welcome.get("heartbeat", 5.0))
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop, args=(max(0.05, interval),),
+                daemon=True, name=f"fleet-heartbeat-{self.worker_id}")
+            heartbeat.start()
+            while True:
+                self._send({"type": "request"})
+                reply = self._recv()
+                kind = reply["type"]
+                if kind == "done":
+                    self._send({"type": "bye"})
+                    stats.records = self._records_sent
+                    return stats
+                if kind == "wait":
+                    _time.sleep(float(reply.get("seconds", 0.2)))
+                    continue
+                if kind != "chunk":
+                    raise ProtocolError(
+                        f"expected chunk/wait/done, got {kind!r}")
+                chunk_id = reply.get("chunk")
+                try:
+                    self._run_chunk(chunk_id, reply.get("specs"))
+                    stats.chunks += 1
+                except (OSError, ProtocolError):
+                    raise  # connection-level: nothing useful to report
+                except Exception as exc:  # noqa: BLE001 - report, move on
+                    # Infrastructure failure outside per-scenario fault
+                    # isolation (record assembly, serialization); hand
+                    # the chunk back for a retry elsewhere.
+                    stats.errors += 1
+                    self._send({"type": "chunk_error", "chunk": chunk_id,
+                                "error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._stop_heartbeat.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=2.0)
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+def worker_main(host: str, port: int,
+                worker_id: Optional[str] = None,
+                connect_timeout: float = 10.0) -> int:
+    """Process/thread entry point (module-level so it pickles into
+    ``multiprocessing`` children); returns an exit code."""
+    try:
+        stats = FleetWorker(host, port, worker_id=worker_id,
+                            connect_timeout=connect_timeout).run()
+    except (OSError, SimulationError) as exc:
+        _log.error("fleet worker failed: %s", exc)
+        return 1
+    _log.info("fleet worker %s finished: %d chunk(s), %d record(s)",
+              stats.worker_id, stats.chunks, stats.records)
+    return 0

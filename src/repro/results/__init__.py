@@ -51,7 +51,13 @@ from repro.results.slo import (
     slo_from_dict,
     slo_from_kv,
 )
-from repro.results.store import IndexEntry, ResultStore
+from repro.results.store import (
+    IndexEntry,
+    ResultStore,
+    list_shards,
+    shard_store_name,
+)
+from repro.results.diff import DiffEntry, StoreDiff, diff_stores
 from repro.results.aggregate import (
     MetricRollup,
     SLOTally,
@@ -81,6 +87,11 @@ __all__ = [
     "slo_from_kv",
     "ResultStore",
     "IndexEntry",
+    "list_shards",
+    "shard_store_name",
+    "DiffEntry",
+    "StoreDiff",
+    "diff_stores",
     "MetricRollup",
     "SLOTally",
     "StoreAggregate",

@@ -1,0 +1,202 @@
+"""A/B comparison of two result stores — the controller-testing gate.
+
+Control Plane Compression-style workflows need to show that an
+optimized controller (or engine, or refactor) behaves *identically*
+to the reference: run the same spec family through both, then diff
+the stores.  :func:`diff_stores` matches records pairwise and
+classifies every key:
+
+* ``match``        — fingerprints equal (which covers every
+  deterministic measurement *and* the SLO verdicts);
+* ``fingerprint``  — both stores ran it, results diverge; the entry
+  lists which metrics and verdicts moved;
+* ``only_a`` / ``only_b`` — one store is missing the key.
+
+Matching is by ``(spec_hash, seed)`` when the stores share spec
+hashes (same specs, different engine — the bit-for-bit check).  When
+the hashes are fully disjoint — the usual A/B shape: same generator
+and seeds, but the spec embeds a different controller or parameter —
+matching falls back to ``(name, seed)``, where fingerprints will
+legitimately differ and the interesting signal is the per-key SLO
+verdict and metric deltas.
+
+``repro campaign diff`` prints the report and exits non-zero on any
+divergence, so a diff can gate CI exactly like ``campaign check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.results.records import VOLATILE_METRIC_FIELDS, record_slos
+from repro.results.store import ResultStore
+
+
+@dataclass
+class DiffEntry:
+    """One compared key and how the two stores disagree about it."""
+
+    key: Tuple[Any, int]          # (spec_hash, seed) or (name, seed)
+    name: str
+    status: str                   # match | fingerprint | only_a | only_b
+    fingerprint_a: str = ""
+    fingerprint_b: str = ""
+    verdict_changes: List[str] = field(default_factory=list)
+    metric_changes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"key": list(self.key), "name": self.name,
+                "status": self.status,
+                "fingerprint_a": self.fingerprint_a,
+                "fingerprint_b": self.fingerprint_b,
+                "verdict_changes": self.verdict_changes,
+                "metric_changes": self.metric_changes}
+
+
+@dataclass
+class StoreDiff:
+    """The full comparison: entries plus the verdict."""
+
+    match_on: str                 # "key" or "name_seed"
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    @property
+    def matched(self) -> int:
+        return sum(1 for e in self.entries if e.status == "match")
+
+    @property
+    def divergent(self) -> int:
+        return sum(1 for e in self.entries if e.status == "fingerprint")
+
+    @property
+    def only_a(self) -> int:
+        return sum(1 for e in self.entries if e.status == "only_a")
+
+    @property
+    def only_b(self) -> int:
+        return sum(1 for e in self.entries if e.status == "only_b")
+
+    @property
+    def identical(self) -> bool:
+        """True iff every key matched bit-for-bit — the gate."""
+        return all(e.status == "match" for e in self.entries)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"match_on": self.match_on, "identical": self.identical,
+                "matched": self.matched, "divergent": self.divergent,
+                "only_a": self.only_a, "only_b": self.only_b,
+                "entries": [e.to_dict() for e in self.entries]}
+
+    def report(self) -> str:
+        """Human-readable diff, divergences first."""
+        lines = [
+            f"store diff ({'spec_hash' if self.match_on == 'key' else 'name'}"
+            f"+seed matching): {self.matched} match, "
+            f"{self.divergent} divergent, "
+            f"{self.only_a} only in A, {self.only_b} only in B"
+        ]
+        for entry in self.entries:
+            if entry.status == "match":
+                continue
+            if entry.status in ("only_a", "only_b"):
+                where = "A" if entry.status == "only_a" else "B"
+                lines.append(f"  {entry.name:<32} seed={entry.key[1]:<6} "
+                             f"only in {where}")
+                continue
+            lines.append(f"  {entry.name:<32} seed={entry.key[1]:<6} "
+                         f"fp {entry.fingerprint_a} != {entry.fingerprint_b}")
+            for change in entry.verdict_changes:
+                lines.append(f"      slo    {change}")
+            for change in entry.metric_changes:
+                lines.append(f"      metric {change}")
+        if self.identical:
+            lines.append("stores are equivalent (every compared record "
+                         "matches bit-for-bit)")
+        return "\n".join(lines)
+
+
+def _verdict_changes(rec_a: Dict[str, Any],
+                     rec_b: Dict[str, Any]) -> List[str]:
+    by_label_a = {v.get("slo", ""): v.get("status") for v in record_slos(rec_a)}
+    by_label_b = {v.get("slo", ""): v.get("status") for v in record_slos(rec_b)}
+    changes = []
+    for label in sorted(set(by_label_a) | set(by_label_b)):
+        status_a = by_label_a.get(label, "absent")
+        status_b = by_label_b.get(label, "absent")
+        if status_a != status_b:
+            changes.append(f"{label}: {status_a} -> {status_b}")
+    return changes
+
+
+def _metric_changes(rec_a: Dict[str, Any],
+                    rec_b: Dict[str, Any]) -> List[str]:
+    metrics_a = rec_a.get("metrics", {}) or {}
+    metrics_b = rec_b.get("metrics", {}) or {}
+    changes = []
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        if name in VOLATILE_METRIC_FIELDS:
+            continue
+        value_a = metrics_a.get(name)
+        value_b = metrics_b.get(name)
+        if value_a != value_b:
+            changes.append(f"{name}: {value_a} -> {value_b}")
+    return changes
+
+
+def diff_stores(store_a: ResultStore, store_b: ResultStore) -> StoreDiff:
+    """Compare two stores record-for-record (see module docstring for
+    the matching rules)."""
+    keys_a = set(store_a.keys())
+    keys_b = set(store_b.keys())
+    map_a = {key: key for key in store_a.keys()}
+    map_b = {key: key for key in store_b.keys()}
+    match_on = "key"
+    if not (keys_a & keys_b) and keys_a and keys_b:
+        # Disjoint spec hashes: same family, different spec content
+        # (the controller-A/B shape) — line records up by (name, seed).
+        # Only sound when (name, seed) is unique within each store; a
+        # multi-family merged store would silently shadow records, so
+        # such stores stay key-matched (everything diverges — the gate
+        # fails safe instead of lying).
+        by_name_a = {(e.name, e.seed): (e.spec_hash, e.seed)
+                     for e in store_a.entries()}
+        by_name_b = {(e.name, e.seed): (e.spec_hash, e.seed)
+                     for e in store_b.entries()}
+        if (len(by_name_a) == len(store_a.keys())
+                and len(by_name_b) == len(store_b.keys())):
+            match_on = "name_seed"
+            map_a, map_b = by_name_a, by_name_b
+
+    fps_a = store_a.fingerprints()
+    fps_b = store_b.fingerprints()
+    names_a = {(e.spec_hash, e.seed): e.name for e in store_a.entries()}
+    names_b = {(e.spec_hash, e.seed): e.name for e in store_b.entries()}
+    diff = StoreDiff(match_on=match_on)
+    for key in sorted(set(map_a) | set(map_b), key=lambda k: (str(k[0]), k[1])):
+        if key not in map_b:
+            diff.entries.append(DiffEntry(key=key, name=names_a[map_a[key]],
+                                          status="only_a"))
+            continue
+        if key not in map_a:
+            diff.entries.append(DiffEntry(key=key, name=names_b[map_b[key]],
+                                          status="only_b"))
+            continue
+        real_a, real_b = map_a[key], map_b[key]
+        fp_a, fp_b = fps_a[real_a], fps_b[real_b]
+        name = names_a[real_a]
+        if fp_a == fp_b:
+            # Matching keys never touch the records file: the whole
+            # all-match gate runs off the index sidecars alone.
+            diff.entries.append(DiffEntry(
+                key=key, name=name, status="match",
+                fingerprint_a=fp_a, fingerprint_b=fp_b))
+            continue
+        rec_a = store_a.get(*real_a)
+        rec_b = store_b.get(*real_b)
+        diff.entries.append(DiffEntry(
+            key=key, name=name, status="fingerprint",
+            fingerprint_a=fp_a, fingerprint_b=fp_b,
+            verdict_changes=_verdict_changes(rec_a, rec_b),
+            metric_changes=_metric_changes(rec_a, rec_b)))
+    return diff

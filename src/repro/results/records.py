@@ -26,6 +26,17 @@ from typing import Any, Dict, Tuple
 #: excluded) ``diagnostics`` blob.
 RESULT_SCHEMA_VERSION = 2
 
+#: Result-payload fields that are non-deterministic between identical
+#: runs and therefore excluded from EVERY equality surface —
+#: ``ScenarioResult`` equality, ``result_fingerprint``,
+#: ``ResultStore.canonical_digest`` and ``diff_stores``.  One list so
+#: a new volatile field (say, peak RSS) cannot be excluded in one
+#: place and reported as divergence in another.
+VOLATILE_RESULT_FIELDS = ("wall_seconds", "diagnostics")
+
+#: Same exclusion for the flat metric view (`scenario_metrics`).
+VOLATILE_METRIC_FIELDS = ("wall_seconds",)
+
 
 def canonical_json(payload: Any) -> str:
     """The one serialized form used for hashing: sorted keys, no

@@ -24,20 +24,51 @@ return results to the parent, which writes); readers open with
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.results.records import (
     RESULT_SCHEMA_VERSION,
+    VOLATILE_METRIC_FIELDS,
+    VOLATILE_RESULT_FIELDS,
     record_error,
     record_key,
 )
 
 RECORDS_FILE = "records.jsonl"
 INDEX_FILE = "index.jsonl"
+METADATA_FILE = "meta.json"
+
+#: Subdirectory of a fleet campaign's target store where per-worker
+#: shard stores live until they are merged.
+SHARDS_DIR = "shards"
+
+
+def shard_store_name(worker_id: str) -> str:
+    """Canonical directory name for one worker's shard store.
+
+    Worker ids come from the network (``repro fleet join`` names
+    itself), so everything but a safe character set is mapped to ``_``
+    before it becomes a path component.
+    """
+    safe = "".join(ch if ch.isalnum() or ch in "-._" else "_"
+                   for ch in worker_id)
+    return f"shard-{safe or 'worker'}"
+
+
+def list_shards(root: str) -> List[str]:
+    """Shard store directories under ``root``, in sorted (canonical)
+    order — the deterministic tie-break order for merge dedup."""
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        os.path.join(root, name) for name in os.listdir(root)
+        if name.startswith("shard-")
+        and os.path.isdir(os.path.join(root, name)))
 
 
 @dataclass
@@ -92,6 +123,7 @@ class ResultStore:
             os.makedirs(self.path, exist_ok=True)
         self.records_path = os.path.join(self.path, RECORDS_FILE)
         self.index_path = os.path.join(self.path, INDEX_FILE)
+        self.metadata_path = os.path.join(self.path, METADATA_FILE)
         self._index: Dict[Tuple[str, int], IndexEntry] = {}
         self._order: List[Tuple[str, int]] = []
         self._load_index()
@@ -237,6 +269,176 @@ class ResultStore:
         self._admit(entry)
         return entry
 
+    # -- merge / compaction ------------------------------------------------
+
+    def merge_from(
+        self,
+        sources: "Sequence[ResultStore]",
+        order: "Optional[Sequence[Tuple[str, int]]]" = None,
+        replace_errors: bool = True,
+    ) -> int:
+        """Fold records from shard stores into this one, dedup by key.
+
+        The dedup rule is deterministic regardless of which worker ran
+        what when: for every key, a *healthy* record beats an error
+        record, and ties break by source position (callers pass shards
+        in sorted name order — see :func:`list_shards`).  ``order``
+        fixes the append order of the merged records (a fleet
+        coordinator passes the sweep's spec order so the merged store
+        is record-for-record identical to a single-box run); keys the
+        sources hold that are not in ``order`` follow, in first-source
+        order.  Keys already present in this store are skipped —
+        unless ``replace_errors`` and the resident record is an error
+        record while a source offers a healthy one, in which case the
+        healthy record supersedes it.
+
+        Returns the number of records appended.
+        """
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        # key -> (source, entry) of the winning candidate.
+        best: Dict[Tuple[str, int], Tuple["ResultStore", IndexEntry]] = {}
+        arrival: List[Tuple[str, int]] = []
+        for source in sources:
+            for entry in source.entries():
+                key = (entry.spec_hash, entry.seed)
+                if key not in best:
+                    best[key] = (source, entry)
+                    arrival.append(key)
+                elif best[key][1].error and not entry.error:
+                    best[key] = (source, entry)
+        keys = list(order) if order is not None else []
+        keys = [tuple(key) for key in keys if tuple(key) in best]
+        ordered = set(keys)
+        tail = [key for key in arrival if key not in ordered]
+        picks: List[Tuple[Tuple[str, int], "ResultStore"]] = []
+        for key in keys + tail:
+            source, entry = best[key]
+            if key in self._index and not (
+                    replace_errors and self._index[key].error
+                    and not entry.error):
+                continue
+            picks.append((key, source))
+        if not picks:
+            return 0
+        # Batched append: the source shards are already durable, so
+        # one fsync covers the whole merge instead of one per record
+        # (same crash semantics as append(): records land before
+        # index lines, a torn tail heals on rebuild, a repeated key's
+        # later line supersedes).  Each source is read through one
+        # persistent handle (picks interleave sources in canonical
+        # order, so per-pick get() opens would defeat streaming).
+        entries: List[IndexEntry] = []
+        source_handles: Dict[int, Any] = {}
+        try:
+            with open(self.records_path, "ab") as handle:
+                handle.seek(0, os.SEEK_END)
+                for key, source in picks:
+                    reader = source_handles.get(id(source))
+                    if reader is None:
+                        reader = open(source.records_path, "rb")
+                        source_handles[id(source)] = reader
+                    reader.seek(source._index[key].offset)
+                    record = json.loads(reader.readline())
+                    offset = handle.tell()
+                    handle.write((json.dumps(record, sort_keys=True) + "\n")
+                                 .encode("utf-8"))
+                    entries.append(IndexEntry(
+                        spec_hash=key[0], seed=key[1],
+                        name=record.get("name", ""),
+                        fingerprint=record.get("fingerprint", ""),
+                        offset=offset,
+                        error=record_error(record) is not None))
+                handle.flush()
+                os.fsync(handle.fileno())
+        finally:
+            for reader in source_handles.values():
+                reader.close()
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+        for entry in entries:
+            self._admit(entry)
+        return len(entries)
+
+    def compact(self) -> int:
+        """Rewrite ``records.jsonl`` keeping only the live records, in
+        index (append) order — dropping superseded lines (retried
+        errors) and dead bytes.  Returns the bytes reclaimed.  The
+        sidecar is rebuilt to match; both files are replaced
+        atomically."""
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        if not os.path.exists(self.records_path):
+            return 0
+        before = os.path.getsize(self.records_path)
+        tmp_records = self.records_path + ".tmp"
+        entries: List[IndexEntry] = []
+        with open(tmp_records, "wb") as handle:
+            for key, record in zip(self._order,
+                                   self.records_at(self._order)):
+                old = self._index[key]
+                offset = handle.tell()
+                handle.write((json.dumps(record, sort_keys=True) + "\n")
+                             .encode("utf-8"))
+                entries.append(IndexEntry(
+                    spec_hash=old.spec_hash, seed=old.seed, name=old.name,
+                    fingerprint=old.fingerprint, offset=offset,
+                    error=old.error))
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp_index = self.index_path + ".tmp"
+        with open(tmp_index, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+        os.replace(tmp_records, self.records_path)
+        os.replace(tmp_index, self.index_path)
+        self._index = {(e.spec_hash, e.seed): e for e in entries}
+        self._order = [(e.spec_hash, e.seed) for e in entries]
+        return before - os.path.getsize(self.records_path)
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """The store's self-description (``meta.json``): free-form,
+        never part of record identity or equality.  Missing or corrupt
+        metadata reads as ``{}`` — records are the source of truth."""
+        try:
+            with open(self.metadata_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def update_metadata(self, updates: Dict[str, Any]) -> Dict[str, Any]:
+        """Shallow-merge ``updates`` into ``meta.json`` (atomic
+        replace) and return the new metadata."""
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        data = self.metadata
+        data.update(updates)
+        tmp_path = self.metadata_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self.metadata_path)
+        return data
+
+    def record_provenance(self, entry: Dict[str, Any]) -> None:
+        """Append one run-provenance entry (worker count, transport,
+        chunk size, repro version, ...) to ``meta["runs"]`` so a
+        merged or resumed store is self-describing."""
+        runs = self.metadata.get("runs")
+        runs = list(runs) if isinstance(runs, list) else []
+        runs.append(entry)
+        self.update_metadata({"runs": runs})
+
     # -- reading -----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -274,6 +476,20 @@ class ResultStore:
             handle.seek(entry.offset)
             return json.loads(handle.readline())
 
+    def records_at(self,
+                   keys: "Sequence[Tuple[str, int]]") -> Iterator[Dict[str, Any]]:
+        """Stream the records for ``keys`` (in that order) through ONE
+        open handle — the bulk form of :meth:`get` that merge,
+        compaction and digests use so an N-record pass costs one open,
+        not N."""
+        if not keys:
+            return
+        with open(self.records_path, "rb") as handle:
+            for key in keys:
+                entry = self._index[tuple(key)]
+                handle.seek(entry.offset)
+                yield json.loads(handle.readline())
+
     def iter_records(self) -> Iterator[Dict[str, Any]]:
         """Stream every *live* record in file order, one line in
         memory at a time — the aggregation/report path for huge
@@ -292,6 +508,35 @@ class ResultStore:
     def fingerprints(self) -> Dict[Tuple[str, int], str]:
         """key -> result fingerprint, from the sidecar alone."""
         return {key: self._index[key].fingerprint for key in self._order}
+
+    def canonical_digest(self) -> str:
+        """Digest of the store's *deterministic* content, in canonical
+        key order: every live record with the repo-wide volatile fields
+        (``result.wall_seconds``, ``result.diagnostics``) removed,
+        hashed key-by-key.  Two stores holding the same sweep — single
+        box or merged from a fleet's shards, run now or resumed later —
+        digest identically; any divergent measurement, verdict or spec
+        does not.  This is the store-level form of the scenario
+        reproducibility contract (wall clock and engine internals are
+        excluded from equality everywhere)."""
+        digest = hashlib.sha256()
+        ordered = sorted(self._order)
+        for record in self.records_at(ordered):
+            record = dict(record)
+            result = dict(record.get("result", {}))
+            for field_name in VOLATILE_RESULT_FIELDS:
+                result.pop(field_name, None)
+            record["result"] = result
+            metrics = record.get("metrics")
+            if isinstance(metrics, dict):
+                metrics = dict(metrics)
+                for field_name in VOLATILE_METRIC_FIELDS:
+                    metrics.pop(field_name, None)
+                record["metrics"] = metrics
+            digest.update(json.dumps(record, sort_keys=True,
+                                     separators=(",", ":")).encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()[:16]
 
     def schema_versions(self) -> Dict[int, int]:
         """schema_version -> record count (streaming scan)."""

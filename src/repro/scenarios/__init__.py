@@ -69,6 +69,9 @@ from repro.scenarios.campaign import (
     Campaign,
     CampaignResult,
     CampaignRunStats,
+    WorkChunk,
+    effective_cpu_count,
+    plan_chunks,
     run_scenario_dict,
     run_scenario_dict_safe,
 )
@@ -104,6 +107,9 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "CampaignRunStats",
+    "WorkChunk",
+    "effective_cpu_count",
+    "plan_chunks",
     "run_scenario_dict",
     "run_scenario_dict_safe",
 ]

@@ -27,7 +27,10 @@ aborting the whole sweep.
 from __future__ import annotations
 
 import itertools
+import logging
+import math
 import multiprocessing
+import os
 import time as _time
 from dataclasses import dataclass, field
 from typing import (
@@ -45,6 +48,65 @@ from repro.scenarios.runner import (
     result_fingerprint,
 )
 from repro.scenarios.spec import ScenarioSpec
+
+_log = logging.getLogger("repro.campaign")
+
+
+def effective_cpu_count() -> int:
+    """CPUs this *process* may actually use — the honest parallelism
+    ceiling for a worker pool.
+
+    ``os.cpu_count()`` reports the machine; in a cgroup-limited
+    container or under ``taskset`` that over-commits the pool badly.
+    Prefer ``os.process_cpu_count()`` (3.13+), fall back to the
+    scheduler affinity mask, and only then to the raw machine count.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        count = counter()
+    else:
+        try:
+            count = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):  # non-Linux platforms
+            count = os.cpu_count()
+    return max(1, count or 1)
+
+
+@dataclass
+class WorkChunk:
+    """A contiguous slice of a sweep's spec payloads — the unit of
+    fleet work assignment (leased, heartbeat-kept, stolen, retried as
+    one).  Chunk ids follow spec order, so the sequence of chunks
+    replays the sweep exactly."""
+
+    chunk_id: int
+    payloads: List[Dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+
+def plan_chunks(
+    payloads: Sequence[Dict[str, Any]],
+    chunk_size: Optional[int] = None,
+    workers: int = 1,
+) -> List[WorkChunk]:
+    """Slice spec payloads into :class:`WorkChunk`\\ s.
+
+    The default size aims at ~4 chunks per worker: big enough that
+    framing and lease bookkeeping stay negligible, small enough that
+    work stealing from a dead worker forfeits little progress.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size}")
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(payloads) / max(1, workers * 4)))
+    return [
+        WorkChunk(chunk_id=index,
+                  payloads=list(payloads[start:start + chunk_size]))
+        for index, start in enumerate(range(0, len(payloads), chunk_size))
+    ]
 
 
 def run_scenario_dict(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -174,6 +236,8 @@ class CampaignRunStats:
     wall_seconds: float = 0.0
     workers: int = 1
     store_path: str = ""
+    transport: str = "local"      # "local" pool, or the fleet transport
+    fleet: Optional[Dict[str, Any]] = None  # FleetRunStats.to_dict()
 
     def summary(self) -> str:
         return (
@@ -189,9 +253,19 @@ class CampaignRunStats:
 class Campaign:
     """A batch of scenarios and the machinery to run them."""
 
-    def __init__(self, specs: Sequence[ScenarioSpec], workers: int = 1):
+    def __init__(self, specs: Sequence[ScenarioSpec],
+                 workers: Optional[int] = None):
         if not specs:
             raise ConfigurationError("campaign needs at least one scenario")
+        if workers is None:
+            # cgroup/affinity-aware (effective_cpu_count), never wider
+            # than the batch — and the choice is logged because silent
+            # parallelism defaults are how containers get oversubscribed.
+            workers = min(effective_cpu_count(), len(specs))
+            _log.info(
+                "campaign: auto-selected %d worker(s) "
+                "(%d usable CPU(s), %d scenario(s))",
+                workers, effective_cpu_count(), len(specs))
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         names = [spec.name for spec in specs]
@@ -205,7 +279,7 @@ class Campaign:
         cls,
         factory: Callable[[int], ScenarioSpec],
         seeds: Iterable[int],
-        workers: int = 1,
+        workers: Optional[int] = None,
     ) -> "Campaign":
         """Build a campaign from a seed -> spec factory (the common
         shape: same scenario family, many seeds)."""
@@ -216,7 +290,7 @@ class Campaign:
         cls,
         factory: Callable[..., ScenarioSpec],
         grid: Dict[str, Sequence[Any]],
-        workers: int = 1,
+        workers: Optional[int] = None,
     ) -> "Campaign":
         """Build a campaign over the cartesian product of ``grid``.
 
@@ -249,6 +323,7 @@ class Campaign:
     def run(
         self, store: "Optional[ResultStore]" = None,
         retry_errors: bool = False,
+        executor: Optional[Any] = None,
     ) -> "CampaignResult | CampaignRunStats":
         """Execute every scenario; parallel when ``workers > 1``.
 
@@ -261,6 +336,12 @@ class Campaign:
         finishes exactly the remaining work.  ``retry_errors`` also
         re-runs pairs whose persisted record is a fault-isolation
         error result (a transient worker failure), superseding it.
+
+        ``executor`` swaps the local worker pool for a distributed
+        backend (a :class:`repro.fleet.FleetExecutor`): the pending
+        payloads fan out over the fleet and the merged store ends up
+        record-for-record what this method would have written locally.
+        Resume semantics, stats and gating are unchanged.
         """
         start = _time.perf_counter()
         pending = list(self.specs)
@@ -288,6 +369,27 @@ class Campaign:
             pending = remaining
 
         payloads = [spec.to_dict() for spec in pending]
+        if executor is not None:
+            if store is None:
+                raise ConfigurationError(
+                    "fleet execution streams records; pass a store")
+            fleet_stats = executor.execute(payloads, store)
+            return CampaignRunStats(
+                total=len(self.specs),
+                executed=fleet_stats.merged,
+                skipped=skipped,
+                failed=fleet_stats.failed,
+                slo_failures=fleet_stats.slo_failures,
+                wall_seconds=_time.perf_counter() - start,
+                # TCP fleets learn their size from who joined, not
+                # from the executor's (unused) worker knob.
+                workers=(len(fleet_stats.workers)
+                         or getattr(executor, "workers", 1)),
+                store_path=store.path,
+                transport=getattr(executor, "transport_name", "fleet"),
+                fleet=fleet_stats.to_dict(),
+            )
+
         results: List[ScenarioResult] = []
         failed = 0
         slo_failures = 0
@@ -312,6 +414,15 @@ class Campaign:
                                       record["seed"]) in retrying)
 
         if store is not None:
+            from repro import __version__
+
+            store.record_provenance({
+                "transport": "local",
+                "workers": self.workers,
+                "executed": len(payloads),
+                "skipped": skipped,
+                "repro_version": __version__,
+            })
             return CampaignRunStats(
                 total=len(self.specs),
                 executed=len(payloads),

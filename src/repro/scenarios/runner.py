@@ -47,7 +47,10 @@ from repro.dataplane.flow import FluidFlow
 from repro.dataplane.link import Link
 from repro.dataplane.node import reset_auto_macs
 from repro.dataplane.switch import reset_dpids
-from repro.results.records import RESULT_SCHEMA_VERSION
+from repro.results.records import (
+    RESULT_SCHEMA_VERSION,
+    VOLATILE_RESULT_FIELDS,
+)
 from repro.results.slo import SLOVerdict, evaluate_slos
 from repro.scenarios.spec import ScenarioSpec
 from repro.traffic.generators import TrafficSpec, cbr_udp_flows
@@ -220,8 +223,8 @@ def result_fingerprint(result_dict: Dict[str, Any]) -> str:
     Excludes ``wall_seconds`` and ``diagnostics`` (non-deterministic)
     and ``schema_version`` (presentation, not measurement)."""
     payload = dict(result_dict)
-    payload.pop("wall_seconds", None)
-    payload.pop("diagnostics", None)
+    for field_name in VOLATILE_RESULT_FIELDS:
+        payload.pop(field_name, None)
     payload.pop("schema_version", None)
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
