@@ -1,0 +1,119 @@
+"""Adversarial-search throughput and search-vs-random win rate.
+
+Two questions:
+
+* how fast does the search engine burn budget (specs evaluated per
+  second, end to end through Campaign + ResultStore — planning and
+  mutation overhead must stay negligible against the simulations);
+* does the evolutionary strategy actually earn its keep — at a fixed
+  budget, how often does it find a strictly worse scenario than pure
+  random sampling (paired comparison: both strategies share the same
+  generation-0 samples), and by how much.
+
+Knobs:
+
+* ``REPRO_BENCH_SEARCH_BUDGET``  — specs per search (default 16)
+* ``REPRO_BENCH_SEARCH_PAIRS``   — evolve-vs-random seed pairs for the
+  win-rate table (default 3)
+* ``REPRO_BENCH_SEARCH_DURATION``— simulated horizon per scenario
+  (default 25)
+
+Run:  pytest benchmarks/bench_search.py --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.results import ResultStore
+from repro.scenarios import SearchConfig, run_search
+
+from conftest import record_rows
+
+_timings = {}
+_outcomes = []
+
+
+def search_budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEARCH_BUDGET", "16"))
+
+
+def search_pairs() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEARCH_PAIRS", "3"))
+
+
+def search_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_SEARCH_DURATION", "25"))
+
+
+def make_config(strategy: str, seed: int) -> SearchConfig:
+    return SearchConfig(
+        family="flap-storm",
+        strategy=strategy,
+        objective="delivered_shortfall",
+        budget=search_budget(),
+        population=4,
+        elites=2,
+        seed=seed,
+        duration=search_duration(),
+    )
+
+
+def test_search_throughput(benchmark, tmp_path):
+    """Specs evaluated per second through the full engine."""
+
+    def hunt():
+        return run_search(make_config("evolve", seed=0),
+                          ResultStore(str(tmp_path / "evolve")))
+
+    stats = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    assert stats.evaluated == search_budget()
+    _timings["specs_per_s"] = stats.evaluated / benchmark.stats.stats.mean
+    _timings["wall_s"] = benchmark.stats.stats.mean
+
+
+def test_search_vs_random_win_rate(benchmark, tmp_path):
+    """Paired evolve-vs-random best objective at equal budget."""
+
+    def tournament():
+        outcomes = []
+        for seed in range(search_pairs()):
+            evolve = run_search(
+                make_config("evolve", seed=seed),
+                ResultStore(str(tmp_path / f"evolve{seed}")))
+            rand = run_search(
+                make_config("random", seed=seed),
+                ResultStore(str(tmp_path / f"random{seed}")))
+            outcomes.append((seed, evolve.best_value, rand.best_value))
+        return outcomes
+
+    outcomes = benchmark.pedantic(tournament, rounds=1, iterations=1)
+    assert all(e is not None and r is not None for __, e, r in outcomes)
+    _outcomes.extend(outcomes)
+
+
+def test_search_bench_report(benchmark):
+    benchmark(lambda: None)  # report-only test; table assembly below
+    if not _timings and not _outcomes:
+        pytest.skip("no measurements collected")
+    rows = []
+    if _timings:
+        rows.append(f"{'throughput':>12} {search_budget():>7} "
+                    f"{_timings['wall_s']:>8.2f} "
+                    f"{_timings['specs_per_s']:>10.1f} {'':>10} {'':>10}")
+    wins = 0
+    for seed, evolve_best, random_best in _outcomes:
+        wins += evolve_best > random_best
+        rows.append(f"{f'pair seed {seed}':>12} {search_budget():>7} "
+                    f"{'':>8} {'':>10} {evolve_best:>10.4f} "
+                    f"{random_best:>10.4f}")
+    if _outcomes:
+        rows.append(f"{'win rate':>12} "
+                    f"{f'{wins}/{len(_outcomes)}':>7} "
+                    f"{'':>8} {'':>10} {'':>10} {'':>10}")
+    record_rows(
+        "search",
+        f"{'case':>12} {'budget':>7} {'wall_s':>8} {'specs_s':>10} "
+        f"{'evolve':>10} {'random':>10}",
+        rows,
+    )

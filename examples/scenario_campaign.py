@@ -12,6 +12,11 @@ half: every finished scenario streams into an on-disk
 from what the store already holds, and SLO assertions ride the spec
 so the sweep doubles as a regression gate.
 
+The tail of the example goes hunting: an adversarial search evolves
+the flap-storm family toward the worst delivered-traffic shortfall it
+can find at a fixed budget, then replays the winning spec bit-for-bit
+from its persisted JSON.
+
 Equivalent from the shell::
 
     repro campaign run --store flap_store --count 12 --workers 4 \
@@ -40,7 +45,13 @@ from repro.scenarios import (
     Campaign,
     ProtocolRecipe,
     ScenarioRunner,
+    ScenarioSpec,
+    SearchConfig,
     generate_scenario,
+    leaderboard,
+    leaderboard_report,
+    run_search,
+    worst_spec,
 )
 
 
@@ -125,6 +136,44 @@ def main() -> None:
     print(f"\nfleet vs single-box (repro campaign diff):")
     print(diff.report())
     assert diff.identical, "fleet run diverged from single-box!"
+
+    # --- PR 5: hunt the worst case instead of sampling it -------------
+    # Random sweeps rarely find the inputs that actually hurt a
+    # controller.  An adversarial search drives the same machinery
+    # (Campaign + ResultStore, so it is durable and exactly resumable)
+    # but *evolves* the scenarios: generation 0 samples the family,
+    # every later generation mutates the worst specs found so far —
+    # shifting injection times, swapping failed links within their
+    # shared-risk group, stretching flaps, scaling load.  Shell form:
+    #   repro search run --store hunt --budget 12 --pattern flap-storm
+    #   repro search report --store hunt --save-worst worst.json
+    #   repro scenario run --spec worst.json
+    search_dir = tempfile.mkdtemp(prefix="flap_hunt_")
+    config = SearchConfig(
+        family="flap-storm",
+        strategy="evolve",
+        objective="delivered_shortfall",
+        budget=12, population=4, elites=2,
+        seed=0, duration=35.0,
+        protocol=ProtocolRecipe("bgp", {"hold_time": 3.0,
+                                        "keepalive_interval": 1.0}),
+        pattern_params={"links": 2, "cycles": 2, "period": 6.0},
+    )
+    search_store = ResultStore(search_dir)
+    stats = run_search(config, search_store)
+    print(f"\nadversarial search: {stats.summary()}")
+    entries = leaderboard(search_store, config)
+    print(leaderboard_report(entries, config, top=3))
+
+    # The worst spec replays verbatim from its persisted JSON — the
+    # leaderboard is a list of reproducible bug reports, not a chart.
+    worst = ScenarioSpec.from_dict(worst_spec(search_store, entries))
+    replayed = ScenarioRunner().run(worst)
+    persisted = search_store.get(worst.spec_hash(), worst.seed)
+    print(f"\nworst case {worst.name}: shortfall "
+          f"{1.0 - replayed.delivered_fraction:.4f} on replay")
+    print(f"replay bit-for-bit identical: "
+          f"{replayed.fingerprint() == persisted['fingerprint']}")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,16 @@ Subcommands:
   record-for-record identical to a single-box run.
 * ``store``    — maintenance: ``store merge`` folds shard stores into
   one canonical store, dedup by (spec_hash, seed).
+* ``search``   — adversarial scenario search: ``search run`` explores
+  a scenario family (seeded random baseline, or an evolutionary loop
+  that mutates the worst specs found — shifting injection times,
+  swapping failed links within their shared-risk group, stretching
+  flaps, scaling load) to maximize an objective (convergence time,
+  recovery time, delivered shortfall, or any metric expression);
+  ``search resume`` finishes a killed search exactly (the store *is*
+  the search state), ``search report`` prints the ranked leaderboard
+  of worst cases — every entry replayable verbatim via ``repro
+  scenario run --spec`` on the file ``--save-worst`` writes.
 
 SLO assertions (``--slo``) ride the specs and are evaluated inside
 the runner, e.g. ``--slo converged_within=20 --slo
@@ -56,6 +66,11 @@ Examples::
     python -m repro.cli fleet join otherbox:7654
     python -m repro.cli fleet status otherbox:7654
     python -m repro.cli store merge merged/ shard_a/ shard_b/
+    python -m repro.cli search run --store hunt/ --budget 32 \
+        --pattern flap-storm --objective delivered_shortfall
+    python -m repro.cli search resume --store hunt/
+    python -m repro.cli search report --store hunt/ --save-worst worst.json
+    python -m repro.cli scenario run --spec worst.json
 """
 
 from __future__ import annotations
@@ -218,6 +233,9 @@ def _build_generated_spec(args: argparse.Namespace, seed: int):
         protocol=protocol,
         duration=args.duration,
         pattern_params=_parse_kv_params(args.pattern_param),
+        traffic_family=getattr(args, "traffic_family", None),
+        traffic_params=_parse_kv_params(getattr(args, "traffic_param",
+                                                None)),
     )
     spec.slos = _parse_slos(getattr(args, "slo", None))
     return spec
@@ -297,9 +315,13 @@ def _generator_options_string(args: argparse.Namespace) -> str:
              f"--duration {args.duration:g}"]
     if args.protocol is not None:
         parts.append(f"--protocol {args.protocol}")
+    if getattr(args, "traffic_family", None) is not None:
+        parts.append(f"--traffic-family {args.traffic_family}")
     for flag, pairs in (("--pattern-param", args.pattern_param),
                         ("--topo-param", args.topo_param),
-                        ("--protocol-param", args.protocol_param)):
+                        ("--protocol-param", args.protocol_param),
+                        ("--traffic-param",
+                         getattr(args, "traffic_param", None))):
         for pair in pairs or []:
             parts.append(f"{flag} {pair}")
     import shlex
@@ -531,6 +553,124 @@ def _cmd_store_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _search_config_from_args(args: argparse.Namespace):
+    from repro.scenarios import ProtocolRecipe, SearchConfig, TopologyRecipe
+
+    protocol = None
+    if args.protocol is not None:
+        protocol = ProtocolRecipe(args.protocol,
+                                  _parse_kv_params(args.protocol_param))
+    return SearchConfig(
+        family=args.pattern,
+        strategy=args.strategy,
+        objective=args.objective,
+        budget=args.budget,
+        population=args.population,
+        elites=args.elites,
+        seed=args.seed,
+        duration=args.duration,
+        topology=TopologyRecipe(args.topo, _parse_kv_params(args.topo_param)),
+        protocol=protocol,
+        pattern_params=_parse_kv_params(args.pattern_param),
+        traffic_family=args.traffic_family,
+        traffic_params=_parse_kv_params(args.traffic_param),
+    )
+
+
+def _emit_leaderboard(store, config, args,
+                      stats=None) -> int:
+    """Shared tail of the search commands: rank, print (or JSON),
+    optionally save the worst spec for replay.  Exit 0 only when the
+    leaderboard holds at least one healthy (non-errored) scenario — a
+    search that measured nothing must not read as success."""
+    from repro.core.errors import SimulationError
+    from repro.scenarios import (
+        leaderboard,
+        leaderboard_digest,
+        leaderboard_report,
+        worst_spec,
+    )
+
+    # run/resume already ranked the store for their digest — reuse
+    # those entries instead of a second full-store pass.
+    if stats is not None and stats.entries:
+        entries = stats.entries
+    else:
+        entries = leaderboard(store, config)
+    healthy = any(entry.value is not None for entry in entries)
+    if args.json:
+        import json as _json
+
+        payload = {
+            "config": config.to_dict(),
+            "digest": leaderboard_digest(entries),
+            "leaderboard": [entry.to_dict()
+                            for entry in entries[:args.top]],
+        }
+        if stats is not None:
+            payload["stats"] = stats.to_dict()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if stats is not None:
+            print(stats.summary())
+        print(leaderboard_report(entries, config, top=args.top))
+    if args.save_worst:
+        try:
+            spec_dict = worst_spec(store, entries)
+        except SimulationError as exc:
+            print(f"cannot save worst spec: {exc}")
+            return 1
+        import json as _json
+
+        with open(args.save_worst, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(spec_dict, indent=2, sort_keys=True)
+                         + "\n")
+        if not args.json:
+            print(f"worst spec -> {args.save_worst}  (replay: "
+                  f"repro scenario run --spec {args.save_worst})")
+    return 0 if healthy else 1
+
+
+def _cmd_search_run(args: argparse.Namespace) -> int:
+    from repro.core.errors import SimulationError
+    from repro.scenarios import run_search
+
+    store = _open_store(args.store, must_exist=False)
+    config = _search_config_from_args(args)
+    try:
+        stats = run_search(config, store, workers=args.workers)
+    except SimulationError as exc:
+        raise SystemExit(f"search failed: {exc}")
+    return _emit_leaderboard(store, config, args, stats=stats)
+
+
+def _cmd_search_resume(args: argparse.Namespace) -> int:
+    """Finish a killed search: the store carries the whole config, so
+    no generator flags are re-given (and none can drift)."""
+    from repro.core.errors import SimulationError
+    from repro.scenarios import load_search_config, run_search
+
+    store = _open_store(args.store, must_exist=True)
+    try:
+        config = load_search_config(store)
+        stats = run_search(config, store, workers=args.workers)
+    except SimulationError as exc:
+        raise SystemExit(f"search resume failed: {exc}")
+    return _emit_leaderboard(store, config, args, stats=stats)
+
+
+def _cmd_search_report(args: argparse.Namespace) -> int:
+    from repro.core.errors import SimulationError
+    from repro.scenarios import load_search_config
+
+    store = _open_store(args.store, must_exist=True, readonly=True)
+    try:
+        config = load_search_config(store)
+    except SimulationError as exc:
+        raise SystemExit(str(exc))
+    return _emit_leaderboard(store, config, args)
+
+
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     """Coordinate a sweep for workers that join over TCP."""
     from repro.fleet import FleetExecutor
@@ -634,16 +774,19 @@ def _add_fleet_tuning_options(parser: argparse.ArgumentParser) -> None:
                              "still merged; resume finishes the rest)")
 
 
-def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
-    """Options shared by ``scenario run`` and ``scenario sweep``."""
+def _add_family_options(parser: argparse.ArgumentParser) -> None:
+    """The scenario-family knobs: failure pattern, topology, protocol,
+    traffic matrix, horizon — shared by the scenario/campaign commands
+    and ``search run``."""
     parser.add_argument(
         "--pattern", default="k-random-links",
         choices=["k-random-links", "flap-storm", "rolling-maintenance",
-                 "gray-brownout"],
-        help="failure pattern to generate")
+                 "gray-brownout", "srlg"],
+        help="failure pattern to generate (srlg: correlated failures "
+             "of whole shared-risk link groups)")
     parser.add_argument(
         "--pattern-param", action="append", metavar="KEY=VALUE",
-        help="pattern tunable (e.g. k=3, cycles=4); repeatable")
+        help="pattern tunable (e.g. k=3, cycles=4, groups=2); repeatable")
     parser.add_argument(
         "--topo", default="wan",
         choices=["wan", "fattree", "leafspine", "linear", "star", "tree",
@@ -660,6 +803,19 @@ def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
         help="protocol timer (e.g. hold_time=3); repeatable")
     parser.add_argument("--duration", type=float, default=40.0,
                         help="simulated horizon per scenario, seconds")
+    parser.add_argument(
+        "--traffic-family", default=None,
+        choices=["uniform", "elephant-mice", "hotspot"],
+        help="traffic-matrix family (default: a plain permutation)")
+    parser.add_argument(
+        "--traffic-param", action="append", metavar="KEY=VALUE",
+        help="traffic-matrix tunable (e.g. rate_bps=5e8, "
+             "elephant_factor=8); repeatable")
+
+
+def _add_scenario_generator_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``scenario run`` and ``scenario sweep``."""
+    _add_family_options(parser)
     parser.add_argument(
         "--slo", action="append", metavar="KIND=VALUE",
         help="SLO assertion evaluated in-run (converged_within=S, "
@@ -831,6 +987,63 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also rewrite the target dropping "
                              "superseded/dead bytes")
     smerge.set_defaults(func=_cmd_store_merge)
+
+    search = sub.add_parser(
+        "search",
+        help="adversarial scenario search: find the specs that "
+             "maximize an objective (worst-case hunting)")
+    search_sub = search.add_subparsers(dest="search_command", required=True)
+
+    def add_search_output_options(parser_obj):
+        parser_obj.add_argument("--top", type=int, default=10,
+                                help="leaderboard entries to show")
+        parser_obj.add_argument("--save-worst", default=None, metavar="FILE",
+                                help="write the worst spec's JSON for "
+                                     "replay via 'scenario run --spec'")
+        parser_obj.add_argument("--json", action="store_true",
+                                help="emit stats + leaderboard as JSON")
+
+    srun = search_sub.add_parser(
+        "run", help="run a seeded, resumable adversarial search")
+    add_store_option(srun)
+    srun.add_argument("--budget", type=int, default=32,
+                      help="total scenario evaluations")
+    srun.add_argument("--population", type=int, default=8,
+                      help="scenarios per generation")
+    srun.add_argument("--elites", type=int, default=2,
+                      help="top specs each generation mutates from")
+    srun.add_argument("--strategy", default="evolve",
+                      choices=["random", "evolve"],
+                      help="random sampling baseline, or the "
+                           "evolutionary perturbation loop")
+    srun.add_argument("--objective", default="delivered_shortfall",
+                      help="what to maximize: convergence_time, "
+                           "recovery_time, delivered_shortfall, or any "
+                           "metric expression (higher = worse)")
+    srun.add_argument("--seed", type=int, default=0,
+                      help="search seed (candidate derivation root)")
+    srun.add_argument("--workers", type=int, default=None,
+                      help="worker processes per generation (default: "
+                           "all usable CPUs, cgroup-aware)")
+    _add_family_options(srun)
+    add_search_output_options(srun)
+    srun.set_defaults(func=_cmd_search_run)
+
+    sresume = search_sub.add_parser(
+        "resume",
+        help="finish a killed search exactly (config comes from the "
+             "store; only missing scenarios run)")
+    add_store_option(sresume)
+    sresume.add_argument("--workers", type=int, default=None,
+                         help="worker processes per generation")
+    add_search_output_options(sresume)
+    sresume.set_defaults(func=_cmd_search_resume)
+
+    sreport = search_sub.add_parser(
+        "report", help="ranked worst-case leaderboard of a search store")
+    add_store_option(sreport)
+    add_search_output_options(sreport)
+    sreport.set_defaults(func=_cmd_search_report)
 
     fleet = sub.add_parser(
         "fleet",

@@ -19,7 +19,12 @@ generate, store, sweep and parallelize:
   seed sweep or parameter grid across worker processes, optionally
   streaming every result into a durable, resumable
   :class:`~repro.results.store.ResultStore` (see :mod:`repro.results`
-  for persistence, SLO assertions and aggregation).
+  for persistence, SLO assertions and aggregation);
+* :mod:`~repro.scenarios.search`     — adversarial scenario search:
+  seeded random or evolutionary exploration of a scenario family,
+  maximizing an objective (convergence time, recovery time, delivered
+  shortfall, or any metric expression), resumable through the store,
+  with a ranked leaderboard of worst cases.
 
 Quickstart::
 
@@ -50,12 +55,16 @@ from repro.scenarios.spec import (
     TrafficRecipe,
 )
 from repro.scenarios.generators import (
+    TRAFFIC_FAMILIES,
     flap_storm,
     generate_scenario,
     gray_brownout,
     k_random_link_failures,
     rolling_maintenance,
     seed_sweep_specs,
+    srlg_failure,
+    srlg_groups,
+    traffic_matrix,
 )
 from repro.scenarios.runner import (
     InjectionOutcome,
@@ -74,6 +83,23 @@ from repro.scenarios.campaign import (
     plan_chunks,
     run_scenario_dict,
     run_scenario_dict_safe,
+)
+from repro.scenarios.search import (
+    OBJECTIVES,
+    STRATEGIES,
+    LeaderboardEntry,
+    ScenarioSearch,
+    SearchConfig,
+    SearchRunStats,
+    leaderboard,
+    leaderboard_digest,
+    leaderboard_report,
+    load_search_config,
+    mutate_spec,
+    objective_value,
+    resume_search,
+    run_search,
+    worst_spec,
 )
 
 __all__ = [
@@ -97,6 +123,10 @@ __all__ = [
     "flap_storm",
     "rolling_maintenance",
     "gray_brownout",
+    "srlg_failure",
+    "srlg_groups",
+    "traffic_matrix",
+    "TRAFFIC_FAMILIES",
     "SPEC_SCHEMA_VERSION",
     "ScenarioRunner",
     "ScenarioResult",
@@ -112,4 +142,19 @@ __all__ = [
     "plan_chunks",
     "run_scenario_dict",
     "run_scenario_dict_safe",
+    "OBJECTIVES",
+    "STRATEGIES",
+    "LeaderboardEntry",
+    "ScenarioSearch",
+    "SearchConfig",
+    "SearchRunStats",
+    "leaderboard",
+    "leaderboard_digest",
+    "leaderboard_report",
+    "load_search_config",
+    "mutate_spec",
+    "objective_value",
+    "resume_search",
+    "run_search",
+    "worst_spec",
 ]

@@ -15,7 +15,17 @@ The failure *patterns* are the classic control-plane stress shapes:
 * ``rolling-maintenance`` — devices taken down and brought back one
   after another (upgrade wave);
 * ``gray-brownout``       — capacity degradations that routing never
-  notices.
+  notices;
+* ``srlg``                — *correlated* failures: whole shared-risk
+  link groups (a conduit cut, a pod's cable tray, a spine chassis)
+  going down near-simultaneously, derived from the topology recipe
+  by :func:`srlg_groups`.
+
+Independent random failures rarely find the inputs that actually hurt
+a controller; the SRLG family and the traffic-matrix families
+(:func:`traffic_matrix`: uniform, elephant-mice, hotspot) feed the
+adversarial search in :mod:`repro.scenarios.search` with correlated,
+structured stress instead.
 
 All randomness flows through one ``random.Random(seed)`` instance per
 scenario, consumed in a fixed order.
@@ -42,7 +52,9 @@ from repro.scenarios.spec import (
     TopologyRecipe,
     TrafficRecipe,
 )
+from repro.topology.fattree import FatTreeTopo
 from repro.topology.topo import Topo
+from repro.traffic import patterns
 
 
 def fabric_links(topo: Topo) -> List[Tuple[str, str]]:
@@ -169,12 +181,183 @@ def gray_brownout(
     return injections
 
 
+def srlg_groups(topo: Topo) -> Dict[str, List[Tuple[str, str]]]:
+    """Shared-risk link groups derived from the topology's structure.
+
+    Links in one group plausibly share a physical fate — a cable tray,
+    a conduit, a chassis — so correlated-failure scenarios cut them
+    *together*.  Derivation is purely structural and deterministic:
+
+    * fat-tree: one ``pod<p>`` group per pod (that pod's edge-agg
+      mesh — the cable tray inside the pod) and one ``core-<name>``
+      group per core switch (every agg uplink landing on that chassis,
+      the "same-spine" risk);
+    * anything else: one ``node-<name>`` group per device with two or
+      more fabric links (all links entering one conduit/chassis).
+
+    Groups with fewer than two links are dropped — a singleton SRLG is
+    just a link failure, which ``k-random-links`` already covers.
+    """
+    links = fabric_links(topo)
+    groups: Dict[str, List[Tuple[str, str]]] = {}
+    if isinstance(topo, FatTreeTopo):
+        for node_a, node_b in links:
+            layers = {topo.layer_of(node_a), topo.layer_of(node_b)}
+            if layers == {"edge", "agg"}:
+                pod = int(node_a.split("_")[0][1:])
+                groups.setdefault(f"pod{pod}", []).append((node_a, node_b))
+            elif "core" in layers:
+                core = node_a if topo.layer_of(node_a) == "core" else node_b
+                groups.setdefault(f"core-{core}", []).append((node_a, node_b))
+    else:
+        for node_a, node_b in links:
+            groups.setdefault(f"node-{node_a}", []).append((node_a, node_b))
+            groups.setdefault(f"node-{node_b}", []).append((node_a, node_b))
+    return {name: members for name, members in groups.items()
+            if len(members) >= 2}
+
+
+def srlg_failure(
+    topo: Topo,
+    groups: int = 1,
+    seed: int = 0,
+    window: Tuple[float, float] = (8.0, 18.0),
+    outage: float = 8.0,
+    stagger: float = 0.5,
+    rng: "random.Random | None" = None,
+) -> List[Injection]:
+    """Fail ``groups`` whole shared-risk link groups.
+
+    Every link of a chosen group is cut within ``stagger`` seconds of
+    the group's onset (a backhoe does not cut fibers at exactly the
+    same instant) and all are repaired together ``outage`` seconds
+    after onset.
+    """
+    if stagger < 0 or stagger >= outage:
+        raise ConfigurationError(
+            "srlg failure needs 0 <= stagger < outage "
+            "(the group must still be down when it is repaired)")
+    rng = rng or random.Random(seed)
+    available = srlg_groups(topo)
+    if not available:
+        raise ConfigurationError(
+            f"topology {topo.name!r} has no shared-risk link groups "
+            f"(no device touches two or more fabric links)")
+    names = sorted(available)
+    chosen = rng.sample(names, min(groups, len(names)))
+    # A link can sit in several chosen groups (with node-derived
+    # groups, every link belongs to both endpoints').  Emit ONE
+    # fail/restore pair per link — earliest cut, latest repair —
+    # otherwise the first group's restore would replug the link midway
+    # through the other group's outage.
+    order: List[Tuple[str, str]] = []
+    cut_at: Dict[Tuple[str, str], float] = {}
+    repaired_at: Dict[Tuple[str, str], float] = {}
+    for name in chosen:
+        onset = rng.uniform(*window)
+        for link in available[name]:
+            cut = onset + (rng.uniform(0.0, stagger) if stagger else 0.0)
+            if link not in cut_at:
+                order.append(link)
+                cut_at[link] = cut
+                repaired_at[link] = onset + outage
+            else:
+                cut_at[link] = min(cut_at[link], cut)
+                repaired_at[link] = max(repaired_at[link], onset + outage)
+    injections: List[Injection] = []
+    for node_a, node_b in order:
+        injections.append(LinkFail(at=cut_at[(node_a, node_b)],
+                                   node_a=node_a, node_b=node_b))
+        injections.append(LinkRestore(at=repaired_at[(node_a, node_b)],
+                                      node_a=node_a, node_b=node_b))
+    return injections
+
+
+# -- traffic-matrix families -----------------------------------------------
+
+TRAFFIC_FAMILIES = ("uniform", "elephant-mice", "hotspot")
+
+
+def traffic_matrix(
+    topo: Topo,
+    family: str = "uniform",
+    seed: int = 0,
+    rate_bps: float = 500_000_000.0,
+    elephant_fraction: float = 0.125,
+    elephant_factor: float = 8.0,
+    hotspot_fraction: float = 0.5,
+    background_factor: float = 0.25,
+    start_time: float = 1.0,
+    duration: float = 30.0,
+    rng: "random.Random | None" = None,
+) -> TrafficRecipe:
+    """One seeded traffic matrix over the topology's hosts, as an
+    explicit per-flow :class:`TrafficRecipe` (``pattern="matrix"``).
+
+    Families:
+
+    * ``uniform``       — a host permutation, every flow at
+      ``rate_bps`` (the all-equal baseline matrix);
+    * ``elephant-mice`` — the same permutation, but a seeded
+      ``elephant_fraction`` of the flows are elephants at
+      ``elephant_factor`` times the mice rate (skewed byte counts,
+      the datacenter heavy tail);
+    * ``hotspot``       — a seeded ``hotspot_fraction`` of the hosts
+      incast one seeded victim host at full rate, everyone else keeps
+      a background permutation at ``background_factor`` of it.
+
+    Everything is drawn from one ``random.Random(seed)`` in a fixed
+    order, and the result is plain data — JSON-round-trippable through
+    :class:`~repro.scenarios.spec.ScenarioSpec` like any other recipe.
+    """
+    if family not in TRAFFIC_FAMILIES:
+        raise ConfigurationError(
+            f"unknown traffic-matrix family {family!r}; "
+            f"choose from {TRAFFIC_FAMILIES}")
+    if rate_bps <= 0:
+        raise ConfigurationError("traffic_matrix rate_bps must be positive")
+    hosts = topo.hosts()
+    if len(hosts) < 2:
+        raise ConfigurationError(
+            f"topology {topo.name!r} has fewer than two hosts")
+    rng = rng or random.Random(seed)
+    flows: List[List[Any]] = []
+    if family == "uniform":
+        for src, dst in patterns.permutation_pairs(hosts, rng=rng):
+            flows.append([src, dst, float(rate_bps)])
+    elif family == "elephant-mice":
+        pairs = patterns.permutation_pairs(hosts, rng=rng)
+        count = max(1, round(elephant_fraction * len(pairs)))
+        elephants = set(rng.sample(range(len(pairs)), min(count, len(pairs))))
+        for index, (src, dst) in enumerate(pairs):
+            factor = elephant_factor if index in elephants else 1.0
+            flows.append([src, dst, float(rate_bps) * factor])
+    else:  # hotspot
+        victim = rng.choice(hosts)
+        others = [host for host in hosts if host != victim]
+        count = max(2, round(hotspot_fraction * len(others)))
+        shooters = rng.sample(others, min(count, len(others)))
+        for src in shooters:
+            flows.append([src, victim, float(rate_bps)])
+        bystanders = [host for host in others if host not in set(shooters)]
+        for src, dst in patterns.permutation_pairs(bystanders, rng=rng):
+            flows.append([src, dst, float(rate_bps) * background_factor])
+    return TrafficRecipe(
+        pattern="matrix",
+        rate_bps=rate_bps,
+        start_time=start_time,
+        duration=duration,
+        flows=flows,
+    )
+
+
 # pattern name -> (generator, parameter names it accepts)
 PATTERNS: Dict[str, Callable[..., List[Injection]]] = {
     "k-random-links": k_random_link_failures,
     "flap-storm": flap_storm,
     "rolling-maintenance": rolling_maintenance,
     "gray-brownout": gray_brownout,
+    "srlg": srlg_failure,
 }
 
 
@@ -187,28 +370,51 @@ def generate_scenario(
     duration: float = 40.0,
     name: "str | None" = None,
     pattern_params: "Dict[str, Any] | None" = None,
+    traffic_family: "str | None" = None,
+    traffic_params: "Dict[str, Any] | None" = None,
 ) -> ScenarioSpec:
     """One seed -> one fully-specified scenario (the campaign unit).
 
     Defaults describe a WAN running fast-timer OSPF with a seeded
     permutation of CBR flows; ``pattern`` picks the failure shape and
-    ``pattern_params`` tunes it.  Fully deterministic per
-    (seed, pattern, topology, params).
+    ``pattern_params`` tunes it.  ``traffic_family`` swaps the default
+    permutation for a seeded :func:`traffic_matrix` family (uniform /
+    elephant-mice / hotspot), tuned by ``traffic_params``.  Fully
+    deterministic per (seed, pattern, topology, params).
     """
     if pattern not in PATTERNS:
         raise ConfigurationError(
             f"unknown failure pattern {pattern!r}; "
             f"choose from {sorted(PATTERNS)}")
+    if traffic is not None and traffic_family is not None:
+        raise ConfigurationError(
+            "give either an explicit traffic recipe or a traffic_family, "
+            "not both")
     topology = topology or TopologyRecipe("wan", {})
     protocol = protocol or ProtocolRecipe(
         "ospf", {"hello_interval": 1.0, "dead_interval": 4.0})
+    topo = topology.build()
+    if traffic is None and traffic_family is not None:
+        # A dedicated Random(seed): the injection schedule below stays
+        # identical whether or not a matrix family is in play.  The
+        # seed/duration defaults are overridable tunables — update()
+        # instead of a second kwarg, so "--traffic-param duration=10"
+        # is a choice, not a TypeError.
+        matrix_params: Dict[str, Any] = {
+            "seed": seed, "duration": max(duration - 5.0, 1.0)}
+        matrix_params.update(traffic_params or {})
+        if "family" in matrix_params or "rng" in matrix_params:
+            raise ConfigurationError(
+                "traffic_params cannot override 'family' or 'rng' "
+                "(use traffic_family for the former)")
+        traffic = traffic_matrix(topo, family=traffic_family,
+                                 **matrix_params)
     traffic = traffic or TrafficRecipe(
         pattern="permutation",
         rate_bps=500_000_000.0,
         start_time=1.0,
         duration=max(duration - 5.0, 1.0),
     )
-    topo = topology.build()
     rng = random.Random(seed)
     injections = PATTERNS[pattern](topo, seed=seed, rng=rng,
                                    **dict(pattern_params or {}))

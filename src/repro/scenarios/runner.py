@@ -343,6 +343,22 @@ class ScenarioRunner:
             return
         hosts = [host.name for host in exp.network.hosts()]
         rng = random.Random(spec.seed)
+        if recipe.pattern == "matrix":
+            # Per-flow rates: every [src, dst, rate_bps] entry is its
+            # own flow.  One entry at a time through the same rng so
+            # stagger draws stay deterministic and order-stable.
+            for src, dst, rate_bps in recipe.flows:
+                exp.flows.extend(cbr_udp_flows(
+                    exp.network, [(src, dst)],
+                    spec=TrafficSpec(
+                        rate_bps=float(rate_bps),
+                        start_time=recipe.start_time,
+                        duration=recipe.duration,
+                        stagger=recipe.stagger,
+                    ),
+                    rng=rng,
+                ))
+            return
         pairs = recipe.make_pairs(hosts, rng)
         if not pairs:
             return

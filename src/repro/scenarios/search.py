@@ -1,0 +1,629 @@
+"""Adversarial scenario search: find the inputs that actually hurt.
+
+Random seed sweeps sample scenario space; this module *searches* it.
+A :class:`SearchConfig` names a scenario family (a failure pattern,
+optionally a traffic-matrix family), an objective to maximize
+(convergence time, recovery time, delivered-traffic shortfall, or any
+safe-AST metric expression), a budget of scenario evaluations, and a
+strategy:
+
+* ``random`` — the honest baseline: every generation is a fresh batch
+  of family scenarios at derived seeds;
+* ``evolve`` — generation 0 is random, every later generation mutates
+  the best specs found so far: injection times shift, failed links
+  swap within their shared-risk group, traffic and bursts scale,
+  flaps stretch.
+
+Everything runs through the existing :class:`Campaign` /
+:class:`~repro.results.store.ResultStore` machinery, which is what
+makes the search durable and exactly resumable: candidate planning is
+a *pure function* of (config, the objective values of earlier
+generations), all of which the store already holds — so a killed
+search re-run against its store re-plans the identical generations and
+executes only the missing (spec, seed) pairs, bit-for-bit like an
+uninterrupted run.  The ranked leaderboard (and its digest, the
+reproducibility pin) is likewise derived from the store alone, and
+every entry's spec is persisted verbatim — replay the worst case with
+``repro scenario run --spec``.
+
+CLI: ``repro search run|resume|report``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.results.records import VOLATILE_METRIC_FIELDS, record_error
+from repro.results.slo import evaluate_expression
+from repro.results.store import ResultStore
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.generators import (
+    PATTERNS,
+    TRAFFIC_FAMILIES,
+    fabric_links,
+    generate_scenario,
+    srlg_groups,
+)
+from repro.scenarios.injections import (
+    CapacityDegrade,
+    LinkFlap,
+    TrafficBurst,
+)
+from repro.scenarios.spec import (
+    ProtocolRecipe,
+    ScenarioSpec,
+    TopologyRecipe,
+)
+
+#: Named objectives (higher = worse for the controller = better for
+#: the search).  Any other string is treated as a safe-AST metric
+#: expression over the flat scenario metrics.
+OBJECTIVES = ("convergence_time", "recovery_time", "delivered_shortfall")
+
+STRATEGIES = ("random", "evolve")
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable 63-bit seed from arbitrary labels — identical across
+    processes and interpreter versions (candidate identity must not
+    ride ``hash()``, which is salted)."""
+    digest = hashlib.sha256(
+        ":".join(str(part) for part in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def objective_value(objective: str, metrics: "Optional[Dict[str, Any]]",
+                    duration: float) -> Optional[float]:
+    """Score one scenario's flat metrics; higher is worse.
+
+    ``None`` (the scenario errored, or the expression would not
+    evaluate) ranks below every real value — a crash is a bug report,
+    not a search victory.
+
+    * ``convergence_time``   — seconds to converge; never converging
+      scores twice the horizon (worse than any in-horizon time);
+    * ``recovery_time``      — the worst per-injection recovery;
+      every never-recovered disruption adds a full horizon;
+    * ``delivered_shortfall``— 1 - delivered_fraction;
+    * anything else          — a safe-AST metric expression
+      (see :func:`repro.results.slo.evaluate_expression`).
+    """
+    if metrics is None:
+        return None
+    # Same rule as SLO evaluation: the non-deterministic metrics
+    # (wall_seconds) are not part of the namespace — an expression
+    # over them must come back unevaluable, never a digest-poisoning
+    # value that differs between identical runs.
+    metrics = {name: value for name, value in metrics.items()
+               if name not in VOLATILE_METRIC_FIELDS}
+    if objective == "convergence_time":
+        if not metrics.get("converged"):
+            return 2.0 * duration
+        observed = metrics.get("convergence_time")
+        return float(observed) if observed is not None else 0.0
+    if objective == "recovery_time":
+        worst = metrics.get("max_recovery_seconds")
+        value = float(worst) if worst is not None else 0.0
+        return value + float(metrics.get("unrecovered_count") or 0) * duration
+    if objective == "delivered_shortfall":
+        return 1.0 - float(metrics.get("delivered_fraction", 1.0))
+    try:
+        return float(evaluate_expression(objective, metrics))
+    except Exception:  # noqa: BLE001 - a bad candidate, not a crash
+        return None
+
+
+@dataclass
+class SearchConfig:
+    """Everything that pins a search down — persisted into the store's
+    metadata, so ``resume`` and ``report`` need no flags re-given and a
+    mismatched re-run is refused instead of silently mixing searches."""
+
+    family: str = "flap-storm"
+    strategy: str = "evolve"
+    objective: str = "delivered_shortfall"
+    budget: int = 32
+    population: int = 8
+    elites: int = 2
+    seed: int = 0
+    duration: float = 30.0
+    topology: TopologyRecipe = field(
+        default_factory=lambda: TopologyRecipe("wan", {}))
+    protocol: Optional[ProtocolRecipe] = None
+    pattern_params: Dict[str, Any] = field(default_factory=dict)
+    traffic_family: Optional[str] = None
+    traffic_params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.family not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown scenario family {self.family!r}; "
+                f"choose from {sorted(PATTERNS)}")
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown search strategy {self.strategy!r}; "
+                f"choose from {STRATEGIES}")
+        if self.budget < 1:
+            raise ConfigurationError(
+                f"search budget must be >= 1, got {self.budget}")
+        if self.population < 1:
+            raise ConfigurationError(
+                f"population must be >= 1, got {self.population}")
+        if not 1 <= self.elites <= self.population:
+            raise ConfigurationError(
+                f"elites must be in [1, population], got {self.elites}")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if (self.traffic_family is not None
+                and self.traffic_family not in TRAFFIC_FAMILIES):
+            raise ConfigurationError(
+                f"unknown traffic-matrix family {self.traffic_family!r}; "
+                f"choose from {TRAFFIC_FAMILIES}")
+        # Not an SLO, but the same grammar: reject a bad expression
+        # objective now, not after burning the budget.
+        if self.objective not in OBJECTIVES:
+            from repro.results.slo import MetricExpression
+
+            MetricExpression(expression=self.objective).validate()
+
+    def generations(self) -> int:
+        """Whole generations the budget pays for (the last may be
+        truncated)."""
+        return -(-self.budget // self.population)
+
+    def generation_size(self, generation: int) -> int:
+        done = generation * self.population
+        return max(0, min(self.population, self.budget - done))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "strategy": self.strategy,
+            "objective": self.objective,
+            "budget": self.budget,
+            "population": self.population,
+            "elites": self.elites,
+            "seed": self.seed,
+            "duration": self.duration,
+            "topology": self.topology.to_dict(),
+            "protocol": (None if self.protocol is None
+                         else self.protocol.to_dict()),
+            "pattern_params": dict(self.pattern_params),
+            "traffic_family": self.traffic_family,
+            "traffic_params": dict(self.traffic_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchConfig":
+        return cls(
+            family=data.get("family", "flap-storm"),
+            strategy=data.get("strategy", "evolve"),
+            objective=data.get("objective", "delivered_shortfall"),
+            budget=data.get("budget", 32),
+            population=data.get("population", 8),
+            elites=data.get("elites", 2),
+            seed=data.get("seed", 0),
+            duration=data.get("duration", 30.0),
+            topology=TopologyRecipe.from_dict(
+                data.get("topology", {"kind": "wan", "params": {}})),
+            protocol=(None if data.get("protocol") is None
+                      else ProtocolRecipe.from_dict(data["protocol"])),
+            pattern_params=dict(data.get("pattern_params", {})),
+            traffic_family=data.get("traffic_family"),
+            traffic_params=dict(data.get("traffic_params", {})),
+        )
+
+
+# -- mutation operators ----------------------------------------------------
+
+
+def _shift_times(spec: ScenarioSpec, rng: random.Random,
+                 duration: float) -> None:
+    """Jitter one injection's onset, clamped inside the horizon."""
+    if not spec.injections:
+        return
+    injection = rng.choice(spec.injections)
+    span = injection.last_effect_at() - injection.at
+    delta = rng.uniform(-3.0, 3.0)
+    injection.at = min(max(0.5, injection.at + delta),
+                       max(0.5, duration - span - 0.1))
+
+
+def _swap_link(spec: ScenarioSpec, rng: random.Random,
+               groups: Dict[str, List[Tuple[str, str]]],
+               links: List[Tuple[str, str]]) -> None:
+    """Move one failed/flapped/degraded link to a sibling — another
+    member of a shared-risk group containing it when one exists, any
+    other fabric link otherwise.  Every injection referencing the old
+    pair moves together (a restore must keep replugging the cable its
+    fail cut)."""
+    linked = [inj for inj in spec.injections
+              if getattr(inj, "node_a", None)]
+    if not linked or not links:
+        return
+    target = rng.choice(linked)
+    old = frozenset((target.node_a, target.node_b))
+    siblings = [pair for name in sorted(groups)
+                for pair in groups[name]
+                if old in (frozenset(p) for p in groups[name])
+                and frozenset(pair) != old]
+    pool = siblings or [pair for pair in links if frozenset(pair) != old]
+    if not pool:
+        return
+    new_a, new_b = rng.choice(pool)
+    for injection in linked:
+        if frozenset((injection.node_a, injection.node_b)) == old:
+            injection.node_a, injection.node_b = new_a, new_b
+
+
+def _stretch_flaps(spec: ScenarioSpec, rng: random.Random,
+                   duration: float) -> bool:
+    """Make one flap nastier (longer duty, one more cycle, slower
+    period — whatever still fits the horizon), or deepen one gray
+    degrade when the spec has no flaps.  Returns False when the spec
+    offers nothing to stretch."""
+    flaps = [inj for inj in spec.injections if isinstance(inj, LinkFlap)]
+    if flaps:
+        flap = rng.choice(flaps)
+        choice = rng.random()
+        if choice < 0.5:
+            flap.duty = min(0.9, flap.duty * rng.uniform(1.15, 1.5))
+        elif choice < 0.8:
+            flap.cycles += 1
+        else:
+            flap.period *= rng.uniform(1.05, 1.25)
+        if flap.last_effect_at() > duration:  # undo an overshoot cheaply
+            flap.at = max(
+                0.5, duration - (flap.last_effect_at() - flap.at) - 0.1)
+        return True
+    degrades = [inj for inj in spec.injections
+                if isinstance(inj, CapacityDegrade)]
+    if degrades:
+        degrade = rng.choice(degrades)
+        degrade.factor = max(0.02, degrade.factor * rng.uniform(0.5, 0.8))
+        return True
+    return False
+
+
+def _scale_traffic(spec: ScenarioSpec, rng: random.Random) -> None:
+    """Scale offered load: bursts when the spec has them, otherwise the
+    traffic recipe itself (matrix entries one by one)."""
+    factor = rng.uniform(1.1, 1.5)
+    bursts = [inj for inj in spec.injections
+              if isinstance(inj, TrafficBurst)]
+    if bursts:
+        burst = rng.choice(bursts)
+        burst.rate_bps *= factor
+        return
+    recipe = spec.traffic
+    recipe.rate_bps *= factor
+    recipe.flows = [[src, dst, float(rate) * factor]
+                    for src, dst, rate in recipe.flows]
+
+
+def mutate_spec(
+    parent: ScenarioSpec,
+    name: str,
+    rng: random.Random,
+    duration: float,
+    groups: Dict[str, List[Tuple[str, str]]],
+    links: List[Tuple[str, str]],
+) -> ScenarioSpec:
+    """One perturbed child of ``parent`` (the parent is untouched —
+    children are built on a serialization round-trip copy).
+
+    A mutation that produces an invalid spec is retried with fresh
+    draws; after a few failures the child degenerates to a renamed
+    clone, which is wasteful but deterministic and harmless.
+    """
+    for _attempt in range(6):
+        child = ScenarioSpec.from_dict(parent.to_dict())
+        child.name = name
+        # Stretch-weighted: prolonging the damage is the operator that
+        # most reliably climbs every objective; the others diversify.
+        draw = rng.random()
+        if draw < 0.45:
+            if not _stretch_flaps(child, rng, duration):
+                _shift_times(child, rng, duration)
+        elif draw < 0.70:
+            _swap_link(child, rng, groups, links)
+        elif draw < 0.88:
+            _shift_times(child, rng, duration)
+        else:
+            _scale_traffic(child, rng)
+        try:
+            child.validate()
+        except ConfigurationError:
+            continue
+        return child
+    clone = ScenarioSpec.from_dict(parent.to_dict())
+    clone.name = name
+    return clone
+
+
+# -- the search itself -----------------------------------------------------
+
+
+@dataclass
+class LeaderboardEntry:
+    """One ranked line: a (spec, seed) pair and how much it hurt."""
+
+    rank: int
+    name: str
+    seed: int
+    spec_hash: str
+    value: Optional[float]        # None: errored / unevaluable
+    error: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rank": self.rank, "name": self.name, "seed": self.seed,
+                "spec_hash": self.spec_hash, "value": self.value,
+                "error": self.error}
+
+
+def _rank_key(name: str, value: Optional[float]) -> Tuple[Any, ...]:
+    """Deterministic leaderboard order: higher objective first, errored
+    /unevaluable candidates last, name as the total-order tiebreak."""
+    return (value is None, -(value if value is not None else 0.0), name)
+
+
+def leaderboard(store: ResultStore,
+                config: SearchConfig) -> List[LeaderboardEntry]:
+    """Rank every record in the store by the configured objective."""
+    scored = []
+    for record in store.iter_records():
+        errored = record_error(record) is not None
+        value = None if errored else objective_value(
+            config.objective, record.get("metrics", {}), config.duration)
+        scored.append((record.get("name", ""), record["seed"],
+                       record["spec_hash"], value, errored))
+    scored.sort(key=lambda row: _rank_key(row[0], row[3]))
+    return [
+        LeaderboardEntry(rank=index + 1, name=name, seed=seed,
+                         spec_hash=spec_hash, value=value, error=errored)
+        for index, (name, seed, spec_hash, value, errored)
+        in enumerate(scored)
+    ]
+
+
+def leaderboard_digest(entries: Sequence[LeaderboardEntry]) -> str:
+    """Digest of the ranked (identity, value) sequence — the
+    reproducibility pin: same seed + budget => same digest, any
+    divergent measurement or ordering => a different one."""
+    digest = hashlib.sha256()
+    for entry in entries:
+        value = "error" if entry.value is None else repr(entry.value)
+        digest.update(f"{entry.spec_hash}:{entry.seed}:{value}\n"
+                      .encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def leaderboard_report(entries: Sequence[LeaderboardEntry],
+                       config: SearchConfig, top: int = 10) -> str:
+    """The human-readable ranked table ``repro search report`` prints."""
+    lines = [
+        f"adversarial search leaderboard — objective "
+        f"{config.objective!r} over {len(entries)} scenario(s), "
+        f"strategy {config.strategy}, family {config.family}",
+        f"{'rank':>4} {'objective':>12} {'seed':>20} name",
+    ]
+    for entry in entries[:top]:
+        value = ("ERROR" if entry.value is None
+                 else f"{entry.value:12.6g}")
+        lines.append(f"{entry.rank:>4} {value:>12} {entry.seed:>20} "
+                     f"{entry.name}")
+    if len(entries) > top:
+        lines.append(f"  ... {len(entries) - top} more "
+                     f"(digest {leaderboard_digest(entries)})")
+    else:
+        lines.append(f"  digest {leaderboard_digest(entries)}")
+    return "\n".join(lines)
+
+
+def worst_spec(store: ResultStore,
+               entries: Sequence[LeaderboardEntry]) -> Dict[str, Any]:
+    """The rank-1 entry's spec dict, verbatim from its record — feed it
+    to ``repro scenario run --spec`` to replay the worst case."""
+    for entry in entries:
+        if entry.value is not None:
+            return store.get(entry.spec_hash, entry.seed)["spec"]
+    raise ConfigurationError(
+        "no healthy scenario on the leaderboard (every candidate errored)")
+
+
+@dataclass
+class SearchRunStats:
+    """What one ``search run``/``resume`` invocation did."""
+
+    generations: int = 0
+    evaluated: int = 0            # scenarios run this invocation
+    skipped: int = 0              # already in the store (resume)
+    failed: int = 0               # errored mid-run
+    best_value: Optional[float] = None
+    best_name: str = ""
+    digest: str = ""
+    store_path: str = ""
+    # The ranked entries the digest was computed from — handed along
+    # so callers (the CLI) do not re-rank the whole store; not part of
+    # the serialized stats.
+    entries: List[LeaderboardEntry] = field(default_factory=list,
+                                            repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "generations": self.generations,
+            "evaluated": self.evaluated,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "best_value": self.best_value,
+            "best_name": self.best_name,
+            "digest": self.digest,
+            "store_path": self.store_path,
+        }
+
+    def summary(self) -> str:
+        best = ("no healthy candidate" if self.best_value is None
+                else f"worst case {self.best_name} "
+                     f"objective={self.best_value:g}")
+        return (
+            f"{self.evaluated} scenario(s) evaluated over "
+            f"{self.generations} generation(s) "
+            f"({self.skipped} already in store, {self.failed} errored); "
+            f"{best}; leaderboard digest {self.digest} "
+            f"-> {self.store_path}"
+        )
+
+
+class ScenarioSearch:
+    """Drives one search against one store (see the module docstring
+    for the resume contract)."""
+
+    def __init__(self, config: SearchConfig, store: ResultStore,
+                 workers: Optional[int] = None):
+        config.validate()
+        self.config = config
+        self.store = store
+        self.workers = workers
+        self._topo = config.topology.build()
+        self._groups = srlg_groups(self._topo)
+        self._links = fabric_links(self._topo)
+
+    # -- candidate planning (pure per generation) --------------------------
+
+    def _fresh_spec(self, generation: int, index: int) -> ScenarioSpec:
+        # The derivation label is strategy-independent on purpose:
+        # both strategies draw generation 0 from the same sample
+        # stream, so a strategy comparison at equal budget is paired —
+        # evolve wins only by *mutating* better, not by luckier dice.
+        config = self.config
+        return generate_scenario(
+            derive_seed(config.seed, "sample", generation, index),
+            pattern=config.family,
+            topology=config.topology,
+            protocol=config.protocol,
+            duration=config.duration,
+            name=f"{config.family}-g{generation}c{index}",
+            pattern_params=config.pattern_params,
+            traffic_family=config.traffic_family,
+            traffic_params=config.traffic_params,
+        )
+
+    def plan_generation(
+        self, generation: int,
+        evaluated: Sequence[Tuple[Optional[float], ScenarioSpec]],
+    ) -> List[ScenarioSpec]:
+        """The candidate specs of one generation — a pure function of
+        (config, the scores of every earlier generation)."""
+        config = self.config
+        size = config.generation_size(generation)
+        if generation == 0 or config.strategy == "random":
+            return [self._fresh_spec(generation, index)
+                    for index in range(size)]
+        ranked = sorted(evaluated,
+                        key=lambda item: _rank_key(item[1].name, item[0]))
+        parents = [spec for value, spec in ranked[:config.elites]
+                   if value is not None]
+        if not parents:  # every candidate so far errored: keep sampling
+            return [self._fresh_spec(generation, index)
+                    for index in range(size)]
+        children = []
+        for index in range(size):
+            rng = random.Random(
+                derive_seed(config.seed, "mutate", generation, index))
+            children.append(mutate_spec(
+                parents[index % len(parents)],
+                name=f"{config.family}-g{generation}c{index}",
+                rng=rng,
+                duration=config.duration,
+                groups=self._groups,
+                links=self._links,
+            ))
+        return children
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> SearchRunStats:
+        """Run (or finish) the search; every generation streams through
+        the store, so a kill at any point loses at most one scenario."""
+        stats = SearchRunStats(store_path=self.store.path)
+        evaluated: List[Tuple[Optional[float], ScenarioSpec]] = []
+        for generation in range(self.config.generations()):
+            specs = self.plan_generation(generation, evaluated)
+            if not specs:
+                break
+            run_stats = Campaign(specs, workers=self.workers).run(
+                store=self.store)
+            stats.generations += 1
+            stats.evaluated += run_stats.executed
+            stats.skipped += run_stats.skipped
+            stats.failed += run_stats.failed
+            for spec in specs:
+                record = self.store.get(spec.spec_hash(), spec.seed)
+                value = (None if record_error(record) is not None
+                         else objective_value(self.config.objective,
+                                              record.get("metrics", {}),
+                                              self.config.duration))
+                evaluated.append((value, spec))
+        entries = leaderboard(self.store, self.config)
+        stats.entries = entries
+        stats.digest = leaderboard_digest(entries)
+        for entry in entries:
+            if entry.value is not None:
+                stats.best_value = entry.value
+                stats.best_name = entry.name
+                break
+        return stats
+
+
+METADATA_KEY = "search"
+
+
+def run_search(config: SearchConfig, store: ResultStore,
+               workers: Optional[int] = None) -> SearchRunStats:
+    """Run ``config`` against ``store``, stamping the config into the
+    store's metadata.  Re-running with the identical config resumes; a
+    *different* config against the same store is refused — a search's
+    store is single-purpose (records double as the search state)."""
+    existing = store.metadata.get(METADATA_KEY)
+    # JSON-normalize before comparing: the persisted copy went through
+    # meta.json, which turns tuples (a window pattern param) into lists.
+    wanted = json.loads(json.dumps(config.to_dict()))
+    if existing is not None and existing != wanted:
+        raise ConfigurationError(
+            f"store {store.path!r} belongs to a different search "
+            f"(its persisted config differs); use a fresh --store or "
+            f"'repro search resume' without overrides")
+    if existing is None and len(store) > 0:
+        # The leaderboard and its digest are derived from the whole
+        # store; foreign records (a campaign sweep, another tool) would
+        # silently pollute both and --save-worst could hand back a
+        # spec this search never generated.
+        raise ConfigurationError(
+            f"store {store.path!r} already holds {len(store)} record(s) "
+            f"that are not part of a search; use a fresh --store")
+    search = ScenarioSearch(config, store, workers=workers)
+    if existing is None:
+        store.update_metadata({METADATA_KEY: config.to_dict()})
+    return search.run()
+
+
+def load_search_config(store: ResultStore) -> SearchConfig:
+    """The config a store's search was started with (resume/report)."""
+    data = store.metadata.get(METADATA_KEY)
+    if not data:
+        raise ConfigurationError(
+            f"store {store.path!r} holds no search metadata; "
+            f"start one with 'repro search run'")
+    return SearchConfig.from_dict(data)
+
+
+def resume_search(store: ResultStore,
+                  workers: Optional[int] = None) -> SearchRunStats:
+    """Finish a killed search exactly: the persisted config re-plans
+    the same generations, the store skips what already ran."""
+    return run_search(load_search_config(store), store, workers=workers)

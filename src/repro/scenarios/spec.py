@@ -38,9 +38,11 @@ from repro.traffic import patterns
 
 
 #: Version of the serialized spec schema.  v1 was the PR 1 shape; v2
-#: adds the ``slos`` assertion list (older spec files load fine — the
-#: list defaults empty).
-SPEC_SCHEMA_VERSION = 2
+#: added the ``slos`` assertion list; v3 adds the traffic ``flows``
+#: list (explicit per-flow [src, dst, rate_bps] entries — the
+#: traffic-matrix families).  Older spec files load fine — the new
+#: fields default empty.
+SPEC_SCHEMA_VERSION = 3
 
 
 def _fattree(**params) -> Topo:
@@ -61,7 +63,7 @@ TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topo]] = {
 PROTOCOL_KINDS = ("none", "bgp", "ospf", "sdn")
 
 TRAFFIC_PATTERNS = ("none", "permutation", "stride", "random",
-                    "all_to_one", "one_to_all", "pairs")
+                    "all_to_one", "one_to_all", "pairs", "matrix")
 
 
 @dataclass
@@ -124,6 +126,11 @@ class TrafficRecipe:
     The (src, dst) pairs come from :mod:`repro.traffic.patterns`,
     seeded by the scenario seed, except ``pairs`` which lists them
     explicitly.  Each pair becomes one CBR UDP flow.
+
+    ``matrix`` is the per-flow form: ``flows`` lists explicit
+    ``[src, dst, rate_bps]`` entries, each its own CBR UDP flow at its
+    own rate — how the traffic-matrix families (uniform, elephant-mice,
+    hotspot) serialize, and what adversarial search mutates.
     """
 
     pattern: str = "permutation"
@@ -133,13 +140,29 @@ class TrafficRecipe:
     stagger: float = 0.0
     stride: int = 1                     # for pattern == "stride"
     pairs: List[List[str]] = field(default_factory=list)  # for "pairs"
+    # for pattern == "matrix": [src, dst, rate_bps] per flow
+    flows: List[List[Any]] = field(default_factory=list)
 
     def validate(self) -> None:
         if self.pattern not in TRAFFIC_PATTERNS:
             raise ConfigurationError(
                 f"unknown traffic pattern {self.pattern!r}; "
                 f"choose from {TRAFFIC_PATTERNS}")
-        if self.pattern != "none" and self.rate_bps <= 0:
+        if self.pattern == "matrix":
+            if not self.flows:
+                raise ConfigurationError(
+                    "traffic pattern 'matrix' needs at least one "
+                    "[src, dst, rate_bps] entry in flows")
+            for entry in self.flows:
+                if len(entry) != 3:
+                    raise ConfigurationError(
+                        f"matrix flow entry must be [src, dst, rate_bps], "
+                        f"got {entry!r}")
+                if float(entry[2]) <= 0:
+                    raise ConfigurationError(
+                        f"matrix flow {entry[0]}->{entry[1]} needs a "
+                        f"positive rate, got {entry[2]!r}")
+        elif self.pattern != "none" and self.rate_bps <= 0:
             raise ConfigurationError("traffic rate_bps must be positive")
 
     def make_pairs(self, hosts: Sequence[str],
@@ -149,6 +172,8 @@ class TrafficRecipe:
             return []
         if self.pattern == "pairs":
             return [(src, dst) for src, dst in self.pairs]
+        if self.pattern == "matrix":
+            return [(src, dst) for src, dst, __ in self.flows]
         if self.pattern == "permutation":
             return patterns.permutation_pairs(hosts, rng=rng)
         if self.pattern == "stride":
@@ -170,6 +195,8 @@ class TrafficRecipe:
             "stagger": self.stagger,
             "stride": self.stride,
             "pairs": [list(pair) for pair in self.pairs],
+            "flows": [[src, dst, float(rate)]
+                      for src, dst, rate in self.flows],
         }
 
     @classmethod
@@ -182,6 +209,8 @@ class TrafficRecipe:
             stagger=data.get("stagger", 0.0),
             stride=data.get("stride", 1),
             pairs=[list(pair) for pair in data.get("pairs", [])],
+            flows=[[src, dst, float(rate)]
+                   for src, dst, rate in data.get("flows", [])],
         )
 
 

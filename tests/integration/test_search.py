@@ -1,0 +1,249 @@
+"""Integration: the adversarial scenario search end to end — seeded
+reproducibility (the leaderboard-digest pin), exact resume of a killed
+search through the result store, and the acceptance claim that at
+equal budget the evolutionary strategy beats pure random sampling on
+the flap-storm family."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.results import ResultStore
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    SearchConfig,
+    leaderboard,
+    leaderboard_digest,
+    load_search_config,
+    objective_value,
+    resume_search,
+    run_search,
+    worst_spec,
+)
+
+# Small but real: a WAN under fast-timer OSPF, flap storms, ~0.05 s of
+# wall time per scenario.  25 s horizon fits the family's default
+# schedule (last flap effect ~21 s).
+DURATION = 25.0
+
+
+def make_config(strategy="evolve", budget=6, seed=0, **overrides):
+    return SearchConfig(
+        family="flap-storm",
+        strategy=strategy,
+        objective=overrides.pop("objective", "delivered_shortfall"),
+        budget=budget,
+        population=overrides.pop("population", 3),
+        elites=overrides.pop("elites", 1),
+        seed=seed,
+        duration=DURATION,
+        **overrides,
+    )
+
+
+class TestObjectiveValues:
+    def test_named_objectives(self):
+        metrics = {"converged": True, "convergence_time": 12.5,
+                   "max_recovery_seconds": 4.0, "unrecovered_count": 0,
+                   "delivered_fraction": 0.8}
+        assert objective_value("convergence_time", metrics, 30.0) == 12.5
+        assert objective_value("recovery_time", metrics, 30.0) == 4.0
+        assert objective_value("delivered_shortfall", metrics, 30.0) == (
+            pytest.approx(0.2))
+
+    def test_never_converged_outranks_any_in_horizon_time(self):
+        bad = objective_value("convergence_time", {"converged": False},
+                              30.0)
+        assert bad > objective_value(
+            "convergence_time",
+            {"converged": True, "convergence_time": 29.9}, 30.0)
+
+    def test_unrecovered_outranks_any_recovery(self):
+        stuck = objective_value(
+            "recovery_time",
+            {"max_recovery_seconds": None, "unrecovered_count": 2}, 30.0)
+        slow = objective_value(
+            "recovery_time",
+            {"max_recovery_seconds": 29.0, "unrecovered_count": 0}, 30.0)
+        assert stuck > slow
+
+    def test_expression_objective(self):
+        metrics = {"control_messages": 1200, "recomputations": 40}
+        assert objective_value("control_messages + recomputations",
+                               metrics, 30.0) == 1240.0
+        # unevaluable ranks as None (below everything), never raises
+        assert objective_value("no_such_metric * 2", metrics, 30.0) is None
+
+    def test_errored_scenario_scores_none(self):
+        assert objective_value("delivered_shortfall", None, 30.0) is None
+
+    def test_wall_seconds_not_a_search_objective(self):
+        """Non-deterministic metrics must stay out of the namespace —
+        an objective over wall_seconds would make identical runs
+        digest differently."""
+        assert objective_value("wall_seconds",
+                               {"wall_seconds": 1.0}, 30.0) is None
+
+    def test_bad_expression_objective_rejected_up_front(self):
+        with pytest.raises(ConfigurationError):
+            make_config(objective="__import__('os')").validate()
+
+
+class TestSearchReproducibility:
+    def test_same_seed_same_budget_identical_digest(self, tmp_path):
+        """The acceptance pin: same seed + budget => identical
+        leaderboard digest, from scratch, in fresh stores."""
+        first = run_search(make_config(),
+                           ResultStore(str(tmp_path / "a")), workers=2)
+        second = run_search(make_config(),
+                            ResultStore(str(tmp_path / "b")), workers=1)
+        assert first.digest == second.digest
+        assert first.best_value == second.best_value
+
+    def test_different_seed_different_digest(self, tmp_path):
+        first = run_search(make_config(seed=0),
+                           ResultStore(str(tmp_path / "a")))
+        second = run_search(make_config(seed=1),
+                            ResultStore(str(tmp_path / "b")))
+        assert first.digest != second.digest
+
+    def test_worst_spec_replays_verbatim(self, tmp_path):
+        """The leaderboard's top entry must reproduce bit-for-bit from
+        its persisted spec alone — the whole point of the hunt."""
+        store = ResultStore(str(tmp_path / "store"))
+        run_search(make_config(), store)
+        entries = leaderboard(store, make_config())
+        spec_dict = worst_spec(store, entries)
+        spec = ScenarioSpec.from_dict(spec_dict)
+        result = ScenarioRunner().run(spec)
+        record = store.get(spec.spec_hash(), spec.seed)
+        assert result.fingerprint() == record["fingerprint"]
+        assert 1.0 - result.delivered_fraction == pytest.approx(
+            entries[0].value)
+
+
+class TestSearchResume:
+    def test_killed_search_resumes_exactly(self, tmp_path, monkeypatch):
+        """Kill the search mid-generation-2 (before a store append) and
+        resume: the finished store must be record-for-record identical
+        to an uninterrupted run — same digest, same fingerprints."""
+        config = make_config(budget=6)
+        full_store = ResultStore(str(tmp_path / "full"))
+        uninterrupted = run_search(make_config(budget=6), full_store,
+                                   workers=1)
+
+        calls = {"appends": 0}
+        real_append = ResultStore.append
+
+        def dying_append(self, record, replace=False):
+            calls["appends"] += 1
+            if calls["appends"] > 4:  # dies inside generation 2
+                raise KeyboardInterrupt
+            return real_append(self, record, replace=replace)
+
+        monkeypatch.setattr(ResultStore, "append", dying_append)
+        part_store = ResultStore(str(tmp_path / "part"))
+        with pytest.raises(KeyboardInterrupt):
+            run_search(config, part_store, workers=1)
+        monkeypatch.setattr(ResultStore, "append", real_append)
+        assert 0 < len(ResultStore(str(tmp_path / "part"))) < 6
+
+        resumed = resume_search(ResultStore(str(tmp_path / "part")),
+                                workers=1)
+        assert resumed.skipped == 4
+        assert resumed.evaluated == 2
+        assert resumed.digest == uninterrupted.digest
+        healed = ResultStore(str(tmp_path / "part"))
+        assert dict(healed.fingerprints()) == dict(
+            full_store.fingerprints())
+        assert healed.canonical_digest() == full_store.canonical_digest()
+
+    def test_config_persisted_and_mismatch_refused(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        run_search(make_config(budget=3), store)
+        loaded = load_search_config(ResultStore(str(tmp_path / "store")))
+        assert loaded.to_dict() == make_config(budget=3).to_dict()
+        # a different search against the same store is refused
+        with pytest.raises(ConfigurationError, match="different search"):
+            run_search(make_config(budget=3, seed=99),
+                       ResultStore(str(tmp_path / "store")))
+
+    def test_resume_needs_search_metadata(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no search metadata"):
+            resume_search(ResultStore(str(tmp_path / "plain")))
+
+    def test_foreign_store_refused(self, tmp_path):
+        """A store already holding non-search records (a campaign
+        sweep) must be refused — foreign records would pollute the
+        leaderboard, the digest, and worst_spec."""
+        from repro.scenarios import Campaign, generate_scenario
+
+        store = ResultStore(str(tmp_path / "sweep"))
+        Campaign([generate_scenario(0, duration=30.0)]).run(store=store)
+        with pytest.raises(ConfigurationError, match="not part of a search"):
+            run_search(make_config(), ResultStore(str(tmp_path / "sweep")))
+
+
+class TestEvolutionBeatsRandom:
+    def test_evolve_strictly_beats_random_at_equal_budget(self, tmp_path):
+        """The acceptance claim, on the flap-storm family: with the
+        same budget (and the same generation-0 samples — candidate
+        derivation is strategy-independent, so the comparison is
+        paired), the evolutionary loop must find a strictly worse
+        scenario than pure random sampling."""
+        budget, population, elites, seed = 32, 4, 2, 0
+        evolve = run_search(
+            make_config("evolve", budget=budget, seed=seed,
+                        population=population, elites=elites),
+            ResultStore(str(tmp_path / "evolve")))
+        rand = run_search(
+            make_config("random", budget=budget, seed=seed,
+                        population=population, elites=elites),
+            ResultStore(str(tmp_path / "random")))
+        assert evolve.evaluated == rand.evaluated == budget
+        assert evolve.best_value is not None
+        assert rand.best_value is not None
+        assert evolve.best_value > rand.best_value
+
+    def test_random_strategy_ignores_history(self, tmp_path):
+        """Random is the honest baseline: every candidate is a family
+        sample, none a mutation — names and seeds must match the pure
+        sample stream regardless of scores."""
+        from repro.scenarios import ScenarioSearch
+
+        config = make_config("random", budget=6)
+        search = ScenarioSearch(config, ResultStore(str(tmp_path / "s")))
+        gen0 = search.plan_generation(0, [])
+        gen1 = search.plan_generation(1, [(0.5, spec) for spec in gen0])
+        assert [spec.name for spec in gen1] == [
+            "flap-storm-g1c0", "flap-storm-g1c1", "flap-storm-g1c2"]
+        # and an evolve search shares generation 0 exactly
+        evolve = ScenarioSearch(make_config("evolve", budget=6),
+                                ResultStore(str(tmp_path / "e")))
+        assert ([spec.to_json() for spec in evolve.plan_generation(0, [])]
+                == [spec.to_json() for spec in gen0])
+
+
+class TestLeaderboard:
+    def test_errored_candidates_rank_last_not_first(self, tmp_path):
+        """A candidate that crashes the runner must not win the hunt:
+        it ranks below every healthy scenario and worst_spec skips it."""
+        from repro.results.records import make_record
+        from repro.scenarios import error_result
+
+        config = make_config(budget=3)
+        store = ResultStore(str(tmp_path / "store"))
+        run_search(config, store)
+        broken = ScenarioSpec(name="zz-broken", seed=123)
+        result = error_result(broken, "boom")
+        store.append(make_record(broken.to_dict(), result.to_dict(),
+                                 fingerprint=result.fingerprint(),
+                                 metrics={}))
+        entries = leaderboard(store, config)
+        assert entries[-1].name == "zz-broken"
+        assert entries[-1].value is None and entries[-1].error
+        assert all(e.value is not None for e in entries[:-1])
+        assert worst_spec(store, entries)["name"] != "zz-broken"
+        # the digest covers the error entry deterministically
+        assert leaderboard_digest(entries) == leaderboard_digest(
+            leaderboard(store, config))

@@ -1,0 +1,221 @@
+"""Unit tests: the correlated-failure (SRLG) and traffic-matrix
+generator families — structural derivation, shapes, JSON round trips,
+and determinism both in-process and *across* processes (candidate
+identity in an adversarial search rides on byte-identical specs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.errors import ConfigurationError
+from repro.scenarios import (
+    LinkFail,
+    LinkRestore,
+    ScenarioSpec,
+    generate_scenario,
+    srlg_failure,
+    srlg_groups,
+    traffic_matrix,
+)
+from repro.topology.builders import (
+    leaf_spine_topo,
+    linear_topo,
+    star_topo,
+    wan_topo,
+)
+from repro.topology.fattree import FatTreeTopo
+
+
+class TestSrlgDerivation:
+    def test_fattree_pod_and_core_groups(self):
+        groups = srlg_groups(FatTreeTopo(k=4))
+        pods = {name for name in groups if name.startswith("pod")}
+        cores = {name for name in groups if name.startswith("core-")}
+        assert pods == {"pod0", "pod1", "pod2", "pod3"}
+        assert len(cores) == 4  # (k/2)^2 core switches
+        # each pod group is its edge-agg mesh: (k/2)^2 links
+        for pod in pods:
+            assert len(groups[pod]) == 4
+            assert all(a[0] in "ea" and b[0] in "ea"
+                       for a, b in groups[pod])
+        # each core chassis takes one agg uplink per pod
+        for core in cores:
+            assert len(groups[core]) == 4
+
+    def test_leafspine_node_groups(self):
+        groups = srlg_groups(leaf_spine_topo(num_spines=2, num_leaves=4))
+        assert groups["node-spine0"] == [(f"leaf{i}", "spine0")
+                                         for i in range(4)]
+        assert len(groups["node-leaf2"]) == 2
+
+    def test_singleton_groups_dropped(self):
+        # a 2-switch chain has exactly one fabric link: no group holds 2
+        assert srlg_groups(linear_topo(2)) == {}
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            srlg_failure(star_topo(3), seed=0)
+
+
+class TestSrlgFailure:
+    def test_whole_group_fails_together(self):
+        topo = FatTreeTopo(k=4)
+        injections = srlg_failure(topo, groups=1, seed=3, outage=6.0,
+                                  stagger=0.5)
+        fails = [i for i in injections if isinstance(i, LinkFail)]
+        restores = [i for i in injections if isinstance(i, LinkRestore)]
+        assert len(fails) == len(restores) == 4  # one whole group
+        # cuts land within the stagger window, repairs are simultaneous
+        onset = min(fail.at for fail in fails)
+        assert all(onset <= fail.at <= onset + 0.5 for fail in fails)
+        assert len({restore.at for restore in restores}) == 1
+        restored_at = restores[0].at
+        assert all(fail.at < restored_at for fail in fails)
+        # the failed links really are one derived group
+        cut = {frozenset((f.node_a, f.node_b)) for f in fails}
+        assert any(cut == {frozenset(pair) for pair in members}
+                   for members in srlg_groups(topo).values())
+
+    def test_overlapping_groups_merge_per_link(self):
+        """Node-derived groups share links (each link sits in both
+        endpoints' groups): a link chosen twice must get ONE
+        fail/restore pair spanning the union of the outages, not an
+        early restore that replugs it mid-way through the second
+        group's outage."""
+        topo = wan_topo()
+        for seed in range(12):
+            injections = srlg_failure(topo, groups=3, seed=seed,
+                                      outage=6.0, stagger=0.5)
+            fails = {}
+            restores = {}
+            for injection in injections:
+                key = frozenset((injection.node_a, injection.node_b))
+                bucket = (fails if isinstance(injection, LinkFail)
+                          else restores)
+                assert key not in bucket, "duplicate schedule for a link"
+                bucket[key] = injection.at
+            assert set(fails) == set(restores)
+            for key, cut in fails.items():
+                # merged window: cut <= first onset + stagger, repair
+                # >= last onset + outage
+                assert restores[key] - cut >= 6.0 - 0.5
+
+    def test_stagger_must_undershoot_outage(self):
+        with pytest.raises(ConfigurationError):
+            srlg_failure(wan_topo(), seed=0, outage=1.0, stagger=2.0)
+
+    def test_deterministic_per_seed(self):
+        topo = wan_topo()
+        first = [i.to_dict() for i in srlg_failure(topo, groups=2, seed=9)]
+        second = [i.to_dict() for i in srlg_failure(topo, groups=2, seed=9)]
+        assert first == second
+        third = [i.to_dict() for i in srlg_failure(topo, groups=2, seed=10)]
+        assert first != third
+
+    def test_generated_spec_validates_and_roundtrips(self):
+        spec = generate_scenario(5, pattern="srlg",
+                                 pattern_params={"groups": 2})
+        spec.validate()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+
+class TestTrafficMatrix:
+    def test_uniform_is_an_equal_rate_permutation(self):
+        recipe = traffic_matrix(wan_topo(), family="uniform", seed=1,
+                                rate_bps=2e8)
+        hosts = set(wan_topo().hosts())
+        assert {rate for __, __, rate in recipe.flows} == {2e8}
+        assert {src for src, __, __ in recipe.flows} == hosts
+        assert all(src != dst for src, dst, __ in recipe.flows)
+
+    def test_elephant_mice_two_rate_classes(self):
+        recipe = traffic_matrix(wan_topo(), family="elephant-mice", seed=2,
+                                rate_bps=1e8, elephant_fraction=0.25,
+                                elephant_factor=10.0)
+        rates = sorted({rate for __, __, rate in recipe.flows})
+        assert rates == [1e8, 1e9]
+        elephants = [f for f in recipe.flows if f[2] == 1e9]
+        assert len(elephants) == round(0.25 * len(recipe.flows))
+
+    def test_hotspot_incasts_one_victim(self):
+        recipe = traffic_matrix(leaf_spine_topo(), family="hotspot", seed=3,
+                                rate_bps=4e8, hotspot_fraction=0.5,
+                                background_factor=0.25)
+        full = [f for f in recipe.flows if f[2] == 4e8]
+        background = [f for f in recipe.flows if f[2] == 1e8]
+        assert len(full) >= 2
+        assert len({dst for __, dst, __ in full}) == 1  # one victim
+        victim = full[0][1]
+        assert all(victim not in (src, dst)
+                   for src, dst, __ in background)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            traffic_matrix(wan_topo(), family="fractal")
+
+    def test_matrix_recipe_validates_and_roundtrips(self):
+        spec = generate_scenario(7, pattern="k-random-links",
+                                 traffic_family="elephant-mice")
+        spec.validate()
+        assert spec.traffic.pattern == "matrix"
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.traffic.flows == spec.traffic.flows
+
+    def test_matrix_validation_catches_bad_entries(self):
+        recipe = traffic_matrix(wan_topo(), family="uniform", seed=0)
+        recipe.flows[0][2] = -1.0
+        with pytest.raises(ConfigurationError):
+            recipe.validate()
+        recipe.flows = []
+        with pytest.raises(ConfigurationError):
+            recipe.validate()
+
+    def test_explicit_traffic_and_family_conflict(self):
+        from repro.scenarios import TrafficRecipe
+
+        with pytest.raises(ConfigurationError):
+            generate_scenario(0, traffic=TrafficRecipe(),
+                              traffic_family="uniform")
+
+
+CHILD_SCRIPT = """\
+import sys
+from repro.scenarios import generate_scenario
+spec = generate_scenario(int(sys.argv[1]), pattern=sys.argv[2],
+                         duration=30.0,
+                         traffic_family=(sys.argv[3] or None))
+sys.stdout.write(spec.to_json())
+"""
+
+
+def spawn_spec_json(seed: int, pattern: str, traffic_family: str) -> str:
+    """Generate a spec in a *fresh interpreter* — the determinism that
+    matters for fleets and search resume is cross-process."""
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    done = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, str(seed), pattern,
+         traffic_family],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert done.returncode == 0, done.stderr
+    return done.stdout
+
+
+class TestCrossProcessDeterminism:
+    @pytest.mark.parametrize("pattern,family", [
+        ("srlg", ""),
+        ("flap-storm", "elephant-mice"),
+        ("k-random-links", "hotspot"),
+    ])
+    def test_same_seed_identical_across_processes(self, pattern, family):
+        local = generate_scenario(11, pattern=pattern, duration=30.0,
+                                  traffic_family=(family or None))
+        assert spawn_spec_json(11, pattern, family) == local.to_json()

@@ -225,7 +225,8 @@ class TestSpecSlos:
         from repro.scenarios import SPEC_SCHEMA_VERSION
 
         data = self.make_spec_with_slos().to_dict()
-        assert data["schema_version"] == SPEC_SCHEMA_VERSION == 2
+        # v3: the traffic "flows" list (matrix families) joined in
+        assert data["schema_version"] == SPEC_SCHEMA_VERSION == 3
         assert len(data["slos"]) == 2
 
     def test_v1_dict_still_loads(self):
