@@ -34,7 +34,7 @@ from repro.dataplane.network import Network
 from repro.dataplane.node import reset_auto_macs
 from repro.dataplane.switch import reset_dpids
 
-from conftest import record_rows
+from conftest import record_json, record_rows
 
 GBPS = 1_000_000_000
 NUM_EDGES = 8
@@ -148,6 +148,7 @@ def test_reallocation_report(benchmark):
     if not sizes:
         pytest.skip("no measurements collected")
     rows = []
+    payload = {"flow_counts": sizes, "cases": {}}
     for size in sizes:
         full = _results.get((size, "full"))
         inc = _results.get((size, "incremental"))
@@ -157,6 +158,13 @@ def test_reallocation_report(benchmark):
         assert inc["aggregate_bps"] == pytest.approx(
             full["aggregate_bps"], rel=1e-9)
         speedup = full["wall_s"] / inc["wall_s"]
+        payload["cases"][str(size)] = {
+            "events": full["events"],
+            "full_wall_s": full["wall_s"],
+            "incremental_wall_s": inc["wall_s"],
+            "events_per_s_incremental": inc["events"] / inc["wall_s"],
+            "speedup": speedup,
+        }
         rows.append(
             f"{size:>7} {full['events']:>7} "
             f"{full['wall_s'] * 1e3:>10.1f} {inc['wall_s'] * 1e3:>12.1f} "
@@ -174,3 +182,4 @@ def test_reallocation_report(benchmark):
         f"{'full_ms/ev':>10} {'inc_ms/ev':>9} {'speedup':>8}",
         rows,
     )
+    record_json("reallocation", payload)

@@ -28,7 +28,7 @@ import pytest
 from repro.results import ResultStore
 from repro.scenarios import SearchConfig, run_search
 
-from conftest import record_rows
+from conftest import record_json, record_rows
 
 _timings = {}
 _outcomes = []
@@ -117,3 +117,14 @@ def test_search_bench_report(benchmark):
         f"{'evolve':>10} {'random':>10}",
         rows,
     )
+    payload = {"budget": search_budget()}
+    if _timings:
+        payload["wall_seconds"] = _timings["wall_s"]
+        payload["specs_per_second"] = _timings["specs_per_s"]
+    if _outcomes:
+        payload["pairs"] = [
+            {"seed": seed, "evolve_best": evolve_best,
+             "random_best": random_best}
+            for seed, evolve_best, random_best in _outcomes]
+        payload["evolve_wins"] = wins
+    record_json("search", payload)

@@ -15,6 +15,7 @@ Every bench appends its table rows to ``benchmarks/results/*.txt`` so
 the numbers survive the run (EXPERIMENTS.md quotes them).
 """
 
+import json
 import os
 import pathlib
 from typing import List
@@ -53,3 +54,14 @@ def record_rows(name: str, header: str, rows: List[str]) -> None:
     print(f"\n--- {name} ---")
     for line in lines:
         print(line)
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark output next to the text
+    table — ``benchmarks/results/BENCH_<name>.json``.  CI uploads
+    these as artifacts so regressions are diffable run-to-run without
+    parsing the human tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")

@@ -29,9 +29,17 @@ Subcommands:
   a running coordinator.  Chunks are leased with liveness heartbeats
   and stolen back from dead or silent workers (bound a run against a
   live-but-stuck worker with ``--wait-timeout``); the merged store is
-  record-for-record identical to a single-box run.
+  record-for-record identical to a single-box run.  ``fleet bench``
+  pushes synthetic records through the protocol to measure framing +
+  ingest + merge overhead in isolation.
 * ``store``    — maintenance: ``store merge`` folds shard stores into
-  one canonical store, dedup by (spec_hash, seed).
+  one canonical store, dedup by (spec_hash, seed); ``store convert``
+  rewrites a store in the other on-disk format (JSONL or columnar
+  segments) preserving records and canonical digest bit-for-bit.
+  Stores auto-detect their format on open; ``--store-format
+  columnar`` on the store-creating commands (``campaign run``,
+  ``fleet serve``, ``search run``, ``store merge``) picks the
+  numpy-backed columnar layout for million-record campaigns.
 * ``search``   — adversarial scenario search: ``search run`` explores
   a scenario family (seeded random baseline, or an evolutionary loop
   that mutates the worst specs found — shifting injection times,
@@ -66,6 +74,8 @@ Examples::
     python -m repro.cli fleet join otherbox:7654
     python -m repro.cli fleet status otherbox:7654
     python -m repro.cli store merge merged/ shard_a/ shard_b/
+    python -m repro.cli store convert sweep/ sweep_col/ --to columnar
+    python -m repro.cli fleet bench --records 5000 --workers 4
     python -m repro.cli search run --store hunt/ --budget 32 \
         --pattern flap-storm --objective delivered_shortfall
     python -m repro.cli search resume --store hunt/
@@ -331,12 +341,14 @@ def _generator_options_string(args: argparse.Namespace) -> str:
     return " ".join(parts)
 
 
-def _open_store(path: str, must_exist: bool, readonly: bool = False):
+def _open_store(path: str, must_exist: bool, readonly: bool = False,
+                format: "str | None" = None):
     from repro.core.errors import SimulationError
     from repro.results import ResultStore
 
     try:
-        return ResultStore(path, create=not must_exist, readonly=readonly)
+        return ResultStore(path, create=not must_exist, readonly=readonly,
+                           format=format)
     except (OSError, SimulationError) as exc:
         raise SystemExit(f"cannot open result store {path!r}: {exc}")
 
@@ -399,9 +411,7 @@ def _campaign_stats_exit_code(stats, store) -> int:
     records for those specs, which the store aggregate can't see, so
     it gates separately.
     """
-    from repro.results import aggregate_records
-
-    code = 0 if aggregate_records(store.iter_records()).gate_ok else 1
+    code = 0 if store.aggregate().gate_ok else 1
     if stats.fleet and (stats.fleet.get("unfinished")
                         or stats.fleet.get("failed_chunks")):
         code = 1
@@ -423,7 +433,8 @@ def _emit_campaign_stats(stats, as_json: bool) -> bool:
 
 
 def _cmd_campaign_run(args: argparse.Namespace, resume: bool = False) -> int:
-    store = _open_store(args.store, must_exist=resume)
+    store = _open_store(args.store, must_exist=resume,
+                        format=getattr(args, "store_format", None))
     campaign = _campaign_from_args(args)
     if not resume and len(store) > 0:
         raise SystemExit(
@@ -459,11 +470,13 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    from repro.results import aggregate_records, write_csv
+    from repro.results import write_csv
 
     # Read-only: report must be safe to run against a live sweep.
+    # store.aggregate() rolls up straight off metric columns when the
+    # store is columnar; JSONL stores stream records as before.
     store = _open_store(args.store, must_exist=True, readonly=True)
-    aggregate = aggregate_records(store.iter_records())
+    aggregate = store.aggregate()
     print(aggregate.report())
     if args.csv:
         rows = write_csv(store.iter_records(), args.csv)
@@ -474,10 +487,8 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
 def _cmd_campaign_check(args: argparse.Namespace) -> int:
     """The regression gate: exit 0 iff every persisted SLO verdict
     passed and no scenario errored."""
-    from repro.results import aggregate_records
-
     store = _open_store(args.store, must_exist=True, readonly=True)
-    aggregate = aggregate_records(store.iter_records())
+    aggregate = store.aggregate()
     if aggregate.records == 0:
         # A gate needs evidence: an empty store (sweep died before its
         # first record, or wrong --store path) must not pass.
@@ -534,7 +545,8 @@ def _cmd_campaign_diff(args: argparse.Namespace) -> int:
 
 def _cmd_store_merge(args: argparse.Namespace) -> int:
     """Concatenate shard stores into one, dedup by (spec_hash, seed)."""
-    target = _open_store(args.target, must_exist=False)
+    target = _open_store(args.target, must_exist=False,
+                         format=getattr(args, "store_format", None))
     sources = [_open_store(path, must_exist=True, readonly=True)
                for path in args.sources]
     merged = target.merge_from(sources)
@@ -550,6 +562,58 @@ def _cmd_store_merge(args: argparse.Namespace) -> int:
     })
     print(f"merged {merged} record(s) from {len(sources)} store(s) "
           f"into {args.target} ({len(target)} total)")
+    return 0
+
+
+def _cmd_store_convert(args: argparse.Namespace) -> int:
+    """Rewrite a store in the other on-disk format.  The record set,
+    dedup state and canonical digest are preserved bit-for-bit; only
+    the bytes on disk change."""
+    from repro.core.errors import SimulationError
+    from repro.results import convert_store
+
+    source = _open_store(args.source, must_exist=True, readonly=True)
+    try:
+        target = convert_store(source, args.target, args.to)
+    except (OSError, SimulationError) as exc:
+        raise SystemExit(f"cannot convert {args.source!r}: {exc}")
+    print(f"converted {len(target)} record(s): {args.source} "
+          f"({source.storage_format}) -> {args.target} "
+          f"({target.storage_format})")
+    print(f"canonical digest {target.canonical_digest()}")
+    return 0
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    """Measure fleet protocol overhead with synthetic records — no
+    simulation runs, so records/s isolates framing + ingest + merge."""
+    from repro.core.errors import SimulationError
+    from repro.fleet.bench import run_protocol_bench
+
+    try:
+        stats = run_protocol_bench(
+            records=args.records,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            store_format=args.store_format,
+            store_path=args.store,
+        )
+    except SimulationError as exc:
+        raise SystemExit(f"fleet bench failed: {exc}")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"fleet protocol bench: {stats['records']} record(s), "
+          f"{stats['workers']} worker(s), "
+          f"chunk_size={stats['chunk_size']}, "
+          f"store={stats['store_format']}")
+    print(f"  ingest wall     {stats['wall_seconds']:.3f}s")
+    print(f"  throughput      {stats['records_per_second']:.0f} records/s")
+    print(f"  merge wall      {stats['merge_seconds']:.3f}s")
+    print(f"  bytes on wire   {stats['wire_bytes']} "
+          f"({stats['wire_bytes_per_record']:.0f} B/record)")
     return 0
 
 
@@ -635,7 +699,8 @@ def _cmd_search_run(args: argparse.Namespace) -> int:
     from repro.core.errors import SimulationError
     from repro.scenarios import run_search
 
-    store = _open_store(args.store, must_exist=False)
+    store = _open_store(args.store, must_exist=False,
+                        format=getattr(args, "store_format", None))
     config = _search_config_from_args(args)
     try:
         stats = run_search(config, store, workers=args.workers)
@@ -675,7 +740,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     """Coordinate a sweep for workers that join over TCP."""
     from repro.fleet import FleetExecutor
 
-    store = _open_store(args.store, must_exist=False)
+    store = _open_store(args.store, must_exist=False,
+                        format=getattr(args, "store_format", None))
     campaign = _campaign_from_args(args)
     # The tcp transport launches nothing, but `workers` still sizes
     # the chunk plan (~4 chunks per expected worker) — too few chunks
@@ -897,6 +963,14 @@ def build_parser() -> argparse.ArgumentParser:
         parser_obj.add_argument("--store", required=True, metavar="DIR",
                                 help="result store directory")
 
+    def add_store_format_option(parser_obj):
+        parser_obj.add_argument(
+            "--store-format", default=None,
+            choices=["jsonl", "columnar"],
+            help="on-disk format when the store is created (default "
+                 "jsonl; an existing store's format is auto-detected "
+                 "and this flag must match it)")
+
     def add_fleet_backend_options(parser_obj):
         parser_obj.add_argument(
             "--fleet", type=int, default=None, metavar="N",
@@ -922,6 +996,7 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--workers", type=int, default=None,
                       help="worker processes (default: all usable CPUs, "
                            "cgroup-aware)")
+    add_store_format_option(crun)
     add_fleet_backend_options(crun)
     _add_scenario_generator_options(crun)
     crun.set_defaults(func=_cmd_campaign_run)
@@ -986,7 +1061,22 @@ def build_parser() -> argparse.ArgumentParser:
     smerge.add_argument("--compact", action="store_true",
                         help="also rewrite the target dropping "
                              "superseded/dead bytes")
+    add_store_format_option(smerge)
     smerge.set_defaults(func=_cmd_store_merge)
+
+    sconvert = store_sub.add_parser(
+        "convert",
+        help="rewrite a store in the other on-disk format "
+             "(jsonl <-> columnar); records and digest are preserved")
+    sconvert.add_argument("source", metavar="SOURCE",
+                          help="existing store directory")
+    sconvert.add_argument("target", metavar="TARGET",
+                          help="destination directory (created; must "
+                               "not already hold a store)")
+    sconvert.add_argument("--to", required=True,
+                          choices=["jsonl", "columnar"],
+                          help="target on-disk format")
+    sconvert.set_defaults(func=_cmd_store_convert)
 
     search = sub.add_parser(
         "search",
@@ -1025,6 +1115,7 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--workers", type=int, default=None,
                       help="worker processes per generation (default: "
                            "all usable CPUs, cgroup-aware)")
+    add_store_format_option(srun)
     _add_family_options(srun)
     add_search_output_options(srun)
     srun.set_defaults(func=_cmd_search_run)
@@ -1068,6 +1159,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "chunk plan (~4 chunks per worker) so "
                              "everyone gets work and a steal forfeits "
                              "little (default 4)")
+    add_store_format_option(fserve)
     _add_fleet_tuning_options(fserve)
     _add_scenario_generator_options(fserve)
     fserve.set_defaults(func=_cmd_fleet_serve, workers=None)
@@ -1089,6 +1181,26 @@ def build_parser() -> argparse.ArgumentParser:
     fstatus.add_argument("--json", action="store_true",
                          help="emit the snapshot as JSON")
     fstatus.set_defaults(func=_cmd_fleet_status)
+
+    fbench = fleet_sub.add_parser(
+        "bench",
+        help="measure fleet protocol overhead (synthetic records, no "
+             "simulation): framing + ingest + merge records/s")
+    fbench.add_argument("--records", type=int, default=2000,
+                        help="synthetic records to push through the "
+                             "protocol")
+    fbench.add_argument("--workers", type=int, default=2,
+                        help="synthetic TCP workers")
+    fbench.add_argument("--chunk-size", type=int, default=None,
+                        help="scenarios per lease (default: ~4 chunks "
+                             "per worker)")
+    fbench.add_argument("--store", default=None, metavar="DIR",
+                        help="keep the merged store here (default: a "
+                             "temporary directory, deleted)")
+    add_store_format_option(fbench)
+    fbench.add_argument("--json", action="store_true",
+                        help="emit the measurements as JSON")
+    fbench.set_defaults(func=_cmd_fleet_bench)
 
     return parser
 

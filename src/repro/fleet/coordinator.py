@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.results.records import record_error, record_slos, spec_hash
+from repro.results.records import record_error, spec_hash
 from repro.results.store import (
     ResultStore,
     SHARDS_DIR,
@@ -417,8 +417,12 @@ class FleetCoordinator:
             self._seen[key] = is_error
             shard = self._shards.get(worker)
             if shard is None:
-                shard = ResultStore(os.path.join(
-                    self.store.path, SHARDS_DIR, shard_store_name(worker)))
+                # Shards share the target store's format so the merge
+                # can move whole segments instead of records.
+                shard = ResultStore(
+                    os.path.join(self.store.path, SHARDS_DIR,
+                                 shard_store_name(worker)),
+                    format=self.store.storage_format)
                 self._shards[worker] = shard
         # The fsync-bearing append happens OUTSIDE the global lock: a
         # shard is written only by its own worker's connection thread,
@@ -566,24 +570,26 @@ class FleetCoordinator:
         shards_root = os.path.join(self.store.path, SHARDS_DIR)
         shard_paths = list_shards(shards_root)
         shards = [ResultStore(path, create=False) for path in shard_paths]
-        offsets_before = {(e.spec_hash, e.seed): e.offset
-                          for e in self.store.entries()}
+        # Keys whose record this merge appended — including error
+        # records it superseded — are those whose index signature
+        # changed.  (fingerprint, error) rather than the byte offset:
+        # a columnar store legitimately moves resident rows to new
+        # offsets when it seals its tail mid-merge, but never changes
+        # what they claim.
+        signature_before = {(e.spec_hash, e.seed): (e.fingerprint, e.error)
+                            for e in self.store.iter_entries()}
         self.stats.merged = self.store.merge_from(
             shards, order=self._order_keys, replace_errors=True)
-        # Keys whose record this merge appended — including error
-        # records it superseded (their index entry moved to a new
-        # offset), which must count toward failed/slo_failures too.
-        offsets_after = {(e.spec_hash, e.seed): e.offset
-                         for e in self.store.entries()}
+        signature_after = {(e.spec_hash, e.seed): (e.fingerprint, e.error)
+                           for e in self.store.iter_entries()}
         merged_keys = [key for key in self._order_keys
-                       if key in offsets_after
-                       and offsets_after[key] != offsets_before.get(key)]
-        for record in self.store.records_at(merged_keys):
-            if record_error(record) is not None:
-                self.stats.failed += 1
-            self.stats.slo_failures += sum(
-                1 for verdict in record_slos(record)
-                if verdict.get("status") != "pass")
+                       if key in signature_after
+                       and signature_after[key] != signature_before.get(key)]
+        self.stats.failed += sum(
+            1 for key in merged_keys if self.store.has_error(key))
+        # Columnar stores answer this from the verdict columns; JSONL
+        # stores stream the merged records once, as before.
+        self.stats.slo_failures += self.store.count_failing_slos(merged_keys)
         self.stats.unfinished = sum(
             1 for key in self._order_keys if key not in self.store)
         from repro import __version__

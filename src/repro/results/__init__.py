@@ -10,6 +10,10 @@ produced them:
 * :mod:`~repro.results.store`     — :class:`ResultStore`, an
   append-only JSONL store with an index sidecar: streaming writes,
   O(1) "has (spec, seed) run?" lookups, crash-tolerant resume;
+* :mod:`~repro.results.columnar`  — the same API over numpy-backed
+  columnar segments (:mod:`~repro.results.segment`) for
+  million-record campaigns: mmap'd metric columns, segment-level
+  merges, format auto-detection and JSONL↔columnar conversion;
 * :mod:`~repro.results.slo`       — declarative SLO assertions
   (``converged_within``, ``max_recovery_time``,
   ``min_delivered_fraction``, ``max_control_messages``, custom metric
@@ -57,6 +61,11 @@ from repro.results.store import (
     list_shards,
     shard_store_name,
 )
+from repro.results.columnar import (
+    ColumnarResultStore,
+    convert_store,
+    is_columnar_store,
+)
 from repro.results.diff import DiffEntry, StoreDiff, diff_stores
 from repro.results.aggregate import (
     MetricRollup,
@@ -86,7 +95,10 @@ __all__ = [
     "slo_from_dict",
     "slo_from_kv",
     "ResultStore",
+    "ColumnarResultStore",
     "IndexEntry",
+    "convert_store",
+    "is_columnar_store",
     "list_shards",
     "shard_store_name",
     "DiffEntry",

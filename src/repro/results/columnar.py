@@ -1,0 +1,841 @@
+"""Columnar result store: million-record analytics behind the
+unchanged :class:`~repro.results.store.ResultStore` API.
+
+Layout of a columnar store directory::
+
+    columnar.json        # format manifest (the detection marker)
+    segments/seg-*.rseg  # immutable columnar segments (see segment.py)
+    tail.jsonl           # JSONL write-ahead tail (same code as records.jsonl)
+    tail-index.jsonl     # the tail's sidecar
+    meta.json            # free-form metadata, identical to JSONL stores
+
+Records append to the JSONL **tail** with exactly the JSONL store's
+durability contract (record line fsynced before its index line, torn
+tails truncated on writable open, readonly opens never repair disk) —
+the tail literally runs the base class's code against different file
+names.  When the tail reaches ``segment_rows`` rows it is *sealed*
+into an immutable segment: the segment is published by fsync+rename
+first, then the tail is rewritten without the absorbed rows.  A crash
+between the two leaves rows present in both places; the loader drops
+the tail copies (same fingerprint + error flag → the segment already
+covers them), which is the columnar analogue of a torn-tail heal.
+
+Within the in-memory index, a segment row's ``IndexEntry.offset`` is a
+unique **negative ordinal** (tail rows keep their true byte offsets).
+Offsets of live rows therefore never collide between the two worlds,
+and every supersession — replace, merge, seal — moves a key to a fresh
+offset, exactly as appends do in the JSONL store.
+
+``merge_from`` gains a segment fast path: whole segment files from
+columnar sources are hard-linked (or copied) into this store and their
+winning rows admitted without parsing a single record, making a fleet
+shard merge O(segments + leftover records).  The merged *content* is
+identical to a JSONL merge (same winners, same dedup rule); only the
+physical record order may differ, which no deterministic surface
+(digest, diff, aggregate, resume) observes.
+
+Everything here requires numpy; the JSONL store does not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.results import segment as segment_codec
+from repro.results.aggregate import (
+    ROLLUP_METRICS,
+    MetricRollup,
+    SLOTally,
+    StoreAggregate,
+)
+from repro.results.records import record_key
+from repro.results.segment import (
+    MASK_ABSENT,
+    MASK_NUMBER,
+    SEGMENT_SUFFIX,
+    SegmentReader,
+    write_segment,
+)
+from repro.results.slo import ERROR, FAIL, PASS
+from repro.results.store import (
+    METADATA_FILE,
+    RECORDS_FILE,
+    IndexEntry,
+    ResultStore,
+    _cleaned_canonical,
+    _RecordReader,
+)
+
+FORMAT_NAME = "columnar"
+MANIFEST_FILE = "columnar.json"
+SEGMENTS_DIR = "segments"
+TAIL_RECORDS_FILE = "tail.jsonl"
+TAIL_INDEX_FILE = "tail-index.jsonl"
+
+#: Tail rows that trigger an automatic seal into a segment.
+DEFAULT_SEGMENT_ROWS = 8192
+
+_SEGMENT_NAME_RE = re.compile(r"^seg-(\d+)\.rseg")
+
+Key = Tuple[str, int]
+#: A record's location: ("s", segment_index, row) or ("t", byte_offset).
+Loc = Tuple[Any, ...]
+
+
+def is_columnar_store(path: str) -> bool:
+    """Format detection: the manifest file is the marker."""
+    return os.path.isfile(os.path.join(path, MANIFEST_FILE))
+
+
+class _ColumnarRecordReader(_RecordReader):
+    """Merge-time record fetcher that dispatches segment rows to the
+    page cache and tail rows to the WAL file."""
+
+    def fetch(self, key: Key) -> Dict[str, Any]:
+        loc = self.store._loc[key]
+        if loc[0] == "s":
+            return self.store._segments[loc[1]].record(loc[2])
+        return super().fetch(key)
+
+
+class ColumnarResultStore(ResultStore):
+    """Drop-in :class:`ResultStore` with columnar segment storage.
+
+    Same constructor, same methods, same invariants (dedup by
+    (spec_hash, seed), last-write-wins supersession, canonical digest,
+    crash-tolerant tail, readonly never repairs disk).  Reports run
+    straight off mmap'd metric columns; merges move whole segments.
+    """
+
+    def __init__(self, path: str, create: bool = True,
+                 readonly: bool = False, format: "Optional[str]" = None,
+                 segment_rows: "Optional[int]" = None):
+        if format not in (None, FORMAT_NAME):
+            raise ConfigurationError(
+                f"store {path!r} is columnar but format={format!r} "
+                "was requested")
+        self.path = os.path.abspath(path)
+        self.readonly = readonly
+        manifest_path = os.path.join(self.path, MANIFEST_FILE)
+        if not os.path.isfile(manifest_path):
+            if not create or readonly:
+                raise ConfigurationError(
+                    f"result store {path!r} does not exist")
+            if os.path.exists(os.path.join(self.path, RECORDS_FILE)):
+                raise ConfigurationError(
+                    f"{path!r} already holds a JSONL result store; "
+                    "use 'repro store convert' instead")
+            segment_codec._numpy()  # fail before any file is created
+            os.makedirs(os.path.join(self.path, SEGMENTS_DIR),
+                        exist_ok=True)
+            manifest = {"format": FORMAT_NAME, "version": 1,
+                        "segment_rows": int(segment_rows
+                                            or DEFAULT_SEGMENT_ROWS)}
+            tmp = manifest_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, manifest_path)
+        else:
+            segment_codec._numpy()
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"store manifest {manifest_path!r} is unreadable: "
+                    f"{exc}") from exc
+            if (not isinstance(manifest, dict)
+                    or manifest.get("format") != FORMAT_NAME):
+                raise ConfigurationError(
+                    f"store manifest {manifest_path!r} does not describe "
+                    "a columnar store")
+        self.segment_rows = int(segment_rows
+                                or manifest.get("segment_rows")
+                                or DEFAULT_SEGMENT_ROWS)
+        self.records_path = os.path.join(self.path, TAIL_RECORDS_FILE)
+        self.index_path = os.path.join(self.path, TAIL_INDEX_FILE)
+        self.metadata_path = os.path.join(self.path, METADATA_FILE)
+        self.segments_dir = os.path.join(self.path, SEGMENTS_DIR)
+        self._index: Dict[Key, IndexEntry] = {}
+        self._order: List[Key] = []
+        self._loc: Dict[Key, Loc] = {}
+        self._segments: List[SegmentReader] = []
+        self._dead: List[Set[int]] = []
+        self._tail_keys: List[Key] = []
+        self._tail_set: Set[Key] = set()
+        self._next_ordinal = -1
+        self._next_segment_id = 0
+        self._load_segments()
+        self._load_tail()
+
+    # -- loading -----------------------------------------------------------
+
+    def _segment_files(self) -> List[str]:
+        if not os.path.isdir(self.segments_dir):
+            return []
+        return sorted(name for name in os.listdir(self.segments_dir)
+                      if name.endswith(SEGMENT_SUFFIX))
+
+    def _load_segments(self) -> None:
+        if not os.path.isdir(self.segments_dir):
+            if not self.readonly:
+                os.makedirs(self.segments_dir, exist_ok=True)
+            return
+        for name in os.listdir(self.segments_dir):
+            match = _SEGMENT_NAME_RE.match(name)
+            if match:
+                self._next_segment_id = max(self._next_segment_id,
+                                            int(match.group(1)) + 1)
+            if self.readonly:
+                continue
+            # Crash debris from an unfinished seal (.tmp) or a
+            # liveness file whose segment never got published: never
+            # visible to readers, safe to drop on a writable open.
+            full = os.path.join(self.segments_dir, name)
+            orphan_live = (name.endswith(SEGMENT_SUFFIX + ".live")
+                           and not os.path.exists(
+                               full[:-len(".live")]))
+            if name.endswith(".tmp") or orphan_live:
+                try:
+                    os.remove(full)
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+        for name in self._segment_files():
+            full = os.path.join(self.segments_dir, name)
+            try:
+                reader = SegmentReader(full)
+            except ConfigurationError:
+                # Torn/corrupt segment: dropped exactly like a torn
+                # JSONL tail.  Writable opens quarantine the file so
+                # the next seal cannot collide with it; readonly opens
+                # skip it in memory only.
+                if not self.readonly:
+                    os.replace(full, full + ".corrupt")
+                continue
+            admitted = self._segment_live_rows(full, reader.rows)
+            si = len(self._segments)
+            self._segments.append(reader)
+            self._dead.append(
+                set() if admitted is None
+                else set(range(reader.rows)) - admitted)
+            for row, (sh, seed, name_, fp, err) in enumerate(
+                    reader.iter_index()):
+                if admitted is not None and row not in admitted:
+                    # A merge copied this segment but this row lost
+                    # the dedup there — it was never part of this
+                    # store's content.
+                    continue
+                entry = IndexEntry(spec_hash=sh, seed=seed, name=name_,
+                                   fingerprint=fp,
+                                   offset=self._next_ordinal, error=err)
+                self._next_ordinal -= 1
+                self._set_loc((sh, seed), ("s", si, row))
+                self._admit(entry)
+
+    def _segment_live_rows(self, segment_path: str,
+                           rows: int) -> "Optional[Set[int]]":
+        """The ``.live`` sidecar a partial segment copy carries: the
+        rows a merge actually admitted.  None (no sidecar) means all
+        rows belong to this store."""
+        live_path = segment_path + ".live"
+        if not os.path.exists(live_path):
+            return None
+        try:
+            with open(live_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            live = {int(row) for row in data}
+        except (OSError, ValueError, TypeError):
+            # Unreadable liveness: fail closed (treat every row as
+            # foreign) rather than resurrect dedup losers.
+            return set()
+        return {row for row in live if 0 <= row < rows}
+
+    def _load_tail(self) -> None:
+        stale = False
+        for entry in self._load_index_entries():
+            key = (entry.spec_hash, entry.seed)
+            loc = self._loc.get(key)
+            if loc is not None and loc[0] == "s":
+                si, row = loc[1], loc[2]
+                idx = self._segments[si].index_columns()
+                if (row not in self._dead[si]
+                        and idx["fingerprint"][row] == entry.fingerprint
+                        and bool(idx["error"][row]) == entry.error):
+                    # A seal published this row's segment but crashed
+                    # before rewriting the tail: the segment copy wins.
+                    stale = True
+                    continue
+            self._admit(entry)
+            self._set_loc(key, ("t", entry.offset))
+            if key not in self._tail_set:
+                self._tail_set.add(key)
+                self._tail_keys.append(key)
+        if stale and not self.readonly:
+            self._rewrite_tail()
+
+    def _set_loc(self, key: Key, loc: Loc) -> None:
+        """Move a key to a new location; the location it leaves (if it
+        was a segment row) becomes a dead row."""
+        old = self._loc.get(key)
+        if old is not None and old[0] == "s":
+            self._dead[old[1]].add(old[2])
+        self._loc[key] = loc
+
+    # -- tail machinery ----------------------------------------------------
+
+    def _read_tail_lines(self, keys: "Sequence[Key]") -> List[bytes]:
+        lines: List[bytes] = []
+        with open(self.records_path, "rb") as handle:
+            for key in keys:
+                handle.seek(self._loc[key][1])
+                lines.append(handle.readline())
+        return lines
+
+    def _rewrite_tail(self) -> None:
+        """Atomically rewrite the tail (and its sidecar) to hold
+        exactly the live tail rows, in tail order.  Offsets move; the
+        index follows."""
+        keys = list(self._tail_keys)
+        lines = self._read_tail_lines(keys) if keys else []
+        tmp_records = self.records_path + ".tmp"
+        new_entries: List[IndexEntry] = []
+        with open(tmp_records, "wb") as handle:
+            for key, line in zip(keys, lines):
+                offset = handle.tell()
+                handle.write(line)
+                old = self._index[key]
+                new_entries.append(IndexEntry(
+                    spec_hash=old.spec_hash, seed=old.seed, name=old.name,
+                    fingerprint=old.fingerprint, offset=offset,
+                    error=old.error))
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp_index = self.index_path + ".tmp"
+        with open(tmp_index, "w", encoding="utf-8") as handle:
+            for entry in new_entries:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+        os.replace(tmp_records, self.records_path)
+        os.replace(tmp_index, self.index_path)
+        for key, entry in zip(keys, new_entries):
+            self._index[key] = entry
+            self._loc[key] = ("t", entry.offset)
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any],
+               replace: bool = False) -> IndexEntry:
+        entry = super().append(record, replace)
+        key = (entry.spec_hash, entry.seed)
+        self._set_loc(key, ("t", entry.offset))
+        if key not in self._tail_set:
+            self._tail_set.add(key)
+            self._tail_keys.append(key)
+        self._maybe_seal()
+        return entry
+
+    def append_many(self, records: "Sequence[Dict[str, Any]]",
+                    replace: bool = False) -> List[IndexEntry]:
+        entries = super().append_many(records, replace)
+        for entry in entries:
+            key = (entry.spec_hash, entry.seed)
+            self._set_loc(key, ("t", entry.offset))
+            if key not in self._tail_set:
+                self._tail_set.add(key)
+                self._tail_keys.append(key)
+        self._maybe_seal()
+        return entries
+
+    def _maybe_seal(self) -> None:
+        while len(self._tail_keys) >= self.segment_rows:
+            self._seal_rows(self.segment_rows)
+
+    def seal(self, rows: "Optional[int]" = None) -> int:
+        """Seal up to ``rows`` tail rows (default: all) into a
+        segment; returns the rows sealed.  Also the explicit flush a
+        converter calls so a freshly converted store is all-columnar."""
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        count = len(self._tail_keys)
+        if rows is not None:
+            count = min(count, rows)
+        if count <= 0:
+            return 0
+        self._seal_rows(count)
+        return count
+
+    def _next_segment_path(self) -> str:
+        path = os.path.join(self.segments_dir,
+                            f"seg-{self._next_segment_id:08d}{SEGMENT_SUFFIX}")
+        self._next_segment_id += 1
+        return path
+
+    def _register_segment(self, path: str) -> int:
+        reader = SegmentReader(path)
+        self._segments.append(reader)
+        self._dead.append(set())
+        return len(self._segments) - 1
+
+    def _seal_rows(self, count: int) -> None:
+        keys = self._tail_keys[:count]
+        records = [json.loads(line)
+                   for line in self._read_tail_lines(keys)]
+        path = self._next_segment_path()
+        write_segment(path, records,
+                      provenance={"created_by": "seal", "rows": count})
+        si = self._register_segment(path)
+        for row, key in enumerate(keys):
+            self._set_loc(key, ("s", si, row))
+            old = self._index[key]
+            self._index[key] = IndexEntry(
+                spec_hash=old.spec_hash, seed=old.seed, name=old.name,
+                fingerprint=old.fingerprint, offset=self._next_ordinal,
+                error=old.error)
+            self._next_ordinal -= 1
+        self._tail_keys = self._tail_keys[count:]
+        self._tail_set = set(self._tail_keys)
+        self._rewrite_tail()
+
+    # -- merge / compaction ------------------------------------------------
+
+    def _open_reader(self) -> _RecordReader:
+        return _ColumnarRecordReader(self)
+
+    def merge_from(
+        self,
+        sources: "Sequence[ResultStore]",
+        order: "Optional[Sequence[Key]]" = None,
+        replace_errors: bool = True,
+    ) -> int:
+        """Same winners and dedup rule as the JSONL merge, plus a
+        segment fast path: a columnar source's segments are linked (or
+        copied) wholesale and their winning rows admitted from the
+        segment index alone — O(segments) file work, no record
+        parsing.  Rows that lose the dedup ride along dead (compact
+        reclaims them).  Only the *physical* record order can differ
+        from a JSONL merge; every deterministic surface (digest, diff,
+        aggregate, resume) is unaffected, so ``order`` only orders the
+        non-segment leftovers."""
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        best: Dict[Key, Tuple[ResultStore, IndexEntry]] = {}
+        arrival: List[Key] = []
+        for source in sources:
+            for entry in source.iter_entries():
+                key = (entry.spec_hash, entry.seed)
+                resident = self._index.get(key)
+                if resident is not None and not (
+                        replace_errors and resident.error
+                        and not entry.error):
+                    continue  # can never win against the resident
+                if key not in best:
+                    best[key] = (source, entry)
+                    arrival.append(key)
+                elif best[key][1].error and not entry.error:
+                    best[key] = (source, entry)
+        if not best:
+            return 0
+        appended = 0
+        superseded_tail = False
+        # Segment fast path: one pass per source segment, admitting
+        # the rows whose key this source won.
+        for source in sources:
+            if not isinstance(source, ColumnarResultStore):
+                continue
+            for src_si, seg in enumerate(source._segments):
+                src_dead = source._dead[src_si]
+                idx = seg.index_columns()
+                rows: List[int] = []
+                for row in range(seg.rows):
+                    if row in src_dead:
+                        continue
+                    key = (idx["spec_hash"][row], idx["seed"][row])
+                    win = best.get(key)
+                    if win is None or win[0] is not source:
+                        continue
+                    if source._loc.get(key) != ("s", src_si, row):
+                        continue  # superseded within the source
+                    rows.append(row)
+                if not rows:
+                    continue
+                path = self._next_segment_path()
+                if len(rows) < seg.rows:
+                    # Some rows lost the dedup: record which rows this
+                    # store admitted, *before* the segment becomes
+                    # visible, so a reload never resurrects losers.
+                    live_tmp = path + ".live.tmp"
+                    with open(live_tmp, "w", encoding="utf-8") as handle:
+                        json.dump(rows, handle)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(live_tmp, path + ".live")
+                try:
+                    os.link(seg.path, path)
+                except OSError:
+                    shutil.copy2(seg.path, path)
+                new_si = self._register_segment(path)
+                self._dead[new_si] = set(range(seg.rows)) - set(rows)
+                for row in rows:
+                    key = (idx["spec_hash"][row], idx["seed"][row])
+                    self._set_loc(key, ("s", new_si, row))
+                    if key in self._tail_set:
+                        # The copy superseded a resident tail record
+                        # (an error a shard's healthy row replaces);
+                        # drop it from the tail bookkeeping — and from
+                        # the tail file below, so a reload cannot
+                        # resurrect it over the segment row.
+                        self._tail_set.discard(key)
+                        self._tail_keys.remove(key)
+                        superseded_tail = True
+                    self._admit(IndexEntry(
+                        spec_hash=key[0], seed=key[1],
+                        name=idx["name"][row],
+                        fingerprint=idx["fingerprint"][row],
+                        offset=self._next_ordinal,
+                        error=bool(idx["error"][row])))
+                    self._next_ordinal -= 1
+                    del best[key]
+                appended += len(rows)
+        if superseded_tail:
+            self._rewrite_tail()
+        # Leftovers (tail rows and JSONL sources) go record-by-record,
+        # in the caller's canonical order.
+        keys = [tuple(key) for key in (order or []) if tuple(key) in best]
+        ordered = set(keys)
+        keys.extend(key for key in arrival
+                    if key in best and key not in ordered)
+        if keys:
+            readers: Dict[int, _RecordReader] = {}
+            try:
+                batch: List[Dict[str, Any]] = []
+                for key in keys:
+                    source = best[key][0]
+                    reader = readers.get(id(source))
+                    if reader is None:
+                        reader = source._open_reader()
+                        readers[id(source)] = reader
+                    batch.append(reader.fetch(key))
+                    if len(batch) >= 4096:
+                        self.append_many(batch, replace=True)
+                        batch = []
+                if batch:
+                    self.append_many(batch, replace=True)
+            finally:
+                for reader in readers.values():
+                    reader.close()
+            appended += len(keys)
+        return appended
+
+    def compact(self) -> int:
+        """Seal the tail, then rewrite every segment that carries dead
+        rows.  Each rewrite publishes the replacement segment before
+        deleting the original, so a crash at any point leaves a store
+        that heals on open (duplicate keys resolve last-segment-wins).
+        Returns the bytes reclaimed."""
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        before = self._disk_bytes()
+        self.seal()
+        for si in range(len(self._segments)):
+            dead = self._dead[si]
+            if not dead:
+                continue
+            seg = self._segments[si]
+            live_rows = [row for row in range(seg.rows) if row not in dead]
+            old_path = seg.path
+            if live_rows:
+                records = [json.loads(payload) for _, payload
+                           in seg.iter_payloads(live_rows)]
+                path = self._next_segment_path()
+                write_segment(path, records, provenance={
+                    "created_by": "compact", "rows": len(records)})
+                new_si = self._register_segment(path)
+                for row, record in zip(range(len(live_rows)), records):
+                    key = record_key(record)
+                    self._set_loc(key, ("s", new_si, row))
+                    old_entry = self._index[key]
+                    self._index[key] = IndexEntry(
+                        spec_hash=old_entry.spec_hash, seed=old_entry.seed,
+                        name=old_entry.name,
+                        fingerprint=old_entry.fingerprint,
+                        offset=self._next_ordinal, error=old_entry.error)
+                    self._next_ordinal -= 1
+            seg.close()
+            self._dead[si] = set(range(seg.rows))
+            os.remove(old_path)
+            if os.path.exists(old_path + ".live"):
+                os.remove(old_path + ".live")
+        return before - self._disk_bytes()
+
+    def _disk_bytes(self) -> int:
+        total = 0
+        for name in self._segment_files():
+            try:
+                total += os.path.getsize(
+                    os.path.join(self.segments_dir, name))
+            except OSError:  # pragma: no cover - racing delete
+                pass
+        for path in (self.records_path, self.index_path):
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def storage_format(self) -> str:
+        return FORMAT_NAME
+
+    def get(self, spec_hash: str, seed: int) -> Dict[str, Any]:
+        key = (spec_hash, seed)
+        if key not in self._index:
+            raise KeyError(
+                f"no record for spec_hash={spec_hash} seed={seed}")
+        loc = self._loc[key]
+        if loc[0] == "s":
+            return self._segments[loc[1]].record(loc[2])
+        with open(self.records_path, "rb") as handle:
+            handle.seek(loc[1])
+            return json.loads(handle.readline())
+
+    def records_at(self,
+                   keys: "Sequence[Key]") -> Iterator[Dict[str, Any]]:
+        if not keys:
+            return
+        handle = None
+        try:
+            for key in keys:
+                loc = self._loc[tuple(key)]
+                if loc[0] == "s":
+                    yield self._segments[loc[1]].record(loc[2])
+                else:
+                    if handle is None:
+                        handle = open(self.records_path, "rb")
+                    handle.seek(loc[1])
+                    yield json.loads(handle.readline())
+        finally:
+            if handle is not None:
+                handle.close()
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Segments in segment order (pages decompress once each),
+        then the live tail in file order — the columnar analogue of
+        "live records in file order"."""
+        for si, seg in enumerate(self._segments):
+            dead = self._dead[si]
+            if len(dead) >= seg.rows:
+                continue
+            for row, payload in seg.iter_payloads():
+                if row not in dead:
+                    yield json.loads(payload)
+        yield from super().iter_records()
+
+    def iter_entry_metrics(
+            self) -> Iterator[Tuple[IndexEntry, Dict[str, Any]]]:
+        """(entry, metrics) per live record off the compact metrics
+        blob — full payloads never decompress on this path."""
+        for si, seg in enumerate(self._segments):
+            dead = self._dead[si]
+            if len(dead) >= seg.rows:
+                continue
+            idx = seg.index_columns()
+            for row in range(seg.rows):
+                if row in dead:
+                    continue
+                key = (idx["spec_hash"][row], idx["seed"][row])
+                yield self._index[key], json.loads(seg.metrics_bytes(row))
+        for record in super().iter_records():
+            entry = self._index.get(record_key(record))
+            metrics = record.get("metrics", {})
+            yield entry, metrics if isinstance(metrics, dict) else {}
+
+    def aggregate(self) -> StoreAggregate:
+        """The report in one vectorized pass over the metric columns —
+        no record parsing for sealed rows; the (small) tail streams
+        through the scalar path.  Bit-for-bit identical to
+        ``aggregate_records(self.iter_records())``."""
+        np = segment_codec._numpy()
+        agg = StoreAggregate()
+        column_values: Dict[str, List[Any]] = {name: []
+                                               for name in ROLLUP_METRICS}
+        seen_rollups: Set[str] = set()
+        for si, seg in enumerate(self._segments):
+            live = np.ones(seg.rows, dtype=bool)
+            for row in self._dead[si]:
+                live[row] = False
+            n_live = int(live.sum())
+            if n_live == 0:
+                continue
+            agg.records += n_live
+            errored = seg.errors.astype(bool)
+            agg.errors += int((errored & live).sum())
+            agg.converged += int(((seg.converged != 0) & live).sum())
+            healthy = live & ~errored
+            for name in ROLLUP_METRICS:
+                column = seg.metric(name)
+                if column is None:
+                    continue
+                values, mask = column
+                if bool(((mask != MASK_ABSENT) & healthy).any()):
+                    seen_rollups.add(name)
+                numeric = (mask == MASK_NUMBER) & healthy
+                if bool(numeric.any()):
+                    column_values[name].append(values[numeric])
+            offsets, label_ids, status_ids, labels, statuses = seg.slo()
+            if len(label_ids):
+                counts = np.diff(offsets.astype(np.int64))
+                verdict_rows = np.repeat(np.arange(seg.rows), counts)
+                keep = live[verdict_rows]
+                if bool(keep.any()):
+                    n_status = max(len(statuses), 1)
+                    combo = np.bincount(
+                        label_ids[keep].astype(np.int64) * n_status
+                        + status_ids[keep].astype(np.int64),
+                        minlength=len(labels) * n_status)
+                    for li, label in enumerate(labels):
+                        per_status = combo[li * n_status:(li + 1) * n_status]
+                        if int(per_status.sum()) == 0:
+                            continue
+                        tally = agg.slo_tallies.setdefault(
+                            label, SLOTally(label))
+                        for sj, status in enumerate(statuses):
+                            count = int(per_status[sj])
+                            if not count:
+                                continue
+                            if status == PASS:
+                                tally.passed += count
+                            elif status == FAIL:
+                                tally.failed += count
+                            elif status == ERROR:
+                                tally.errored += count
+        for name in ROLLUP_METRICS:
+            if name in seen_rollups:
+                rollup = agg.metric_rollups.setdefault(
+                    name, MetricRollup(name))
+                for chunk in column_values[name]:
+                    rollup.values.extend(chunk.tolist())
+        for record in super().iter_records():  # the live tail
+            agg.add(record)
+        return agg
+
+    def count_failing_slos(self, keys: "Sequence[Key]") -> int:
+        tail_keys: List[Key] = []
+        total = 0
+        for key in keys:
+            loc = self._loc[tuple(key)]
+            if loc[0] != "s":
+                tail_keys.append(tuple(key))
+                continue
+            offsets, _, status_ids, _, statuses = \
+                self._segments[loc[1]].slo()
+            passing = {i for i, status in enumerate(statuses)
+                       if status == PASS}
+            lo, hi = int(offsets[loc[2]]), int(offsets[loc[2] + 1])
+            total += sum(1 for sid in status_ids[lo:hi]
+                         if int(sid) not in passing)
+        return total + super().count_failing_slos(tail_keys)
+
+    def canonical_digest(self) -> str:
+        """Same digest, same bytes, as the JSONL implementation — but
+        computed with one *sequential* decompression pass (each
+        payload page inflates exactly once) spilled to a temp file,
+        then hashed in canonical key order."""
+        digest = hashlib.sha256()
+        spans: Dict[Key, Tuple[int, int]] = {}
+        with tempfile.TemporaryFile() as spill:
+            offset = 0
+            for key, record in self._iter_live_with_keys():
+                cleaned = _cleaned_canonical(record)
+                spill.write(cleaned)
+                spans[key] = (offset, len(cleaned))
+                offset += len(cleaned)
+            for key in sorted(self._order):
+                start, length = spans[key]
+                spill.seek(start)
+                digest.update(spill.read(length))
+        return digest.hexdigest()[:16]
+
+    def _iter_live_with_keys(
+            self) -> Iterator[Tuple[Key, Dict[str, Any]]]:
+        for si, seg in enumerate(self._segments):
+            dead = self._dead[si]
+            if len(dead) >= seg.rows:
+                continue
+            idx = seg.index_columns()
+            for row, payload in seg.iter_payloads():
+                if row not in dead:
+                    yield ((idx["spec_hash"][row], idx["seed"][row]),
+                           json.loads(payload))
+        for record in super().iter_records():
+            yield record_key(record), record
+
+    def close(self) -> None:
+        """Release segment mmaps/handles (reads after this fail)."""
+        for seg in self._segments:
+            seg.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ColumnarResultStore {self.path!r} records={len(self)} "
+                f"segments={len(self._segments)} "
+                f"tail={len(self._tail_keys)}>")
+
+
+def convert_store(source: ResultStore, target_path: str, fmt: str,
+                  batch_rows: int = 4096) -> ResultStore:
+    """Convert a store to ``fmt`` ("jsonl" or "columnar") at
+    ``target_path`` (which must not already hold anything).
+
+    Streams live records in batches, carries the metadata over, and
+    stamps a provenance entry.  The converted store digests
+    identically to the source (superseded lines do not survive the
+    trip — they are not part of the store's deterministic content)."""
+    if fmt not in ("jsonl", FORMAT_NAME):
+        raise ConfigurationError(
+            f"unknown store format {fmt!r} (expected 'jsonl' or "
+            f"'{FORMAT_NAME}')")
+    if os.path.isfile(target_path):
+        raise ConfigurationError(
+            f"convert target {target_path!r} is a file")
+    if os.path.isdir(target_path) and os.listdir(target_path):
+        raise ConfigurationError(
+            f"convert target {target_path!r} already exists and is "
+            "not empty")
+    if os.path.abspath(target_path) == source.path:
+        raise ConfigurationError(
+            "convert target must differ from the source store")
+    target = ResultStore(target_path, create=True, format=fmt)
+    batch: List[Dict[str, Any]] = []
+    count = 0
+    for record in source.iter_records():
+        batch.append(record)
+        if len(batch) >= batch_rows:
+            target.append_many(batch)
+            count += len(batch)
+            batch = []
+    if batch:
+        target.append_many(batch)
+        count += len(batch)
+    if isinstance(target, ColumnarResultStore):
+        target.seal()
+    metadata = source.metadata
+    if metadata:
+        target.update_metadata(metadata)
+    target.record_provenance({
+        "transport": "convert",
+        "source": source.path,
+        "source_format": source.storage_format,
+        "target_format": target.storage_format,
+        "records": count,
+    })
+    return target

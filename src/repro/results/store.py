@@ -110,10 +110,45 @@ class ResultStore:
     still be running) must use it: the writer's in-flight record looks
     exactly like a crash's torn tail, and a repairing reader would
     truncate it out from under the writer.
+
+    Two on-disk formats share this one API.  The constructor detects
+    which one a directory holds and returns the right class: the
+    default JSONL layout implemented here, or the columnar segment
+    layout of :class:`repro.results.columnar.ColumnarResultStore`.
+    ``format="columnar"`` (or ``"jsonl"``) pins the format when
+    *creating* a store; opening an existing store with the wrong pin
+    is an error rather than a silent reinterpretation.
     """
 
+    def __new__(cls, path: str, create: bool = True,
+                readonly: bool = False,
+                format: "Optional[str]" = None, **kwargs):
+        if cls is ResultStore:
+            from repro.results.columnar import (
+                FORMAT_NAME,
+                ColumnarResultStore,
+                is_columnar_store,
+            )
+            if format not in (None, "jsonl", FORMAT_NAME):
+                raise ConfigurationError(
+                    f"unknown store format {format!r} "
+                    f"(expected 'jsonl' or {FORMAT_NAME!r})")
+            detected = is_columnar_store(path)
+            if detected and format == "jsonl":
+                raise ConfigurationError(
+                    f"store {path!r} is columnar but format='jsonl' "
+                    "was requested; use 'repro store convert'")
+            if detected or format == FORMAT_NAME:
+                return object.__new__(ColumnarResultStore)
+        return object.__new__(cls)
+
     def __init__(self, path: str, create: bool = True,
-                 readonly: bool = False):
+                 readonly: bool = False,
+                 format: "Optional[str]" = None):
+        if format not in (None, "jsonl"):
+            raise ConfigurationError(
+                f"store {path!r} is JSONL but format={format!r} "
+                "was requested")
         self.path = os.path.abspath(path)
         self.readonly = readonly
         if not os.path.isdir(self.path):
@@ -130,20 +165,24 @@ class ResultStore:
 
     # -- loading -----------------------------------------------------------
 
-    def _load_index(self) -> None:
-        """Read the sidecar; fall back to a full rebuild whenever it
-        disagrees with (or lags) the records file."""
+    def _load_index_entries(self) -> List[IndexEntry]:
+        """Sidecar entries (rebuilt from the records file whenever the
+        sidecar disagrees with or lags it), in file order — the shared
+        loader for both the JSONL store and the columnar tail."""
         if not os.path.exists(self.records_path):
             # No records: a leftover sidecar is stale (partial copy,
             # manual deletion) — drop it before it grafts phantom keys
             # onto future appends.
             if not self.readonly and os.path.exists(self.index_path):
                 os.remove(self.index_path)
-            return
+            return []
         entries = self._read_sidecar()
         if entries is None or not self._sidecar_is_complete(entries):
             entries = self._rebuild_index()
-        for entry in entries:
+        return entries
+
+    def _load_index(self) -> None:
+        for entry in self._load_index_entries():
             self._admit(entry)
 
     def _admit(self, entry: IndexEntry) -> None:
@@ -269,6 +308,52 @@ class ResultStore:
         self._admit(entry)
         return entry
 
+    def append_many(self, records: "Sequence[Dict[str, Any]]",
+                    replace: bool = False) -> List[IndexEntry]:
+        """Batched :meth:`append`: one open, one fsync, for the whole
+        batch — the bulk-load path (merge, convert, benchmarks) where
+        per-record fsyncs would dominate.  Same crash semantics as
+        single appends: record lines land (and sync) before their
+        index lines, so a crash can only lose index lines a rebuild
+        re-derives."""
+        if self.readonly:
+            raise ConfigurationError(
+                f"result store {self.path!r} was opened read-only")
+        if not records:
+            return []
+        if not replace:
+            seen = set()
+            for record in records:
+                key = record_key(record)
+                if key in self._index or key in seen:
+                    raise ConfigurationError(
+                        f"store already holds a record for "
+                        f"spec_hash={key[0]} seed={key[1]}")
+                seen.add(key)
+        entries: List[IndexEntry] = []
+        with open(self.records_path, "ab") as handle:
+            handle.seek(0, os.SEEK_END)
+            for record in records:
+                key = record_key(record)
+                offset = handle.tell()
+                handle.write((json.dumps(record, sort_keys=True) + "\n")
+                             .encode("utf-8"))
+                entries.append(IndexEntry(
+                    spec_hash=key[0], seed=key[1],
+                    name=record.get("name", ""),
+                    fingerprint=record.get("fingerprint", ""),
+                    offset=offset,
+                    error=record_error(record) is not None))
+            handle.flush()
+            os.fsync(handle.fileno())
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True)
+                             + "\n")
+        for entry in entries:
+            self._admit(entry)
+        return entries
+
     # -- merge / compaction ------------------------------------------------
 
     def merge_from(
@@ -293,6 +378,14 @@ class ResultStore:
         healthy record supersedes it.
 
         Returns the number of records appended.
+
+        Dedup streams against the *resident* index: a source entry
+        that cannot possibly win (its key is already here and not an
+        error a healthy candidate may supersede) is dropped the moment
+        it is seen, so merge memory is proportional to the records
+        actually merged — not to the union of all shard indexes, which
+        a resumed fleet merging mostly-duplicate shards used to pay
+        on every call.
         """
         if self.readonly:
             raise ConfigurationError(
@@ -301,8 +394,13 @@ class ResultStore:
         best: Dict[Tuple[str, int], Tuple["ResultStore", IndexEntry]] = {}
         arrival: List[Tuple[str, int]] = []
         for source in sources:
-            for entry in source.entries():
+            for entry in source.iter_entries():
                 key = (entry.spec_hash, entry.seed)
+                resident = self._index.get(key)
+                if resident is not None and not (
+                        replace_errors and resident.error
+                        and not entry.error):
+                    continue  # can never win against the resident
                 if key not in best:
                     best[key] = (source, entry)
                     arrival.append(key)
@@ -311,15 +409,7 @@ class ResultStore:
         keys = list(order) if order is not None else []
         keys = [tuple(key) for key in keys if tuple(key) in best]
         ordered = set(keys)
-        tail = [key for key in arrival if key not in ordered]
-        picks: List[Tuple[Tuple[str, int], "ResultStore"]] = []
-        for key in keys + tail:
-            source, entry = best[key]
-            if key in self._index and not (
-                    replace_errors and self._index[key].error
-                    and not entry.error):
-                continue
-            picks.append((key, source))
+        picks = keys + [key for key in arrival if key not in ordered]
         if not picks:
             return 0
         # Batched append: the source shards are already durable, so
@@ -327,20 +417,21 @@ class ResultStore:
         # (same crash semantics as append(): records land before
         # index lines, a torn tail heals on rebuild, a repeated key's
         # later line supersedes).  Each source is read through one
-        # persistent handle (picks interleave sources in canonical
-        # order, so per-pick get() opens would defeat streaming).
+        # persistent reader (picks interleave sources in canonical
+        # order, so per-pick get() opens would defeat streaming);
+        # _open_reader lets columnar sources serve segment rows.
         entries: List[IndexEntry] = []
-        source_handles: Dict[int, Any] = {}
+        readers: Dict[int, _RecordReader] = {}
         try:
             with open(self.records_path, "ab") as handle:
                 handle.seek(0, os.SEEK_END)
-                for key, source in picks:
-                    reader = source_handles.get(id(source))
+                for key in picks:
+                    source = best[key][0]
+                    reader = readers.get(id(source))
                     if reader is None:
-                        reader = open(source.records_path, "rb")
-                        source_handles[id(source)] = reader
-                    reader.seek(source._index[key].offset)
-                    record = json.loads(reader.readline())
+                        reader = source._open_reader()
+                        readers[id(source)] = reader
+                    record = reader.fetch(key)
                     offset = handle.tell()
                     handle.write((json.dumps(record, sort_keys=True) + "\n")
                                  .encode("utf-8"))
@@ -353,7 +444,7 @@ class ResultStore:
                 handle.flush()
                 os.fsync(handle.fileno())
         finally:
-            for reader in source_handles.values():
+            for reader in readers.values():
                 reader.close()
         with open(self.index_path, "a", encoding="utf-8") as handle:
             for entry in entries:
@@ -465,6 +556,24 @@ class ResultStore:
         """Index entries in append order (no record parsing)."""
         return [self._index[key] for key in self._order]
 
+    def iter_entries(self) -> Iterator[IndexEntry]:
+        """Streaming form of :meth:`entries` — what merges iterate so
+        a many-source merge never materializes source indexes."""
+        for key in self._order:
+            yield self._index[key]
+
+    @property
+    def storage_format(self) -> str:
+        """"jsonl" here; "columnar" on the columnar subclass.  The
+        knob callers (fleet shard creation, convert) pass back into
+        ``ResultStore(format=...)`` to make a like-formatted store."""
+        return "jsonl"
+
+    def _open_reader(self) -> "_RecordReader":
+        """A persistent-handle record fetcher for merges; the columnar
+        subclass returns one that also serves segment rows."""
+        return _RecordReader(self)
+
     def get(self, spec_hash: str, seed: int) -> Dict[str, Any]:
         """Load one record by key (one seek, one line parse)."""
         try:
@@ -514,29 +623,48 @@ class ResultStore:
         key order: every live record with the repo-wide volatile fields
         (``result.wall_seconds``, ``result.diagnostics``) removed,
         hashed key-by-key.  Two stores holding the same sweep — single
-        box or merged from a fleet's shards, run now or resumed later —
-        digest identically; any divergent measurement, verdict or spec
-        does not.  This is the store-level form of the scenario
-        reproducibility contract (wall clock and engine internals are
-        excluded from equality everywhere)."""
+        box or merged from a fleet's shards, run now or resumed later,
+        persisted JSONL or columnar — digest identically; any
+        divergent measurement, verdict or spec does not.  This is the
+        store-level form of the scenario reproducibility contract
+        (wall clock and engine internals are excluded from equality
+        everywhere)."""
         digest = hashlib.sha256()
         ordered = sorted(self._order)
         for record in self.records_at(ordered):
-            record = dict(record)
-            result = dict(record.get("result", {}))
-            for field_name in VOLATILE_RESULT_FIELDS:
-                result.pop(field_name, None)
-            record["result"] = result
-            metrics = record.get("metrics")
-            if isinstance(metrics, dict):
-                metrics = dict(metrics)
-                for field_name in VOLATILE_METRIC_FIELDS:
-                    metrics.pop(field_name, None)
-                record["metrics"] = metrics
-            digest.update(json.dumps(record, sort_keys=True,
-                                     separators=(",", ":")).encode("utf-8"))
-            digest.update(b"\n")
+            digest.update(_cleaned_canonical(record))
         return digest.hexdigest()[:16]
+
+    def aggregate(self) -> "Any":
+        """The report/check rollup for this store — one streaming pass
+        here; the columnar subclass computes the same aggregate
+        straight off its metric columns."""
+        from repro.results.aggregate import aggregate_records
+
+        return aggregate_records(self.iter_records())
+
+    def count_failing_slos(self, keys: "Sequence[Tuple[str, int]]") -> int:
+        """Non-passing SLO verdicts across the records for ``keys`` —
+        the fleet coordinator's post-merge tally (columnar stores
+        answer it from the verdict columns without parsing records)."""
+        from repro.results.records import record_slos
+
+        total = 0
+        for record in self.records_at([tuple(key) for key in keys]):
+            total += sum(1 for verdict in record_slos(record)
+                         if verdict.get("status") != "pass")
+        return total
+
+    def iter_entry_metrics(
+            self) -> "Iterator[Tuple[IndexEntry, Dict[str, Any]]]":
+        """(index entry, metrics dict) per live record, in record
+        order — what the search leaderboard ranks on.  Columnar stores
+        serve this off a compact metrics column without decompressing
+        full payloads."""
+        for record in self.iter_records():
+            entry = self._index.get(record_key(record))
+            metrics = record.get("metrics", {})
+            yield entry, metrics if isinstance(metrics, dict) else {}
 
     def schema_versions(self) -> Dict[int, int]:
         """schema_version -> record count (streaming scan)."""
@@ -549,3 +677,42 @@ class ResultStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ResultStore {self.path!r} records={len(self)} "
                 f"schema=v{RESULT_SCHEMA_VERSION}>")
+
+
+def _cleaned_canonical(record: Dict[str, Any]) -> bytes:
+    """One record's contribution to :meth:`canonical_digest`: volatile
+    fields removed, canonical JSON, newline-terminated.  Both store
+    formats hash exactly these bytes."""
+    record = dict(record)
+    result = dict(record.get("result", {}))
+    for field_name in VOLATILE_RESULT_FIELDS:
+        result.pop(field_name, None)
+    record["result"] = result
+    metrics = record.get("metrics")
+    if isinstance(metrics, dict):
+        metrics = dict(metrics)
+        for field_name in VOLATILE_METRIC_FIELDS:
+            metrics.pop(field_name, None)
+        record["metrics"] = metrics
+    return (json.dumps(record, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+class _RecordReader:
+    """One persistent read handle over a store's records file, used by
+    merges to fetch picked records without per-record opens."""
+
+    def __init__(self, store: ResultStore):
+        self.store = store
+        self._handle: "Optional[Any]" = None
+
+    def fetch(self, key: Tuple[str, int]) -> Dict[str, Any]:
+        if self._handle is None:
+            self._handle = open(self.store.records_path, "rb")
+        self._handle.seek(self.store._index[key].offset)
+        return json.loads(self._handle.readline())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -374,14 +374,18 @@ def _rank_key(name: str, value: Optional[float]) -> Tuple[Any, ...]:
 
 def leaderboard(store: ResultStore,
                 config: SearchConfig) -> List[LeaderboardEntry]:
-    """Rank every record in the store by the configured objective."""
+    """Rank every record in the store by the configured objective.
+
+    Ranks off the index + metrics alone (``iter_entry_metrics``), so a
+    columnar store serves a million-record leaderboard from its
+    metrics column without decompressing full payloads."""
     scored = []
-    for record in store.iter_records():
-        errored = record_error(record) is not None
+    for entry, metrics in store.iter_entry_metrics():
+        errored = entry.error
         value = None if errored else objective_value(
-            config.objective, record.get("metrics", {}), config.duration)
-        scored.append((record.get("name", ""), record["seed"],
-                       record["spec_hash"], value, errored))
+            config.objective, metrics, config.duration)
+        scored.append((entry.name, entry.seed, entry.spec_hash,
+                       value, errored))
     scored.sort(key=lambda row: _rank_key(row[0], row[3]))
     return [
         LeaderboardEntry(rank=index + 1, name=name, seed=seed,

@@ -219,6 +219,106 @@ class TestWorkStealing:
         assert_stores_equal(full, ResultStore(str(tmp_path / "store")))
 
 
+class TestColumnarFleet:
+    """Satellite of the columnar store: a fleet campaign whose target
+    (and therefore shard) stores are columnar must survive a SIGKILLed
+    worker and merge to the exact digest of a single-box JSONL run —
+    the two formats and the two execution paths all agree."""
+
+    def test_columnar_fleet_with_sigkill_matches_jsonl_single_box(
+            self, tmp_path):
+        numpy = pytest.importorskip("numpy")  # noqa: F841
+        specs = [tiny_spec(seed) for seed in range(6)]
+        single = ResultStore(str(tmp_path / "single"))
+        Campaign(specs, workers=1).run(store=single)
+
+        # segment_rows=2: the merge's leftover batches seal segments
+        # mid-merge, exercising the tail/segment transition under load.
+        store = ResultStore(str(tmp_path / "fleet"), format="columnar",
+                            segment_rows=2)
+        coordinator = FleetCoordinator(
+            [spec.to_dict() for spec in specs], store,
+            chunk_size=3, lease_timeout=30.0)
+        coordinator.start()
+        try:
+            host, port = coordinator.address
+            env = dict(os.environ)
+            src = os.path.dirname(os.path.dirname(
+                os.path.abspath(repro.__file__)))
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            env["REPRO_FLEET_SELFKILL_AFTER"] = "2"
+            victim = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "fleet", "join",
+                 f"{host}:{port}", "--worker-id", "victim"],
+                env=env, timeout=120, capture_output=True)
+            assert victim.returncode == -9
+            assert worker_main(host, port, worker_id="healthy") == 0
+            assert coordinator.wait(60.0)
+        finally:
+            coordinator.stop()
+        stats = coordinator.finish(transport="tcp")
+        assert stats.reclaimed >= 1
+        assert stats.failed_chunks == 0
+        assert stats.unfinished == 0
+        assert stats.failed == 0
+
+        merged = ResultStore(str(tmp_path / "fleet"))
+        assert merged.storage_format == "columnar"
+        assert merged.keys() == single.keys()
+        assert merged.fingerprints() == single.fingerprints()
+        assert merged.canonical_digest() == single.canonical_digest()
+        assert diff_stores(single, merged).identical
+        # shard stores (columnar too) were merged away
+        assert not os.path.isdir(os.path.join(merged.path, "shards"))
+
+    def test_cli_columnar_fleet_and_convert_round_trip(self, tmp_path):
+        """The CI gating path in miniature: a columnar fleet campaign,
+        converted to JSONL, diffs clean against the columnar original
+        and against a plain JSONL run of the same sweep."""
+        pytest.importorskip("numpy")
+        base = str(tmp_path / "base")
+        col = str(tmp_path / "col")
+        code, __ = run_cli(["campaign", "run", "--store", base,
+                            "--count", "2", "--workers", "1"] + BASE)
+        assert code == 0
+        code, __ = run_cli(["campaign", "run", "--store", col,
+                            "--count", "2", "--fleet", "2",
+                            "--transport", "inprocess",
+                            "--store-format", "columnar",
+                            "--chunk-size", "1"] + BASE)
+        assert code == 0
+        assert ResultStore(col, readonly=True).storage_format == "columnar"
+        code, out = run_cli(["campaign", "diff", base, col])
+        assert code == 0 and "equivalent" in out
+        code, out = run_cli(["campaign", "report", "--store", col])
+        assert code == 0 and "2 record(s)" in out
+        back = str(tmp_path / "back")
+        code, out = run_cli(["store", "convert", col, back,
+                             "--to", "jsonl"])
+        assert code == 0 and "converted 2 record(s)" in out
+        code, __ = run_cli(["campaign", "diff", base, back])
+        assert code == 0
+
+    def test_cli_fleet_bench(self, tmp_path):
+        """The protocol-overhead harness pushes synthetic records
+        through real TCP workers and reports a deterministic digest."""
+        import json as _json
+
+        keep = str(tmp_path / "benchstore")
+        code, out = run_cli(["fleet", "bench", "--records", "40",
+                             "--workers", "2", "--chunk-size", "5",
+                             "--store", keep, "--json"])
+        assert code == 0
+        stats = _json.loads(out)
+        assert stats["records"] == 40
+        assert stats["merged"] == 40
+        assert stats["records_per_second"] > 0
+        assert stats["wire_bytes_per_record"] > 0
+        store = ResultStore(keep, readonly=True)
+        assert len(store) == 40
+        assert store.canonical_digest() == stats["store_digest"]
+
+
 class TestChunkRetry:
     """chunk_error handling on synthetic payloads (no scenarios run):
     a failed chunk is re-leased, and exhausting its attempts marks it
