@@ -393,7 +393,7 @@ def _fleet_executor_from_args(args: argparse.Namespace):
         workers=fleet_workers,
         transport=transport,
         chunk_size=getattr(args, "chunk_size", None),
-        lease_timeout=getattr(args, "lease_timeout", 30.0),
+        lease_timeout=getattr(args, "lease_timeout", None) or 30.0,
         host="0.0.0.0" if external else "127.0.0.1",
         port=getattr(args, "fleet_port", 0) or 0,
         wait_timeout=getattr(args, "wait_timeout", None),
@@ -738,6 +738,11 @@ def _cmd_search_report(args: argparse.Namespace) -> int:
 
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     """Coordinate a sweep for workers that join over TCP."""
+    if getattr(args, "resume", None):
+        return _cmd_fleet_serve_resume(args)
+    if not args.store:
+        raise SystemExit("fleet serve needs --store DIR "
+                         "(or --resume JOURNAL to continue a crashed run)")
     from repro.fleet import FleetExecutor
 
     store = _open_store(args.store, must_exist=False,
@@ -751,7 +756,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         workers=args.expect_workers,
         transport="tcp",
         chunk_size=args.chunk_size,
-        lease_timeout=args.lease_timeout,
+        lease_timeout=args.lease_timeout or 30.0,
         host=args.host, port=args.port,
         wait_timeout=args.wait_timeout,
         on_listening=_announce_fleet_address,
@@ -767,6 +772,60 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_fleet_serve_resume(args: argparse.Namespace) -> int:
+    """Continue a crashed fleet run from its journal.  No generator
+    flags: the journal's plan carries the exact chunk list, and what
+    already completed (target store + surviving shards) is skipped or
+    re-ingested rather than re-run."""
+    import os as _os
+
+    from repro.core.errors import SimulationError
+    from repro.fleet import resume_coordinator
+
+    try:
+        coordinator = resume_coordinator(
+            args.resume,
+            host=args.host, port=args.port,
+            # None -> the crashed run's own value, from the plan line.
+            lease_timeout=args.lease_timeout)
+    except SimulationError as exc:
+        raise SystemExit(f"fleet resume failed: {exc}")
+    if args.store and _os.path.abspath(args.store) != coordinator.store.path:
+        raise SystemExit(
+            f"--store {args.store!r} is not the journal's store "
+            f"{coordinator.store.path!r}; omit --store when resuming")
+    try:
+        coordinator.start()
+    except SimulationError as exc:
+        raise SystemExit(f"fleet resume failed: {exc}")
+    _announce_fleet_address(coordinator.address)
+    try:
+        if not coordinator.wait(args.wait_timeout):
+            print(f"fleet resume: not finished after "
+                  f"{args.wait_timeout}s; merging what completed",
+                  file=sys.stderr)
+        coordinator.drain()
+    finally:
+        coordinator.stop()
+        stats = coordinator.finish(transport="tcp")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"fleet resume: {stats.merged} record(s) merged into "
+              f"{coordinator.store.path} "
+              f"({stats.reingested_records} re-ingested from surviving "
+              f"shards, {stats.requeued_lost} chunk(s) re-run)")
+        print(f"  unfinished={stats.unfinished} "
+              f"failed_chunks={stats.failed_chunks} "
+              f"reclaimed={stats.reclaimed} "
+              f"stopped_cleanly={stats.stopped_cleanly}")
+    if stats.unfinished or stats.failed_chunks:
+        return 1
+    return 0 if coordinator.store.aggregate().gate_ok else 1
+
+
 def _cmd_fleet_join(args: argparse.Namespace) -> int:
     """Work for a coordinator until it runs out of chunks."""
     from repro.fleet import parse_address, worker_main
@@ -777,7 +836,8 @@ def _cmd_fleet_join(args: argparse.Namespace) -> int:
     except ProtocolError as exc:
         raise SystemExit(str(exc))
     return worker_main(host, port, worker_id=args.worker_id,
-                       connect_timeout=args.connect_timeout)
+                       connect_timeout=args.connect_timeout,
+                       reconnect_attempts=args.reconnect_attempts)
 
 
 def _cmd_fleet_status(args: argparse.Namespace) -> int:
@@ -829,11 +889,13 @@ def _add_fleet_tuning_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunk-size", type=int, default=None,
                         help="scenarios per lease (default: ~4 chunks "
                              "per worker)")
-    parser.add_argument("--lease-timeout", type=float, default=30.0,
+    parser.add_argument("--lease-timeout", type=float, default=None,
                         help="seconds without any frame (records or "
                              "liveness heartbeats) from a worker before "
-                             "its chunks are reclaimed; bound a run with "
-                             "a live-but-stuck worker via --wait-timeout")
+                             "its chunks are reclaimed (default 30; a "
+                             "resume defaults to the crashed run's "
+                             "value); bound a run with a live-but-stuck "
+                             "worker via --wait-timeout")
     parser.add_argument("--wait-timeout", type=float, default=None,
                         help="give up if the sweep is not finished after "
                              "this many seconds (completed records are "
@@ -1144,7 +1206,16 @@ def build_parser() -> argparse.ArgumentParser:
     fserve = fleet_sub.add_parser(
         "serve",
         help="coordinate a sweep for TCP workers (repro fleet join)")
-    add_store_option(fserve)
+    # Not add_store_option: --resume derives the store from the
+    # journal's plan, so --store is only required for fresh runs.
+    fserve.add_argument("--store", required=False, default=None,
+                        metavar="DIR", help="result store directory "
+                        "(required unless --resume)")
+    fserve.add_argument("--resume", default=None, metavar="JOURNAL",
+                        help="continue a crashed run from its journal "
+                             "(<store>/fleet-journal.jsonl); surviving "
+                             "worker shards are re-ingested, not re-run, "
+                             "and generator flags are ignored")
     fserve.add_argument("--count", type=int, default=20,
                         help="number of seeds to sweep")
     fserve.add_argument("--seed-base", type=int, default=0,
@@ -1170,6 +1241,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coordinator address printed by fleet serve")
     fjoin.add_argument("--worker-id", default=None,
                        help="worker name (default: hostname-pid)")
+    fjoin.add_argument("--reconnect-attempts", type=int, default=5,
+                       help="lost sessions to survive before giving up "
+                            "(seeded exponential backoff between tries)")
     fjoin.add_argument("--connect-timeout", type=float, default=10.0,
                        help="seconds to keep retrying the first connect")
     fjoin.set_defaults(func=_cmd_fleet_join)

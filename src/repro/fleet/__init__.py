@@ -14,6 +14,15 @@ canonical :class:`~repro.results.store.ResultStore` that is
 record-for-record what a single-box ``Campaign.run`` would have
 written.
 
+The failure story covers the coordinator itself: chunk-state
+transitions are journalled to fsync'd JSONL next to the store
+(:mod:`~repro.fleet.journal`), ``repro fleet serve --resume`` rebuilds
+a crashed run from that journal re-ingesting surviving shards instead
+of re-running them, workers reconnect through dropped sessions with
+seeded backoff, and a deterministic chaos harness
+(:mod:`~repro.fleet.chaos`) proves the digest survives all of it.
+See ``docs/fleet.md`` for the full crash-recovery matrix.
+
 Quickstart::
 
     from repro.fleet import FleetExecutor
@@ -36,13 +45,19 @@ Or across machines::
 from repro.fleet.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    ConnectionClosed,
     ProtocolError,
     encode_frame,
     parse_address,
     recv_message,
     send_message,
 )
-from repro.fleet.coordinator import FleetCoordinator, FleetRunStats
+from repro.fleet.journal import FleetJournal, default_journal_path
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    FleetRunStats,
+    resume_coordinator,
+)
 from repro.fleet.worker import FleetWorker, WorkerStats, worker_main
 from repro.fleet.transport import (
     TRANSPORTS,
@@ -51,18 +66,28 @@ from repro.fleet.transport import (
     TcpTransport,
     transport_from_name,
 )
+from repro.fleet.chaos import (
+    ChaosSchedule,
+    ChaosSocket,
+    ChaosTransport,
+    schedule_from_env,
+)
 from repro.fleet.executor import FleetExecutor, run_fleet_campaign
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "ConnectionClosed",
     "encode_frame",
     "recv_message",
     "send_message",
     "parse_address",
+    "FleetJournal",
+    "default_journal_path",
     "FleetCoordinator",
     "FleetRunStats",
+    "resume_coordinator",
     "FleetWorker",
     "WorkerStats",
     "worker_main",
@@ -71,6 +96,10 @@ __all__ = [
     "MultiprocessTransport",
     "TcpTransport",
     "transport_from_name",
+    "ChaosSchedule",
+    "ChaosSocket",
+    "ChaosTransport",
+    "schedule_from_env",
     "FleetExecutor",
     "run_fleet_campaign",
 ]

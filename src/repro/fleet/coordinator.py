@@ -29,6 +29,14 @@ ingest by ``(spec_hash, seed)``.  Records are deterministic given a
 spec, so which copy survives does not matter — except that a healthy
 record always supersedes an error record, both at ingest and at
 merge, so a flaky worker cannot poison a key another worker completed.
+
+The coordinator's own death is covered too: chunk-state transitions
+are journalled (see :mod:`repro.fleet.journal`), and
+:func:`resume_coordinator` rebuilds a coordinator from the journal
+that re-ingests surviving shards instead of re-running them.  A worker
+that keeps reporting ``chunk_error`` is *quarantined* — its next
+report and any re-hello are rejected — so one broken installation
+cannot spend every chunk's attempt budget.
 """
 
 from __future__ import annotations
@@ -36,12 +44,13 @@ from __future__ import annotations
 import logging
 import os
 import shutil
+import signal
 import socket
 import threading
 import time as _time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import ConfigurationError
 from repro.results.records import record_error, spec_hash
@@ -51,6 +60,7 @@ from repro.results.store import (
     list_shards,
     shard_store_name,
 )
+from repro.fleet.journal import FleetJournal, default_journal_path
 from repro.fleet.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -62,6 +72,11 @@ from repro.scenarios.campaign import WorkChunk, plan_chunks
 _log = logging.getLogger("repro.fleet")
 
 _PENDING, _LEASED, _DONE, _FAILED = "pending", "leased", "done", "failed"
+
+#: Test hook: SIGKILL the coordinator's own process after ingesting
+#: this many records — how the crash-recovery tests die at an
+#: arbitrary, reproducible point with no cooperation from teardown.
+_COORD_SELFKILL_ENV = "REPRO_FLEET_COORD_SELFKILL_AFTER"
 
 
 @dataclass
@@ -88,6 +103,12 @@ class FleetRunStats:
     unfinished: int = 0           # specs never completed (failed chunks)
     failed: int = 0               # merged records that are error records
     slo_failures: int = 0         # non-passing verdicts in merged records
+    resumed: bool = False         # this run continued a crashed one
+    reingested_records: int = 0   # salvaged from shards, not re-run
+    reingested_chunks: int = 0    # chunks fully covered by salvage
+    requeued_lost: int = 0        # chunks the crash genuinely lost
+    quarantined: List[str] = field(default_factory=list)
+    stopped_cleanly: bool = True  # every server thread died on stop()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -98,6 +119,12 @@ class FleetRunStats:
             "duplicates_dropped": self.duplicates_dropped,
             "merged": self.merged, "unfinished": self.unfinished,
             "failed": self.failed, "slo_failures": self.slo_failures,
+            "resumed": self.resumed,
+            "reingested_records": self.reingested_records,
+            "reingested_chunks": self.reingested_chunks,
+            "requeued_lost": self.requeued_lost,
+            "quarantined": list(self.quarantined),
+            "stopped_cleanly": self.stopped_cleanly,
         }
 
 
@@ -115,15 +142,23 @@ class FleetCoordinator:
         host: str = "127.0.0.1",
         port: int = 0,
         poll_hint: float = 0.2,
+        journal: Union[bool, str] = True,
+        chunks: Optional[List[WorkChunk]] = None,
+        quarantine_after: int = 3,
+        resume: bool = False,
     ):
         if store.readonly:
             raise ConfigurationError("fleet target store is read-only")
         if lease_timeout <= 0:
             raise ConfigurationError(
                 f"lease_timeout must be > 0, got {lease_timeout}")
+        if quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {quarantine_after}")
         self.store = store
         self.lease_timeout = lease_timeout
         self.max_chunk_attempts = max_chunk_attempts
+        self.quarantine_after = quarantine_after
         self.poll_hint = poll_hint
         self._host_req, self._port_req = host, port
         # Canonical order: the sweep's spec order, which is also the
@@ -132,11 +167,16 @@ class FleetCoordinator:
             (spec_hash(payload), payload.get("seed", 0))
             for payload in payloads]
         self._valid_keys = set(self._order_keys)
-        chunks = plan_chunks(payloads, chunk_size=chunk_size,
-                             workers=workers_hint)
+        # An explicit chunk list (the resume path replays the crashed
+        # run's exact plan) bypasses planning; chunking must not drift
+        # between the original run and its resume.
+        if chunks is None:
+            chunks = plan_chunks(payloads, chunk_size=chunk_size,
+                                 workers=workers_hint)
         self.stats = FleetRunStats(
             chunks=len(chunks),
-            chunk_size=max((len(c.payloads) for c in chunks), default=0))
+            chunk_size=max((len(c.payloads) for c in chunks), default=0),
+            resumed=resume)
         self._chunks: Dict[int, _ChunkState] = {
             c.chunk_id: _ChunkState(chunk=c) for c in chunks}
         self._queue = deque(sorted(self._chunks))
@@ -146,6 +186,8 @@ class FleetCoordinator:
         self._worker_leases: Dict[str, set] = {}
         self._shards: Dict[str, ResultStore] = {}
         self._worker_info: Dict[str, Dict[str, Any]] = {}
+        self._worker_chunk_errors: Dict[str, int] = {}
+        self._quarantined: set = set()
         self._connected: set = set()
         self._lock = threading.RLock()
         self._done = threading.Event()
@@ -153,6 +195,19 @@ class FleetCoordinator:
         self._server: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._clients: List[socket.socket] = []
+        self._resume = resume
+        # journal=True -> the default path next to the store;
+        # a string -> that path; False -> run without crash durability.
+        if journal is True:
+            self._journal_path: Optional[str] = default_journal_path(
+                store.path)
+        elif journal:
+            self._journal_path = str(journal)
+        else:
+            self._journal_path = None
+        self._journal: Optional[FleetJournal] = None
+        self._selfkill_after = int(
+            os.environ.get(_COORD_SELFKILL_ENV, "0") or 0)
         if not self._chunks:
             self._done.set()
 
@@ -164,15 +219,65 @@ class FleetCoordinator:
             raise ConfigurationError("coordinator is not started")
         return self._server.getsockname()[:2]
 
+    def _journal_event(self, event: str, **fields: Any) -> None:
+        """Best-effort durable logging: a journal that stops accepting
+        writes (disk full, volume gone) degrades the run to its
+        pre-journal behavior instead of killing it — the records
+        themselves are still safe in the shard stores."""
+        journal = self._journal
+        if journal is None:
+            return
+        try:
+            journal.append(event, **fields)
+        except OSError as exc:
+            _log.error("fleet: journal write failed (%s); disabling "
+                       "crash durability for this run", exc)
+            self._journal = None
+            try:
+                journal.close()
+            except OSError:
+                pass
+
     def start(self) -> "FleetCoordinator":
-        # A crashed fleet run can leave unmerged shards behind; their
-        # keys would collide with this run's re-executed specs, so the
-        # slate is wiped (the target store, not the shards, is the
-        # resume source of truth).
-        shards_root = os.path.join(self.store.path, SHARDS_DIR)
-        if os.path.isdir(shards_root):
-            _log.warning("fleet: discarding stale shards in %s", shards_root)
-            shutil.rmtree(shards_root, ignore_errors=True)
+        if not self._resume:
+            # A crashed fleet run can leave unmerged shards behind;
+            # their keys would collide with a *fresh* run's re-executed
+            # specs, so the slate is wiped.  A resume does the exact
+            # opposite: the surviving shards are the salvage it came
+            # back for (see resume_coordinator).
+            shards_root = os.path.join(self.store.path, SHARDS_DIR)
+            if os.path.isdir(shards_root):
+                _log.warning("fleet: discarding stale shards in %s",
+                             shards_root)
+                shutil.rmtree(shards_root, ignore_errors=True)
+        if self._journal_path is not None:
+            # Fresh runs truncate any previous journal; resumes append
+            # to the crashed run's log so the full history survives.
+            self._journal = FleetJournal(self._journal_path,
+                                         fresh=not self._resume)
+            if self._resume:
+                self._journal_event(
+                    "resume",
+                    requeued=self.stats.requeued_lost,
+                    reingested_records=self.stats.reingested_records,
+                    reingested_chunks=self.stats.reingested_chunks)
+            else:
+                # The plan is the journal's one load-bearing line: it
+                # carries the exact chunk list (ids + spec payloads),
+                # so a resume rebuilds an identical coordinator with
+                # no generator flags to re-supply.  Written first,
+                # before any worker can connect — a journal that
+                # exists but lacks a plan was torn at birth and is
+                # correctly refused by resume.
+                self._journal_event(
+                    "plan",
+                    store=self.store.path,
+                    store_format=self.store.storage_format,
+                    lease_timeout=self.lease_timeout,
+                    max_chunk_attempts=self.max_chunk_attempts,
+                    chunks=[{"chunk": chunk_id,
+                             "specs": self._chunks[chunk_id].chunk.payloads}
+                            for chunk_id in sorted(self._chunks)])
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         server.bind((self._host_req, self._port_req))
@@ -208,7 +313,10 @@ class FleetCoordinator:
             _time.sleep(0.05)
 
     def stop(self) -> None:
-        """Tear down the sockets and threads (idempotent)."""
+        """Tear down the sockets and threads (idempotent).  A thread
+        that outlives its 2s join is named in the log and flips
+        ``stats.stopped_cleanly`` — a silent leak here is how a "done"
+        process ends up wedged in atexit or holding the port."""
         self._stopping.set()
         if self._server is not None:
             try:
@@ -226,8 +334,18 @@ class FleetCoordinator:
                 sock.close()
             except OSError:
                 pass
+        current = threading.current_thread()
+        leaked = []
         for thread in list(self._threads):
+            if thread is current:
+                continue
             thread.join(timeout=2.0)
+            if thread.is_alive():
+                leaked.append(thread.name)
+        if leaked:
+            self.stats.stopped_cleanly = False
+            _log.error("fleet: %d thread(s) failed to stop within 2s: %s",
+                       len(leaked), ", ".join(sorted(leaked)))
 
     # -- server loops ------------------------------------------------------
 
@@ -345,6 +463,14 @@ class FleetCoordinator:
         if not isinstance(requested, str) or not requested:
             requested = "worker"
         with self._lock:
+            if requested in self._quarantined:
+                # A semantic rejection, not a connection hiccup: the
+                # worker's reconnect loop treats it as fatal, which is
+                # the point — a quarantined installation must not
+                # cycle back in under backoff.
+                raise ProtocolError(
+                    f"worker {requested!r} is quarantined after repeated "
+                    f"chunk errors; restart it under a new identity")
             # Uniquify on the SANITIZED shard name too: ids like
             # 'w:1' and 'w;1' differ raw but map to the same shard
             # directory, and two live workers must never share one
@@ -372,6 +498,7 @@ class FleetCoordinator:
 
     def _on_request(self, sock: socket.socket, worker: str) -> None:
         now = _time.monotonic()
+        leased: Optional[Tuple[int, int]] = None
         with self._lock:
             self._reclaim_expired_locked(now)
             if self._queue:
@@ -382,12 +509,20 @@ class FleetCoordinator:
                 state.deadline = now + self.lease_timeout
                 state.attempts += 1
                 self._worker_leases.setdefault(worker, set()).add(chunk_id)
+                leased = (chunk_id, state.attempts)
                 reply = {"type": "chunk", "chunk": chunk_id,
                          "specs": state.chunk.payloads}
             elif self._done.is_set():
                 reply = {"type": "done"}
             else:
                 reply = {"type": "wait", "seconds": self.poll_hint}
+        if leased is not None:
+            # Journalled before the chunk frame goes out: the journal
+            # may claim a lease the worker never heard of (harmless —
+            # resume re-derives coverage from disk), but never the
+            # reverse.
+            self._journal_event("lease", chunk=leased[0], worker=worker,
+                                attempts=leased[1])
         send_message(sock, reply)
 
     def _on_record(self, worker: str, message: Dict[str, Any]) -> None:
@@ -416,6 +551,7 @@ class FleetCoordinator:
                 return
             self._seen[key] = is_error
             shard = self._shards.get(worker)
+            new_shard = shard is None
             if shard is None:
                 # Shards share the target store's format so the merge
                 # can move whole segments instead of records.
@@ -424,6 +560,8 @@ class FleetCoordinator:
                                  shard_store_name(worker)),
                     format=self.store.storage_format)
                 self._shards[worker] = shard
+        if new_shard:
+            self._journal_event("shard", worker=worker, path=shard.path)
         # The fsync-bearing append happens OUTSIDE the global lock: a
         # shard is written only by its own worker's connection thread,
         # and serializing every worker's disk flush behind one lock
@@ -439,9 +577,18 @@ class FleetCoordinator:
             raise
         with self._lock:
             self.stats.records_ingested += 1
+            ingested = self.stats.records_ingested
             info = self._worker_info.get(worker)
             if info is not None:
                 info["records"] += 1
+        if 0 < self._selfkill_after <= ingested:
+            # The record IS durable (the shard append fsync'd it);
+            # everything volatile — lease table, dedup map, sockets —
+            # dies right here.  Resume has to rebuild it all from the
+            # journal plus the shards.
+            _log.warning("fleet: coordinator self-kill test hook firing "
+                         "after %d record(s)", ingested)
+            os.kill(os.getpid(), signal.SIGKILL)
 
     def _chunk_state(self, message: Dict[str, Any],
                      kind: str) -> _ChunkState:
@@ -458,6 +605,7 @@ class FleetCoordinator:
         return state
 
     def _on_chunk_done(self, worker: str, message: Dict[str, Any]) -> None:
+        resolved: Optional[Tuple[int, int]] = None
         with self._lock:
             state = self._chunk_state(message, "chunk_done")
             # Only the current lease holder resolves the chunk: a
@@ -469,9 +617,18 @@ class FleetCoordinator:
                 info = self._worker_info.get(worker)
                 if info is not None:
                     info["chunks_done"] += 1
+                # ``records``: the worker's cumulative ingest watermark
+                # at completion — lets a journal reader bound how much
+                # of a shard the crashed run had already accepted.
+                resolved = (state.chunk.chunk_id,
+                            info["records"] if info else 0)
                 self._check_complete_locked()
+        if resolved is not None:
+            self._journal_event("done", chunk=resolved[0], worker=worker,
+                                records=resolved[1])
 
     def _on_chunk_error(self, worker: str, message: Dict[str, Any]) -> None:
+        quarantine = False
         with self._lock:
             state = self._chunk_state(message, "chunk_error")
             if state.status == _LEASED and state.worker == worker:
@@ -479,6 +636,23 @@ class FleetCoordinator:
                              state.chunk.chunk_id, worker,
                              message.get("error"))
                 self._requeue_locked(state)
+                errors = self._worker_chunk_errors.get(worker, 0) + 1
+                self._worker_chunk_errors[worker] = errors
+                if errors >= self.quarantine_after:
+                    self._quarantined.add(worker)
+                    if worker not in self.stats.quarantined:
+                        self.stats.quarantined.append(worker)
+                    quarantine = True
+        if quarantine:
+            errors = self._worker_chunk_errors[worker]
+            self._journal_event("quarantine", worker=worker,
+                                chunk_errors=errors)
+            # Raising drops the connection with an ``error`` frame;
+            # the worker's retry classifier reads that as semantic
+            # (not a network blip) and exits instead of reconnecting.
+            raise ProtocolError(
+                f"worker {worker!r} quarantined after {errors} chunk "
+                f"error(s); its leases are re-queued for healthier peers")
 
     # -- leases ------------------------------------------------------------
 
@@ -506,10 +680,14 @@ class FleetCoordinator:
             self.stats.failed_chunks += 1
             _log.error("fleet: chunk %d failed permanently after %d "
                        "attempt(s)", state.chunk.chunk_id, state.attempts)
+            self._journal_event("failed", chunk=state.chunk.chunk_id,
+                                attempts=state.attempts)
             self._check_complete_locked()
         else:
             state.status = _PENDING
             self._queue.append(state.chunk.chunk_id)
+            self._journal_event("requeue", chunk=state.chunk.chunk_id,
+                                attempts=state.attempts)
 
     def _reclaim_expired_locked(self, now: float) -> None:
         for worker, chunk_ids in list(self._worker_leases.items()):
@@ -559,6 +737,8 @@ class FleetCoordinator:
                 "duplicates_dropped": self.stats.duplicates_dropped,
                 "reclaimed": self.stats.reclaimed,
                 "workers": workers,
+                "quarantined": sorted(self._quarantined),
+                "resumed": self.stats.resumed,
                 "done": self._done.is_set(),
             }
 
@@ -604,8 +784,135 @@ class FleetCoordinator:
             "reclaimed": self.stats.reclaimed,
             "merged": self.stats.merged,
             "merged_from": [os.path.basename(p) for p in shard_paths],
+            "resumed": self.stats.resumed,
+            "reingested_records": self.stats.reingested_records,
             "repro_version": __version__,
         })
         if cleanup and os.path.isdir(shards_root):
             shutil.rmtree(shards_root, ignore_errors=True)
+        # ``finished`` marks the journal as fully consumed: the shards
+        # are merged (and gone), so there is nothing left to resume.
+        self._journal_event("finished", merged=self.stats.merged,
+                            unfinished=self.stats.unfinished)
+        if self._journal is not None:
+            self._journal.close()
         return self.stats
+
+
+def resume_coordinator(
+    journal_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_timeout: Optional[float] = None,
+    max_chunk_attempts: Optional[int] = None,
+    poll_hint: float = 0.2,
+    quarantine_after: int = 3,
+) -> FleetCoordinator:
+    """Rebuild a coordinator for a crashed fleet run from its journal.
+
+    The journal's ``plan`` line resurrects the exact chunk plan (ids
+    and spec payloads — no generator flags to re-supply); what the
+    crashed run already *completed* is then re-derived from disk, not
+    from the journal's tail, which may be torn arbitrarily close to
+    the crash:
+
+    * every key in the target store or a surviving worker shard is
+      seeded into the dedup map (healthy copies beating error copies,
+      as at ingest), so re-leased workers returning those keys are
+      deduplicated away;
+    * a chunk whose keys are all covered is marked done without ever
+      being leased — its shard-resident records are *re-ingested* by
+      the final merge instead of re-run (``stats.reingested_*``);
+    * everything else — never leased, or torn mid-chunk — is re-queued
+      with a fresh attempt budget (``stats.requeued_lost``); the crash
+      was the coordinator's fault, not the chunks'.
+
+    The returned coordinator is not yet started; call :meth:`start`
+    (which appends a ``resume`` event and *keeps* the shards) and
+    drive it exactly like a fresh one.
+    """
+    events = FleetJournal.read_events(journal_path)
+    plan = FleetJournal.find_plan(events)
+    if plan is None:
+        raise ConfigurationError(
+            f"fleet journal {journal_path!r} has no plan event — the "
+            f"original run died before writing one, so there is nothing "
+            f"to resume; re-run the sweep from its generator flags")
+    if any(event["event"] == "finished" for event in events):
+        raise ConfigurationError(
+            f"fleet journal {journal_path!r} records a completed run "
+            f"(its shards are already merged); nothing to resume")
+    chunks = [WorkChunk(chunk_id=int(entry["chunk"]),
+                        payloads=list(entry["specs"]))
+              for entry in plan.get("chunks", [])]
+    payloads = [payload for chunk in chunks for payload in chunk.payloads]
+    store = ResultStore(str(plan["store"]), create=False)
+    coordinator = FleetCoordinator(
+        payloads,
+        store,
+        lease_timeout=float(lease_timeout
+                            if lease_timeout is not None
+                            else plan.get("lease_timeout", 30.0)),
+        max_chunk_attempts=int(max_chunk_attempts
+                               if max_chunk_attempts is not None
+                               else plan.get("max_chunk_attempts", 5)),
+        host=host,
+        port=port,
+        poll_hint=poll_hint,
+        journal=journal_path,
+        chunks=chunks,
+        quarantine_after=quarantine_after,
+        resume=True,
+    )
+    # Coverage, from disk: the target store first, then every
+    # surviving shard (the crashed run's fsync'd ingest).  Keys only
+    # *shards* hold are the salvage — they will reach the target store
+    # through the merge, not through a re-run.
+    covered: Dict[Tuple[str, int], bool] = {
+        (entry.spec_hash, entry.seed): bool(entry.error)
+        for entry in store.iter_entries()}
+    in_store = set(covered)
+    shards_root = os.path.join(store.path, SHARDS_DIR)
+    for shard_path in list_shards(shards_root):
+        try:
+            shard = ResultStore(shard_path, create=False, readonly=True)
+        except Exception as exc:  # noqa: BLE001 - salvage is best-effort
+            # A shard torn beyond its own recovery (e.g. a dying
+            # column segment) forfeits only that shard's salvage; its
+            # chunks simply re-run.
+            _log.warning("fleet resume: skipping unreadable shard %s "
+                         "(%s)", shard_path, exc)
+            continue
+        for entry in shard.iter_entries():
+            key = (entry.spec_hash, entry.seed)
+            is_error = bool(entry.error)
+            if key not in covered or (covered[key] and not is_error):
+                covered[key] = is_error
+    stats = coordinator.stats
+    stats.reingested_records = sum(
+        1 for key in covered
+        if key not in in_store and key in coordinator._valid_keys)
+    with coordinator._lock:
+        for key, is_error in covered.items():
+            if key in coordinator._valid_keys:
+                coordinator._seen[key] = is_error
+        pending = []
+        for chunk_id in sorted(coordinator._chunks):
+            state = coordinator._chunks[chunk_id]
+            keys = [(spec_hash(payload), payload.get("seed", 0))
+                    for payload in state.chunk.payloads]
+            if keys and all(key in covered for key in keys):
+                state.status = _DONE
+                if any(key not in in_store for key in keys):
+                    stats.reingested_chunks += 1
+            else:
+                stats.requeued_lost += 1
+                pending.append(chunk_id)
+        coordinator._queue = deque(pending)
+        coordinator._check_complete_locked()
+    _log.info(
+        "fleet resume: %d chunk(s) already covered (%d salvaged from "
+        "shards, %d record(s) to re-ingest), %d re-queued",
+        stats.chunks - stats.requeued_lost, stats.reingested_chunks,
+        stats.reingested_records, stats.requeued_lost)
+    return coordinator

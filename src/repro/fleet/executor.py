@@ -12,7 +12,7 @@ including the append order.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.errors import ConfigurationError
 from repro.fleet.coordinator import FleetCoordinator, FleetRunStats
@@ -26,7 +26,7 @@ class FleetExecutor:
     def __init__(
         self,
         workers: int = 2,
-        transport: str = "inprocess",
+        transport: Union[str, Any] = "inprocess",
         chunk_size: Optional[int] = None,
         lease_timeout: float = 30.0,
         max_chunk_attempts: int = 5,
@@ -34,18 +34,31 @@ class FleetExecutor:
         port: int = 0,
         wait_timeout: Optional[float] = None,
         on_listening: Optional[Any] = None,
+        journal: Union[bool, str] = True,
     ):
         if workers < 1:
             raise ConfigurationError(
                 f"fleet workers must be >= 1, got {workers}")
         self.workers = workers
-        self.transport_name = transport
+        # A string names one of the registered transports; an instance
+        # (e.g. a pre-seeded ChaosTransport) is used as-is, so tests
+        # can inject misbehaving worker launches through the same door.
+        if isinstance(transport, str):
+            self._transport: Optional[Any] = None
+            self.transport_name = transport
+        else:
+            self._transport = transport
+            self.transport_name = getattr(transport, "name", "custom")
         self.chunk_size = chunk_size
         self.lease_timeout = lease_timeout
         self.max_chunk_attempts = max_chunk_attempts
         self.host = host
         self.port = port
         self.wait_timeout = wait_timeout
+        #: Forwarded to the coordinator: True (default) journals next
+        #: to the store, a path journals there, False disables crash
+        #: durability for this run.
+        self.journal = journal
         #: Called with the bound (host, port) once the coordinator is
         #: listening — how ``repro fleet serve`` prints the join line.
         self.on_listening = on_listening
@@ -57,7 +70,8 @@ class FleetExecutor:
                 store: ResultStore) -> FleetRunStats:
         """Fan ``payloads`` (spec dicts, canonical order) out over the
         fleet, merge the shards into ``store``, return the stats."""
-        transport = transport_from_name(self.transport_name)
+        transport = (self._transport if self._transport is not None
+                     else transport_from_name(self.transport_name))
         coordinator = FleetCoordinator(
             list(payloads), store,
             chunk_size=self.chunk_size,
@@ -65,6 +79,7 @@ class FleetExecutor:
             lease_timeout=self.lease_timeout,
             max_chunk_attempts=self.max_chunk_attempts,
             host=self.host, port=self.port,
+            journal=self.journal,
         )
         coordinator.start()
         if self.on_listening is not None:

@@ -1,0 +1,138 @@
+"""The coordinator's crash journal: fsync'd JSONL, torn-tail tolerant.
+
+A fleet run's *records* are already durable the moment they land in a
+worker shard store — what dies with a SIGKILLed coordinator is the
+bookkeeping: which chunks existed, which were done, and where the
+shards live.  The journal makes that bookkeeping durable: the
+coordinator appends one JSON line per chunk-state transition
+(``plan``, ``lease``, ``requeue``, ``done``, ``failed``, ``shard``,
+``quarantine``, ``resume``, ``finished``), each flushed and fsync'd
+before the coordinator acts on it, so ``repro fleet serve --resume
+<journal>`` can rebuild the lease table and re-ingest surviving shards
+instead of re-running them.
+
+The durability idiom is the one :mod:`repro.results.store` pinned
+down: append-only JSONL, one fsync per line, and a reader that drops a
+torn trailing line (a crash mid-append) instead of refusing the whole
+file.  Unlike the store's sidecar the journal is *advisory* on resume
+— chunk coverage is re-derived from the shards and target store on
+disk, so even a journal missing its newest transitions (the torn tail)
+resumes correctly; only the ``plan`` line is load-bearing, and it is
+the first line written.
+
+Event vocabulary (all events carry ``"event"`` and ``"t"`` wall-clock
+seconds; the rest is event-specific):
+
+``plan``        the whole sweep: store path/format, explicit chunk
+                list with spec payloads, lease/attempt knobs — enough
+                to rebuild the coordinator with the *identical* chunk
+                plan, with no generator flags to re-supply
+``lease``       {chunk, worker, attempts}
+``requeue``     {chunk} — reclaimed or errored, going around again
+``done``        {chunk, worker, records} — ``records`` is the worker's
+                cumulative ingest watermark at completion
+``failed``      {chunk, attempts} — attempts exhausted, given up
+``shard``       {worker, path} — a worker's shard store was created
+``quarantine``  {worker, chunk_errors}
+``resume``      a resumed coordinator took over this journal
+``finished``    {merged} — the shard merge completed; nothing to resume
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+
+_log = logging.getLogger("repro.fleet")
+
+#: Default journal file name, next to the target store's own files.
+JOURNAL_FILE = "fleet-journal.jsonl"
+
+
+def default_journal_path(store_path: str) -> str:
+    """Where a coordinator journals for a given target store."""
+    return os.path.join(store_path, JOURNAL_FILE)
+
+
+class FleetJournal:
+    """Append-only, fsync-per-line event log for one fleet run.
+
+    ``fresh=True`` truncates (a new run's plan supersedes any previous
+    journal at the path); ``fresh=False`` appends (the resume path
+    continues the original run's log).  Appends are thread-safe — the
+    coordinator journals from its serving threads.
+    """
+
+    def __init__(self, path: str, fresh: bool = False):
+        self.path = os.path.abspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "wb" if fresh else "ab")
+
+    def append(self, event: str, **fields: Any) -> None:
+        """Durably log one event: the line is on disk (flushed and
+        fsync'd) before this returns, so any state transition the
+        coordinator acts on is recoverable."""
+        payload = {"event": event, "t": round(_time.time(), 3), **fields}
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "FleetJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @staticmethod
+    def read_events(path: str) -> List[Dict[str, Any]]:
+        """Every well-formed event in the journal, in append order.
+
+        A torn trailing line (the coordinator died mid-append) is
+        dropped, exactly like the result store's torn-tail recovery;
+        a malformed interior line is skipped with a warning rather
+        than poisoning the resume.
+        """
+        if not os.path.exists(path):
+            raise ConfigurationError(
+                f"fleet journal {path!r} does not exist")
+        events: List[Dict[str, Any]] = []
+        with open(path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # torn tail: the crash's final, partial append
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    _log.warning("fleet journal %s: skipping malformed "
+                                 "line", path)
+                    continue
+                if isinstance(event, dict) and isinstance(
+                        event.get("event"), str):
+                    events.append(event)
+        return events
+
+    @staticmethod
+    def find_plan(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+        """The run's ``plan`` event (the first one, if several)."""
+        for event in events:
+            if event["event"] == "plan":
+                return event
+        return None

@@ -64,6 +64,19 @@ class ProtocolError(SimulationError):
     """The peer sent bytes that are not a well-formed fleet frame."""
 
 
+class ConnectionClosed(ProtocolError):
+    """The peer vanished mid-conversation: EOF inside a frame, or a
+    hangup where a reply was owed.
+
+    Distinguished from the base class because the two call for
+    different reactions: a :class:`ProtocolError` proper is a semantic
+    rejection (version mismatch, malformed message) that a retry would
+    only repeat, while a :class:`ConnectionClosed` is the network (or
+    the peer's process) dying — exactly what a worker's
+    reconnect-with-backoff loop is for.
+    """
+
+
 def encode_frame(message: Dict[str, Any]) -> bytes:
     """One message -> its wire bytes (header + canonical JSON)."""
     payload = json.dumps(message, sort_keys=True,
@@ -102,7 +115,7 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
         if not chunk:
             if remaining == count:
                 return None
-            raise ProtocolError(
+            raise ConnectionClosed(
                 f"connection closed mid-frame ({count - remaining}/{count} "
                 f"bytes read)")
         chunks.append(chunk)
@@ -125,7 +138,7 @@ def recv_message(sock: socket.socket,
             f"(corrupt or hostile header)")
     payload = _recv_exact(sock, length)
     if payload is None:
-        raise ProtocolError("connection closed between header and payload")
+        raise ConnectionClosed("connection closed between header and payload")
     return decode_payload(payload)
 
 

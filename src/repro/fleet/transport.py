@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.fleet.worker import worker_main
@@ -40,14 +40,25 @@ class InProcessTransport:
     #: "none alive before the work is done" means the run is wedged.
     supervised = True
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 worker_options: "Optional[Dict[str, Any]]" = None) -> None:
         self._threads: List[threading.Thread] = []
+        #: Extra keyword arguments for every :func:`worker_main` —
+        #: reconnect/backoff tuning, or a chaos socket wrapper (see
+        #: :class:`repro.fleet.chaos.ChaosTransport`).
+        self._worker_options = dict(worker_options or {})
+
+    def _options_for(self, index: int) -> Dict[str, Any]:
+        """Per-worker keyword arguments (subclasses derive per-index
+        state here, e.g. one chaos schedule per worker)."""
+        return dict(self._worker_options)
 
     def launch(self, address: Tuple[str, int], count: int) -> None:
         host, port = address
         for index in range(count):
             thread = threading.Thread(
                 target=worker_main, args=(host, port, f"inproc-{index}"),
+                kwargs=self._options_for(index),
                 daemon=True, name=f"fleet-worker-{index}")
             thread.start()
             self._threads.append(thread)
@@ -69,8 +80,13 @@ class MultiprocessTransport:
     name = "multiprocessing"
     supervised = True
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 worker_options: "Optional[Dict[str, Any]]" = None) -> None:
         self._processes: List[multiprocessing.process.BaseProcess] = []
+        # Options must pickle into spawn children: scalars only here
+        # (socket wrappers can't cross a process boundary — chaos for
+        # external workers rides the REPRO_FLEET_CHAOS_SEED env hook).
+        self._worker_options = dict(worker_options or {})
 
     def launch(self, address: Tuple[str, int], count: int) -> None:
         host, port = address
@@ -78,6 +94,7 @@ class MultiprocessTransport:
         for index in range(count):
             process = ctx.Process(
                 target=worker_main, args=(host, port, f"mp-{index}"),
+                kwargs=dict(self._worker_options),
                 daemon=True, name=f"fleet-worker-{index}")
             process.start()
             self._processes.append(process)

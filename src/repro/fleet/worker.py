@@ -9,31 +9,51 @@ isolated entry point (:func:`run_scenario_dict_safe`) and record
 assembly, so a record produced by a fleet worker is byte-for-byte the
 record a single-box campaign would have persisted for the same spec.
 
-A background heartbeat thread keeps the lease alive while a long
-scenario runs (the interval comes from the coordinator's ``welcome``);
-socket writes are serialized by a lock since records and heartbeats
-share the connection.
+A dropped connection is not worker death: the session loop reconnects
+with seeded exponential backoff + jitter and re-introduces itself
+under the same *stable* worker identity (the requested id never
+drifts, even when a session's assigned name was uniquified), and the
+coordinator's ingest dedup makes the re-run of an interrupted chunk
+harmless.  Only a semantic rejection — version mismatch, protocol
+violation, quarantine — ends the worker immediately; those repeat
+identically on retry.
 
-Test hook: ``REPRO_FLEET_SELFKILL_AFTER=<n>`` makes the worker SIGKILL
-its own process after streaming ``n`` records — how the reclaim tests
-simulate a machine dying mid-chunk without cooperation.
+A background heartbeat thread keeps the lease alive while a long
+scenario runs (the interval comes from the coordinator's ``welcome``).
+Each session owns its heartbeat thread and hands it the session's
+socket explicitly: the thread is signalled and joined *before* the
+socket closes, so it can never race a teardown or send on a successor
+session's connection; inside the loop only ``OSError`` is swallowed
+(the socket dying under a send is expected; anything else is a bug
+that should surface).  Socket writes are serialized by a lock since
+records and heartbeats share the connection.
+
+Test hooks: ``REPRO_FLEET_SELFKILL_AFTER=<n>`` makes the worker
+SIGKILL its own process after streaming ``n`` records — how the
+reclaim tests simulate a machine dying mid-chunk without cooperation.
+``REPRO_FLEET_CHAOS_SEED=<s>`` wraps every coordinator connection in a
+seeded :class:`~repro.fleet.chaos.ChaosSchedule` so external workers
+misbehave deterministically (see :mod:`repro.fleet.chaos`).
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import random
 import signal
 import socket
 import threading
 import time as _time
+import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.api.metrics import scenario_metrics
 from repro.core.errors import SimulationError
 from repro.fleet.protocol import (
     PROTOCOL_VERSION,
+    ConnectionClosed,
     ProtocolError,
     recv_message,
     send_message,
@@ -45,6 +65,12 @@ from repro.scenarios.runner import result_fingerprint
 _log = logging.getLogger("repro.fleet")
 
 _SELFKILL_ENV = "REPRO_FLEET_SELFKILL_AFTER"
+
+#: Session failures worth retrying: the connection (or the
+#: coordinator's process) died.  Plain ProtocolError is excluded on
+#: purpose — a version mismatch or quarantine rejection repeats
+#: identically, so retrying it only burns the backoff budget.
+_RETRYABLE = (OSError, ConnectionClosed)
 
 #: Scenario determinism rides process-global id counters that every
 #: run resets (see ``ScenarioRunner``); two scenarios running
@@ -64,28 +90,52 @@ class WorkerStats:
     worker_id: str = ""
     chunks: int = 0
     records: int = 0
-    errors: int = 0   # chunk-level failures reported back
+    errors: int = 0       # chunk-level failures reported back
+    reconnects: int = 0   # sessions lost and re-established
 
 
 class FleetWorker:
-    """One worker session against a coordinator."""
+    """One worker against a coordinator, across as many TCP sessions
+    as it takes."""
 
     def __init__(self, host: str, port: int,
                  worker_id: Optional[str] = None,
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0,
+                 reconnect_attempts: int = 5,
+                 backoff_base: float = 0.1,
+                 backoff_max: float = 5.0,
+                 backoff_seed: Optional[int] = None,
+                 socket_wrapper: "Optional[Callable[[Any], Any]]" = None):
         self.host = host
         self.port = port
-        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        # The identity requested in every hello.  Stable across
+        # reconnects — the coordinator frees the name on disconnect,
+        # so an idempotent re-hello normally gets the same name (and
+        # shard) back; if the old session lingers, uniquification
+        # hands out a fresh shard and ingest dedup keeps both honest.
+        self.requested_id = (worker_id
+                            or f"{socket.gethostname()}-{os.getpid()}")
+        #: The name the coordinator assigned in the latest session.
+        self.worker_id = self.requested_id
         self.connect_timeout = connect_timeout
-        self._sock: Optional[socket.socket] = None
+        self.reconnect_attempts = reconnect_attempts
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        # Seeded jitter: deterministic for tests, stable-per-worker by
+        # default so a fleet of restarting workers doesn't thunder.
+        if backoff_seed is None:
+            backoff_seed = zlib.crc32(self.requested_id.encode("utf-8"))
+        self._backoff_rng = random.Random(backoff_seed)
+        #: Applied to every freshly-connected socket (chaos injection).
+        self.socket_wrapper = socket_wrapper
+        self._sock: Optional[Any] = None
         self._send_lock = threading.Lock()
-        self._stop_heartbeat = threading.Event()
         self._records_sent = 0
         self._selfkill_after = int(os.environ.get(_SELFKILL_ENV, "0") or 0)
 
     # -- plumbing ----------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect(self) -> Any:
         """Dial the coordinator, retrying until ``connect_timeout`` —
         ``repro fleet join`` often races ``fleet serve`` coming up."""
         deadline = _time.monotonic() + self.connect_timeout
@@ -97,6 +147,8 @@ class FleetWorker:
                 # block indefinitely (a busy coordinator may be slow
                 # to answer, which must not read as worker death).
                 sock.settimeout(None)
+                if self.socket_wrapper is not None:
+                    sock = self.socket_wrapper(sock)
                 return sock
             except OSError:
                 if _time.monotonic() >= deadline:
@@ -112,18 +164,40 @@ class FleetWorker:
         assert self._sock is not None
         message = recv_message(self._sock)
         if message is None:
-            raise ProtocolError("coordinator closed the connection")
+            raise ConnectionClosed("coordinator closed the connection")
         if message["type"] == "error":
             raise ProtocolError(
                 f"coordinator rejected us: {message.get('message')}")
         return message
 
-    def _heartbeat_loop(self, interval: float) -> None:
-        while not self._stop_heartbeat.wait(interval):
-            try:
-                self._send({"type": "heartbeat"})
-            except OSError:
-                return
+    def _start_heartbeat(
+            self, sock: Any,
+            interval: float) -> "Tuple[threading.Event, threading.Thread]":
+        """One session's keep-alive thread.  The socket is captured
+        here, not read off ``self``, so a reconnect can never hand the
+        old thread a new session's connection."""
+        stop = threading.Event()
+
+        def loop() -> None:
+            while not stop.wait(interval):
+                try:
+                    with self._send_lock:
+                        send_message(sock, {"type": "heartbeat"})
+                except OSError:
+                    return  # the session died; its reader will notice
+
+        thread = threading.Thread(
+            target=loop, daemon=True,
+            name=f"fleet-heartbeat-{self.worker_id}")
+        thread.start()
+        return stop, thread
+
+    def _backoff_delay(self, failure: int) -> float:
+        """Exponential backoff with jitter in [0.5x, 1x] of the cap —
+        never zero, so a dead coordinator isn't hammered."""
+        cap = min(self.backoff_max,
+                  self.backoff_base * (2 ** max(0, failure - 1)))
+        return cap * (0.5 + 0.5 * self._backoff_rng.random())
 
     # -- the work ----------------------------------------------------------
 
@@ -150,26 +224,27 @@ class FleetWorker:
                 os.kill(os.getpid(), signal.SIGKILL)
         self._send({"type": "chunk_done", "chunk": chunk_id})
 
-    def run(self) -> WorkerStats:
-        """Serve until the coordinator runs out of work."""
-        stats = WorkerStats(worker_id=self.worker_id)
+    def _session(self, stats: WorkerStats) -> WorkerStats:
+        """One connection's lifetime: hello, then the request loop
+        until ``done``.  Raises a :data:`_RETRYABLE` error if the
+        connection dies; ``run`` decides whether to come back."""
         self._sock = self._connect()
+        heartbeat_stop: Optional[threading.Event] = None
         heartbeat: Optional[threading.Thread] = None
         try:
-            self._send({"type": "hello", "worker": self.worker_id,
+            self._send({"type": "hello", "worker": self.requested_id,
                         "protocol": PROTOCOL_VERSION})
             welcome = self._recv()
             if welcome["type"] != "welcome":
                 raise ProtocolError(
                     f"expected welcome, got {welcome['type']!r}")
-            # The coordinator may have uniquified our name.
-            self.worker_id = welcome.get("worker", self.worker_id)
+            # The coordinator may have uniquified our name for this
+            # session; the *requested* identity stays what it was.
+            self.worker_id = welcome.get("worker", self.requested_id)
             stats.worker_id = self.worker_id
             interval = float(welcome.get("heartbeat", 5.0))
-            heartbeat = threading.Thread(
-                target=self._heartbeat_loop, args=(max(0.05, interval),),
-                daemon=True, name=f"fleet-heartbeat-{self.worker_id}")
-            heartbeat.start()
+            heartbeat_stop, heartbeat = self._start_heartbeat(
+                self._sock, max(0.05, interval))
             while True:
                 self._send({"type": "request"})
                 reply = self._recv()
@@ -198,26 +273,71 @@ class FleetWorker:
                     self._send({"type": "chunk_error", "chunk": chunk_id,
                                 "error": f"{type(exc).__name__}: {exc}"})
         finally:
-            self._stop_heartbeat.set()
+            # Heartbeat first, socket second: the thread is joined
+            # before the close, so it cannot send on a dead fd.
+            if heartbeat_stop is not None:
+                heartbeat_stop.set()
             if heartbeat is not None:
                 heartbeat.join(timeout=2.0)
+            sock, self._sock = self._sock, None
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def run(self) -> WorkerStats:
+        """Serve until the coordinator runs out of work, reconnecting
+        through up to ``reconnect_attempts`` dropped sessions."""
+        stats = WorkerStats(worker_id=self.requested_id)
+        failures = 0
+        while True:
             try:
-                self._sock.close()
-            except OSError:
-                pass
+                return self._session(stats)
+            except _RETRYABLE as exc:
+                failures += 1
+                stats.reconnects = failures
+                if failures > self.reconnect_attempts:
+                    _log.error(
+                        "fleet worker %s: giving up after %d lost "
+                        "session(s): %s", self.requested_id, failures, exc)
+                    raise
+                delay = self._backoff_delay(failures)
+                _log.warning(
+                    "fleet worker %s: session lost (%s); reconnect "
+                    "%d/%d in %.2fs", self.requested_id, exc, failures,
+                    self.reconnect_attempts, delay)
+                _time.sleep(delay)
 
 
 def worker_main(host: str, port: int,
                 worker_id: Optional[str] = None,
-                connect_timeout: float = 10.0) -> int:
+                connect_timeout: float = 10.0,
+                reconnect_attempts: int = 5,
+                backoff_base: float = 0.1,
+                backoff_max: float = 5.0,
+                backoff_seed: Optional[int] = None,
+                socket_wrapper: "Optional[Callable[[Any], Any]]" = None,
+                ) -> int:
     """Process/thread entry point (module-level so it pickles into
     ``multiprocessing`` children); returns an exit code."""
+    if socket_wrapper is None:
+        from repro.fleet.chaos import schedule_from_env
+
+        socket_wrapper = schedule_from_env(os.environ)
     try:
         stats = FleetWorker(host, port, worker_id=worker_id,
-                            connect_timeout=connect_timeout).run()
+                            connect_timeout=connect_timeout,
+                            reconnect_attempts=reconnect_attempts,
+                            backoff_base=backoff_base,
+                            backoff_max=backoff_max,
+                            backoff_seed=backoff_seed,
+                            socket_wrapper=socket_wrapper).run()
     except (OSError, SimulationError) as exc:
         _log.error("fleet worker failed: %s", exc)
         return 1
-    _log.info("fleet worker %s finished: %d chunk(s), %d record(s)",
-              stats.worker_id, stats.chunks, stats.records)
+    _log.info("fleet worker %s finished: %d chunk(s), %d record(s), "
+              "%d reconnect(s)",
+              stats.worker_id, stats.chunks, stats.records,
+              stats.reconnects)
     return 0

@@ -226,19 +226,35 @@ class ColumnarResultStore(ResultStore):
             self._dead.append(
                 set() if admitted is None
                 else set(range(reader.rows)) - admitted)
-            for row, (sh, seed, name_, fp, err) in enumerate(
-                    reader.iter_index()):
-                if admitted is not None and row not in admitted:
-                    # A merge copied this segment but this row lost
-                    # the dedup there — it was never part of this
-                    # store's content.
-                    continue
+            rows = [(row, sh, seed, name_, fp, err)
+                    for row, (sh, seed, name_, fp, err) in enumerate(
+                        reader.iter_index())
+                    if admitted is None or row in admitted]
+            for row, sh, seed, name_, fp, err in self._admission_order(
+                    reader, rows):
                 entry = IndexEntry(spec_hash=sh, seed=seed, name=name_,
                                    fingerprint=fp,
                                    offset=self._next_ordinal, error=err)
                 self._next_ordinal -= 1
                 self._set_loc((sh, seed), ("s", si, row))
                 self._admit(entry)
+
+    @staticmethod
+    def _admission_order(reader: SegmentReader, rows: List[Tuple]) -> List[Tuple]:
+        """Order segment rows for index admission.  Seals record the
+        keys' first-insert order as an ``admit_order`` provenance
+        permutation (row order itself is last-write order, which
+        iteration needs); rows the permutation does not cover — old
+        segments, partial merge copies — keep row order."""
+        order = reader.footer.get("provenance", {}).get("admit_order")
+        if not isinstance(order, list):
+            return rows
+        rank = {}
+        for position, row in enumerate(order):
+            if isinstance(row, int) and row not in rank:
+                rank[row] = position
+        return sorted(rows, key=lambda item: (rank.get(item[0], len(order)),
+                                              item[0]))
 
     def _segment_live_rows(self, segment_path: str,
                            rows: int) -> "Optional[Set[int]]":
@@ -275,11 +291,21 @@ class ColumnarResultStore(ResultStore):
                     continue
             self._admit(entry)
             self._set_loc(key, ("t", entry.offset))
-            if key not in self._tail_set:
-                self._tail_set.add(key)
-                self._tail_keys.append(key)
+            self._tail_touch(key)
         if stale and not self.readonly:
             self._rewrite_tail()
+
+    def _tail_touch(self, key: Key) -> None:
+        """Record ``key`` as the newest tail row.  A replace moves the
+        key to the back of the tail order — where its superseding line
+        physically sits, and where the JSONL store's live-file order
+        puts it — so a later seal freezes rows in the same order both
+        formats iterate."""
+        if key in self._tail_set:
+            self._tail_keys.remove(key)
+        else:
+            self._tail_set.add(key)
+        self._tail_keys.append(key)
 
     def _set_loc(self, key: Key, loc: Loc) -> None:
         """Move a key to a new location; the location it leaves (if it
@@ -336,9 +362,7 @@ class ColumnarResultStore(ResultStore):
         entry = super().append(record, replace)
         key = (entry.spec_hash, entry.seed)
         self._set_loc(key, ("t", entry.offset))
-        if key not in self._tail_set:
-            self._tail_set.add(key)
-            self._tail_keys.append(key)
+        self._tail_touch(key)
         self._maybe_seal()
         return entry
 
@@ -348,9 +372,7 @@ class ColumnarResultStore(ResultStore):
         for entry in entries:
             key = (entry.spec_hash, entry.seed)
             self._set_loc(key, ("t", entry.offset))
-            if key not in self._tail_set:
-                self._tail_set.add(key)
-                self._tail_keys.append(key)
+            self._tail_touch(key)
         self._maybe_seal()
         return entries
 
@@ -390,8 +412,17 @@ class ColumnarResultStore(ResultStore):
         records = [json.loads(line)
                    for line in self._read_tail_lines(keys)]
         path = self._next_segment_path()
-        write_segment(path, records,
-                      provenance={"created_by": "seal", "rows": count})
+        # Rows freeze in tail (= last-write) order so iter_records
+        # matches the JSONL live-file order; admit_order additionally
+        # records the keys' first-insert order so a reopen can rebuild
+        # keys()/entries() order too (a replace moves a key's row but
+        # not its slot).
+        provenance: Dict[str, Any] = {"created_by": "seal", "rows": count}
+        slot = {key: index for index, key in enumerate(self._order)}
+        admit_order = sorted(range(count), key=lambda row: slot[keys[row]])
+        if admit_order != list(range(count)):
+            provenance["admit_order"] = admit_order
+        write_segment(path, records, provenance=provenance)
         si = self._register_segment(path)
         for row, key in enumerate(keys):
             self._set_loc(key, ("s", si, row))

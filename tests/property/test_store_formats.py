@@ -110,6 +110,26 @@ def test_formats_agree_on_every_surface(tmp_path_factory, history):
     assert reopened.keys() == jstore.keys()
 
 
+def test_replace_in_unsealed_tail_keeps_file_order(tmp_path_factory):
+    """Regression (hypothesis-found): replacing a key still in the
+    columnar store's un-sealed tail must move it to the back of the
+    tail order — where its superseding line physically sits — or the
+    next seal freezes the segment in first-insertion order and the
+    two formats' iter_records/CSV exports diverge."""
+    root = tmp_path_factory.mktemp("tail-replace")
+    history = [(2, False, "pass", None, False),
+               (1, False, "pass", None, False),
+               (1, False, "pass", None, False),
+               (2, False, "pass", None, True),   # replace while in tail
+               (0, False, "pass", None, False)]  # third row: seals
+    jstore = ResultStore(str(root / "jsonl"))
+    cstore = ResultStore(str(root / "columnar"), format="columnar",
+                         segment_rows=3)
+    apply_history(jstore, history)
+    apply_history(cstore, history)
+    assert list(cstore.iter_records()) == list(jstore.iter_records())
+
+
 @settings(max_examples=15, deadline=None)
 @given(history=events)
 def test_convert_round_trip_is_lossless(tmp_path_factory, history):

@@ -1,0 +1,90 @@
+"""Unit: the coordinator's crash journal — durable append/read round
+trips, the torn-tail recovery idiom shared with the result store, and
+the plan line a resume hangs everything on."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.fleet import FleetJournal, default_journal_path
+
+
+class TestAppendRead:
+    def test_round_trip_in_order(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with FleetJournal(path, fresh=True) as journal:
+            journal.append("plan", store="/s", chunks=[])
+            journal.append("lease", chunk=0, worker="w", attempts=1)
+            journal.append("done", chunk=0, worker="w", records=3)
+        events = FleetJournal.read_events(path)
+        assert [e["event"] for e in events] == ["plan", "lease", "done"]
+        assert events[1]["chunk"] == 0
+        assert events[2]["records"] == 3
+        # every event is stamped
+        assert all(isinstance(e["t"], float) for e in events)
+
+    def test_missing_journal_is_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            FleetJournal.read_events(str(tmp_path / "nope.jsonl"))
+
+    def test_fresh_truncates_append_continues(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with FleetJournal(path, fresh=True) as journal:
+            journal.append("plan", run=1)
+        # The resume path appends to the crashed run's log...
+        with FleetJournal(path, fresh=False) as journal:
+            journal.append("resume")
+        assert [e["event"] for e in FleetJournal.read_events(path)] \
+            == ["plan", "resume"]
+        # ...while a brand-new run supersedes it entirely.
+        with FleetJournal(path, fresh=True) as journal:
+            journal.append("plan", run=2)
+        events = FleetJournal.read_events(path)
+        assert len(events) == 1
+        assert events[0]["run"] == 2
+
+    def test_append_after_close_is_a_noop(self, tmp_path):
+        journal = FleetJournal(str(tmp_path / "journal.jsonl"), fresh=True)
+        journal.close()
+        journal.append("lease", chunk=0)  # must not raise
+        assert FleetJournal.read_events(journal.path) == []
+
+    def test_default_path_sits_inside_the_store(self):
+        assert default_journal_path("/data/sweep") \
+            == os.path.join("/data/sweep", "fleet-journal.jsonl")
+
+
+class TestTornTail:
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        """A crash mid-append leaves a partial final line; the reader
+        keeps everything before it — same contract as the store."""
+        path = str(tmp_path / "journal.jsonl")
+        with FleetJournal(path, fresh=True) as journal:
+            journal.append("plan", chunks=[])
+            journal.append("done", chunk=0)
+        with open(path, "ab") as handle:
+            handle.write(b'{"event": "done", "chu')  # no newline: torn
+        events = FleetJournal.read_events(path)
+        assert [e["event"] for e in events] == ["plan", "done"]
+
+    def test_malformed_interior_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(json.dumps({"event": "plan", "t": 0.0}).encode()
+                         + b"\n")
+            handle.write(b"\xff\xfe not json\n")
+            handle.write(b'["not", "a", "dict"]\n')
+            handle.write(b'{"no_event_key": 1}\n')
+            handle.write(json.dumps({"event": "done", "t": 1.0,
+                                     "chunk": 0}).encode() + b"\n")
+        events = FleetJournal.read_events(path)
+        assert [e["event"] for e in events] == ["plan", "done"]
+
+    def test_find_plan_takes_the_first(self, tmp_path):
+        events = [{"event": "resume"}, {"event": "plan", "n": 1},
+                  {"event": "plan", "n": 2}]
+        assert FleetJournal.find_plan(events)["n"] == 1
+        assert FleetJournal.find_plan([{"event": "done"}]) is None
+        assert FleetJournal.find_plan([]) is None

@@ -1,6 +1,7 @@
 """Unit: the fleet wire protocol — round-trips, and the robustness
 contract that truncated/garbage frames surface as ProtocolError (and
-never crash a live coordinator)."""
+never crash a live coordinator), including disconnects torn through
+the length prefix or the payload by the chaos harness."""
 
 import os
 import socket
@@ -9,6 +10,7 @@ import struct
 import pytest
 
 from repro.fleet import (
+    ChaosSchedule,
     FleetCoordinator,
     ProtocolError,
     encode_frame,
@@ -227,6 +229,53 @@ class TestCoordinatorSurvivesGarbage:
             for sock in socks:
                 sock.close()
         assert len({shard_store_name(name) for name in names}) == 2
+
+    @pytest.mark.parametrize("cut", [0, 1, 2, 3])
+    def test_chaos_disconnect_mid_length_prefix(self, coordinator, cut):
+        """A scripted ChaosSocket kills the connection with only
+        ``cut`` bytes of the 4-byte length prefix delivered; the
+        coordinator reads it as a dead (or torn) peer and keeps
+        serving."""
+        raw = self._connect(coordinator)
+        chaotic = ChaosSchedule(actions=[("pass", None),
+                                         ("disconnect", cut)]).wrap(raw)
+        send_message(chaotic, {"type": "hello", "worker": f"torn-{cut}",
+                               "protocol": PROTOCOL_VERSION})
+        assert recv_message(chaotic)["type"] == "welcome"
+        with pytest.raises(ConnectionResetError):
+            send_message(chaotic, {"type": "request"})
+        with self._connect(coordinator) as sock:
+            send_message(sock, {"type": "status"})
+            assert recv_message(sock)["type"] == "status_reply"
+
+    @pytest.mark.parametrize("cut", [4, 5, 11])
+    def test_chaos_disconnect_mid_payload(self, coordinator, cut):
+        """Same, but the tear lands inside the JSON payload: the
+        header promised bytes that never arrive."""
+        raw = self._connect(coordinator)
+        chaotic = ChaosSchedule(actions=[("pass", None),
+                                         ("disconnect", cut)]).wrap(raw)
+        send_message(chaotic, {"type": "hello", "worker": f"torn-{cut}",
+                               "protocol": PROTOCOL_VERSION})
+        assert recv_message(chaotic)["type"] == "welcome"
+        with pytest.raises(ConnectionResetError):
+            send_message(chaotic, {"type": "heartbeat"})
+        with self._connect(coordinator) as sock:
+            send_message(sock, {"type": "status"})
+            assert recv_message(sock)["type"] == "status_reply"
+
+    def test_chaos_garbage_connection_survivable(self, coordinator):
+        """A seeded chaos schedule escalates to garbage-then-hangup;
+        the coordinator drops the worker, reclaims nothing it can't,
+        and still serves the next client."""
+        raw = self._connect(coordinator)
+        chaotic = ChaosSchedule(actions=[("garbage", 32)]).wrap(raw)
+        with pytest.raises(ConnectionResetError):
+            send_message(chaotic, {"type": "hello", "worker": "noisy",
+                                   "protocol": PROTOCOL_VERSION})
+        with self._connect(coordinator) as sock:
+            send_message(sock, {"type": "status"})
+            assert recv_message(sock)["type"] == "status_reply"
 
     def test_worker_names_are_uniquified(self, coordinator):
         socks = []
