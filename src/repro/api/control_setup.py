@@ -76,6 +76,68 @@ def _host_subnets(network: "Network") -> Dict[str, List[IPv4Prefix]]:
     return subnets
 
 
+def setup_static_routes(
+    exp: "Experiment",
+    ecmp: bool = False,
+) -> Dict[str, int]:
+    """Proactively install deterministic shortest-path routes.
+
+    The "static" protocol: no daemons, no control traffic — every
+    router's FIB is computed at setup time from hop-count BFS over the
+    router-router links, exactly as an operator pre-provisioning
+    static routes would.  By default each destination gets a *single*
+    next hop (the lexicographically first shortest-path neighbor), so
+    forwarding is deterministic and symmetry-preserving; ``ecmp=True``
+    installs all shortest-path next hops instead (hashed per flow).
+
+    Returns routes installed per router (diagnostics only).
+    """
+    network = exp.network
+    routers = network.routers()
+    if not routers:
+        raise TopologyError("setup_static_routes: the topology has no routers")
+    subnets = _host_subnets(network)
+
+    adjacency: Dict[str, List[Tuple[str, int]]] = {r.name: [] for r in routers}
+    for link in _router_links(network):
+        node_a, node_b = link.endpoints()
+        adjacency[node_a.name].append((node_b.name, link.port_a.number))
+        adjacency[node_b.name].append((node_a.name, link.port_b.number))
+    for neighbors in adjacency.values():
+        neighbors.sort()
+
+    by_name = {r.name: r for r in routers}
+    installed: Dict[str, int] = {r.name: 0 for r in routers}
+    for dest in routers:
+        prefixes = subnets.get(dest.name, [])
+        if not prefixes:
+            continue
+        # Hop-count BFS rooted at the destination.
+        dist: Dict[str, int] = {dest.name: 0}
+        frontier = [dest.name]
+        while frontier:
+            nxt: List[str] = []
+            for name in frontier:
+                for peer_name, _ in adjacency[name]:
+                    if peer_name not in dist:
+                        dist[peer_name] = dist[name] + 1
+                        nxt.append(peer_name)
+            frontier = nxt
+        for router in routers:
+            if router.name == dest.name or router.name not in dist:
+                continue
+            want = dist[router.name] - 1
+            ports = [port for peer_name, port in adjacency[router.name]
+                     if dist.get(peer_name) == want]
+            if not ports:
+                continue
+            next_hops = [(port, None) for port in (ports if ecmp else ports[:1])]
+            for prefix in prefixes:
+                by_name[router.name].fib.install(prefix, next_hops)
+                installed[router.name] += 1
+    return installed
+
+
 def setup_bgp_for_routers(
     exp: "Experiment",
     asn_map: "Dict[str, int] | None" = None,

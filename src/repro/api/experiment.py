@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.controllers.topology_view import TopologyView
 from repro.core.config import SimulationConfig
@@ -60,6 +60,11 @@ class Experiment:
         # unordered endpoint pair — failure injection cuts them
         # together with the cable.
         self._link_channels: Dict[frozenset, list] = {}
+        # Endpoint-pair -> link lookup, rebuilt whenever links were
+        # added since it was last used (len is the change signal: links
+        # are append-only).
+        self._link_lookup: "Dict[frozenset, Any] | None" = None
+        self._link_lookup_count = 0
         self._setup_wall = _time.perf_counter() - setup_start
 
     # -- topology -----------------------------------------------------------------
@@ -104,11 +109,19 @@ class Experiment:
         self._link_channels.setdefault(key, []).append(channel)
 
     def _find_link(self, node_a: str, node_b: str):
-        wanted = {node_a, node_b}
-        for link in self.network.links:
-            if {node.name for node in link.endpoints()} == wanted:
-                return link
-        raise ConfigurationError(f"no link between {node_a!r} and {node_b!r}")
+        links = self.network.links
+        if self._link_lookup is None or self._link_lookup_count != len(links):
+            lookup: Dict[frozenset, Any] = {}
+            for link in links:
+                key = frozenset(node.name for node in link.endpoints())
+                lookup.setdefault(key, link)  # first match wins, as before
+            self._link_lookup = lookup
+            self._link_lookup_count = len(links)
+        link = self._link_lookup.get(frozenset((node_a, node_b)))
+        if link is None:
+            raise ConfigurationError(
+                f"no link between {node_a!r} and {node_b!r}")
+        return link
 
     def fail_link(self, node_a: str, node_b: str,
                   at: "float | None" = None) -> None:

@@ -432,6 +432,62 @@ def _emit_campaign_stats(stats, as_json: bool) -> bool:
     return False
 
 
+def _cmd_topo_classes(args: argparse.Namespace) -> int:
+    from repro.core.errors import SimulationError
+    from repro.symmetry import SymmetryMap, symmetry_map_for_spec
+
+    if args.spec is not None:
+        from repro.scenarios import ScenarioSpec
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError,
+                SimulationError) as exc:
+            raise SystemExit(
+                f"cannot load scenario spec {args.spec!r}: {exc!r}")
+        symmetry_map = symmetry_map_for_spec(spec)
+    else:
+        from repro.scenarios import TopologyRecipe
+
+        recipe = TopologyRecipe(args.topo, _parse_kv_params(args.topo_param))
+        try:
+            topo = recipe.build()
+        except SimulationError as exc:
+            raise SystemExit(f"cannot build topology: {exc}")
+        symmetry_map = SymmetryMap.from_topo(topo)
+    print(symmetry_map.describe(max_members=args.max_members))
+    return 0
+
+
+def _cmd_topo_import(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core.errors import SimulationError
+    from repro.scenarios import TopologyRecipe
+
+    params = {"path": args.file}
+    if args.hosts_per_node != 1:
+        params["hosts_per_node"] = args.hosts_per_node
+    if args.device != "router":
+        params["device"] = args.device
+    recipe = TopologyRecipe("graphml", params)
+    try:
+        topo = recipe.build()  # validate before emitting anything
+    except SimulationError as exc:
+        raise SystemExit(f"cannot import {args.file!r}: {exc}")
+    text = _json.dumps(recipe.to_dict(), indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(f"imported {topo.name}: {len(topo.host_specs)} hosts, "
+          f"{len(topo.switch_specs)} devices, "
+          f"{len(topo.link_specs)} links", file=sys.stderr)
+    return 0
+
+
 def _cmd_campaign_run(args: argparse.Namespace, resume: bool = False) -> int:
     store = _open_store(args.store, must_exist=resume,
                         format=getattr(args, "store_format", None))
@@ -470,16 +526,18 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    from repro.results import write_csv
+    from repro.results import write_csv_rows
 
     # Read-only: report must be safe to run against a live sweep.
     # store.aggregate() rolls up straight off metric columns when the
-    # store is columnar; JSONL stores stream records as before.
+    # store is columnar; JSONL stores stream records as before.  The
+    # CSV rides iter_csv_rows(), which columnar stores serve from the
+    # index/metrics/SLO columns without decompressing healthy payloads.
     store = _open_store(args.store, must_exist=True, readonly=True)
     aggregate = store.aggregate()
     print(aggregate.report())
     if args.csv:
-        rows = write_csv(store.iter_records(), args.csv)
+        rows = write_csv_rows(store.iter_csv_rows(), args.csv)
         print(f"wrote {rows} row(s) to {args.csv}")
     return 0
 
@@ -1013,6 +1071,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "cgroup-aware)")
     _add_scenario_generator_options(sweep)
     sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    topo = sub.add_parser(
+        "topo", help="topology tools: symmetry classes, GraphML import")
+    topo_sub = topo.add_subparsers(dest="topo_command", required=True)
+
+    tclasses = topo_sub.add_parser(
+        "classes",
+        help="detect structural automorphism classes and compression")
+    tclasses.add_argument("--spec", default=None, metavar="FILE",
+                          help="scenario spec JSON: uses its topology with "
+                               "every injection target pinned")
+    tclasses.add_argument("--topo", default="fattree",
+                          help="topology recipe kind (ignored with --spec)")
+    tclasses.add_argument("--topo-param", action="append", metavar="K=V",
+                          help="topology builder parameter (repeatable)")
+    tclasses.add_argument("--max-members", type=int, default=6,
+                          help="class members listed per row")
+    tclasses.set_defaults(func=_cmd_topo_classes)
+
+    timport = topo_sub.add_parser(
+        "import", help="import a GraphML file as a topology recipe")
+    timport.add_argument("file", help="GraphML file (topology-zoo style)")
+    timport.add_argument("--hosts-per-node", type=int, default=1,
+                         help="hosts attached to every imported node")
+    timport.add_argument("--device", choices=("router", "switch"),
+                         default="router",
+                         help="device kind for imported nodes")
+    timport.add_argument("--out", default=None, metavar="FILE",
+                         help="write the recipe JSON here (default stdout)")
+    timport.set_defaults(func=_cmd_topo_import)
 
     campaign = sub.add_parser(
         "campaign",

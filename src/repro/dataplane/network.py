@@ -404,6 +404,13 @@ class Network:
         if dt <= 0:
             return
         self._last_accrual = now
+        quotient = self.realloc.quotient
+        if quotient is not None and quotient.active:
+            # Quotient mode: one accrual per flow class.  Per-hop/port
+            # byte counters are not maintained here — the runner only
+            # activates the quotient for protocols that never read them.
+            quotient.accrue(dt, now)
+            return
         for flow in self._accruing:
             if not flow.active or flow.path is None or not flow.path.delivered:
                 continue
@@ -420,6 +427,15 @@ class Network:
             for __, entry in flow.path.entries:
                 entry.byte_count += transferred
                 entry.last_used_at = now
+
+    def finalize_accounting(self) -> None:
+        """Materialize any active quotient state back onto concrete
+        flows (no-op otherwise).  Callers reading per-flow bytes after
+        a run (the scenario runner, result extraction) go through this.
+        """
+        quotient = self.realloc.quotient
+        if quotient is not None:
+            quotient.materialize()
 
     def aggregate_rx_rate(self) -> float:
         """Total rate arriving at all hosts (bps) — the demo's metric."""

@@ -98,12 +98,20 @@ class ReallocEngine:
         self._seen_topo_epoch: Optional[int] = None
         # Flows whose activation changed since the last recompute.
         self._pending: Dict[int, FluidFlow] = {}
+        # Optional symmetry quotient layer (see repro.symmetry.quotient).
+        self.quotient = None
         # Counters for benchmarks and tests.
         self.full_recomputes = 0
         self.incremental_recomputes = 0
         self.flows_walked = 0
         self.components_solved = 0
         self.flows_solved = 0
+
+    def enable_quotient(self, symmetry_map=None) -> None:
+        """Attach the symmetry quotient layer (SimulationConfig.symmetry)."""
+        from repro.symmetry.quotient import QuotientState
+
+        self.quotient = QuotientState(self, symmetry_map)
 
     # -- mutation notifications -------------------------------------------
 
@@ -113,6 +121,8 @@ class ReallocEngine:
 
     def forget(self) -> None:
         """Drop all cached state (next recompute is full)."""
+        if self.quotient is not None:
+            self.quotient.materialize()
         self._cache.clear()
         self._node_flows.clear()
         self._link_flows.clear()
@@ -129,8 +139,10 @@ class ReallocEngine:
             self._seen_topo_epoch = net.topo_epoch
             full = True
 
-        cap_dirty_links = []
+        cap_dirty_links: List = []
         if full:
+            if self.quotient is not None:
+                self.quotient.materialize()
             self.full_recomputes += 1
             self._cache.clear()
             self._node_flows.clear()
@@ -144,25 +156,16 @@ class ReallocEngine:
                 self._seen_link_cap_epoch[link.id] = link.cap_epoch
         else:
             self.incremental_recomputes += 1
-            dirty = dict(self._pending)
-            for name, node in net.nodes.items():
-                epoch = node.fwd_epoch
-                if self._seen_node_epoch.get(name) != epoch:
-                    self._seen_node_epoch[name] = epoch
-                    for fid in self._node_flows.get(name, ()):
-                        if fid not in dirty:
-                            dirty[fid] = self._cache[fid].flow
-            for link in net.links:
-                path_epoch = link.path_epoch
-                if self._seen_link_path_epoch.get(link.id) != path_epoch:
-                    self._seen_link_path_epoch[link.id] = path_epoch
-                    for fid in self._link_flows.get(link.id, ()):
-                        if fid not in dirty:
-                            dirty[fid] = self._cache[fid].flow
-                cap_epoch = link.cap_epoch
-                if self._seen_link_cap_epoch.get(link.id) != cap_epoch:
-                    self._seen_link_cap_epoch[link.id] = cap_epoch
-                    cap_dirty_links.append(link)
+            dirty, cap_dirty_links = self._scan_epochs()
+            quotient = self.quotient
+            if quotient is not None and quotient.active:
+                # Class-closed capacity-only dirt is handled entirely at
+                # class level; anything else materializes first so the
+                # concrete path below sees consistent concrete state.
+                if not dirty and quotient.try_fast_cap_update(cap_dirty_links):
+                    self._pending.clear()
+                    return
+                quotient.materialize()
         self._pending.clear()
 
         # Re-walk dirty flows (in id order, for deterministic PACKET_IN
@@ -268,7 +271,39 @@ class ReallocEngine:
                 accruing.append(flow)
         net._accruing = accruing
 
+        if self.quotient is not None:
+            self.quotient.rebuild(now)
+
     # -- internals --------------------------------------------------------
+
+    def _scan_epochs(self):
+        """Incremental dirt detection: pending flows + epoch changes.
+
+        Returns (dirty flows by id, capacity-dirty links); updates the
+        seen-epoch maps as it goes.
+        """
+        net = self.network
+        dirty = dict(self._pending)
+        cap_dirty_links: List = []
+        for name, node in net.nodes.items():
+            epoch = node.fwd_epoch
+            if self._seen_node_epoch.get(name) != epoch:
+                self._seen_node_epoch[name] = epoch
+                for fid in self._node_flows.get(name, ()):
+                    if fid not in dirty:
+                        dirty[fid] = self._cache[fid].flow
+        for link in net.links:
+            path_epoch = link.path_epoch
+            if self._seen_link_path_epoch.get(link.id) != path_epoch:
+                self._seen_link_path_epoch[link.id] = path_epoch
+                for fid in self._link_flows.get(link.id, ()):
+                    if fid not in dirty:
+                        dirty[fid] = self._cache[fid].flow
+            cap_epoch = link.cap_epoch
+            if self._seen_link_cap_epoch.get(link.id) != cap_epoch:
+                self._seen_link_cap_epoch[link.id] = cap_epoch
+                cap_dirty_links.append(link)
+        return dirty, cap_dirty_links
 
     def _index(self, fid: int, entry: _CachedWalk) -> None:
         for name in entry.node_deps:

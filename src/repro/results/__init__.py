@@ -72,8 +72,10 @@ from repro.results.aggregate import (
     SLOTally,
     StoreAggregate,
     aggregate_records,
+    flatten_csv_row,
     percentile,
     write_csv,
+    write_csv_rows,
 )
 
 __all__ = [
@@ -108,6 +110,8 @@ __all__ = [
     "SLOTally",
     "StoreAggregate",
     "aggregate_records",
+    "flatten_csv_row",
     "percentile",
     "write_csv",
+    "write_csv_rows",
 ]

@@ -193,27 +193,50 @@ _CSV_ID_COLUMNS = ("name", "seed", "spec_hash", "fingerprint",
                    "schema_version")
 
 
-def _csv_row(record: Dict[str, Any]) -> "Tuple[Dict[str, Any], List[str]]":
-    """Flatten one record into (row, column names in record order)."""
-    row: Dict[str, Any] = {col: record.get(col, "")
+def flatten_csv_row(
+    ids: Dict[str, Any],
+    metrics: Dict[str, Any],
+    slos: "Iterable[Tuple[str, str]]",
+    error: "Optional[str]",
+) -> "Tuple[Dict[str, Any], List[str]]":
+    """Flatten one scenario into (row, column names in source order)
+    from its parts — id fields, the flat metrics dict, (label, status)
+    verdict pairs and the error string.  Stores that keep these parts
+    in columns (see ``ColumnarResultStore.iter_csv_rows``) can build
+    rows without reassembling a record."""
+    row: Dict[str, Any] = {col: ids.get(col, "")
                            for col in _CSV_ID_COLUMNS}
     columns = list(_CSV_ID_COLUMNS)
-    for name, value in sorted(record.get("metrics", {}).items()):
+    for name, value in sorted(metrics.items()):
         column = f"metric.{name}"
         row[column] = value
         columns.append(column)
-    for verdict in record_slos(record):
-        column = f"slo.{verdict['slo']}"
-        row[column] = verdict["status"]
+    for label, status in slos:
+        column = f"slo.{label}"
+        row[column] = status
         columns.append(column)
-    row["error"] = record_error(record) or ""
+    row["error"] = error or ""
     columns.append("error")
     return row, columns
 
 
-def write_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
-    """Export records to a flat CSV (one row per scenario); returns
-    the row count.
+def _csv_row(record: Dict[str, Any]) -> "Tuple[Dict[str, Any], List[str]]":
+    """Flatten one record into (row, column names in record order)."""
+    return flatten_csv_row(
+        record,
+        record.get("metrics", {}),
+        [(verdict["slo"], verdict["status"])
+         for verdict in record_slos(record)],
+        record_error(record))
+
+
+def write_csv_rows(
+    rows_and_columns: "Iterable[Tuple[Dict[str, Any], List[str]]]",
+    path: str,
+) -> int:
+    """Write pre-flattened (row, columns) pairs — the shape
+    :func:`flatten_csv_row` produces and ``store.iter_csv_rows()``
+    yields — to a CSV; returns the row count.
 
     Two streaming passes would be needed to union columns up front; we
     instead buffer only the *rows* (flat dicts of numbers — tiny next
@@ -222,10 +245,9 @@ def write_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
     rows: List[Dict[str, Any]] = []
     columns: List[str] = []
     seen = set()
-    for record in records:
-        row, record_columns = _csv_row(record)
+    for row, row_columns in rows_and_columns:
         rows.append(row)
-        for column in record_columns:
+        for column in row_columns:
             if column not in seen:
                 seen.add(column)
                 columns.append(column)
@@ -235,3 +257,9 @@ def write_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
         for row in rows:
             writer.writerow(row)
     return len(rows)
+
+
+def write_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
+    """Export records to a flat CSV (one row per scenario); returns
+    the row count."""
+    return write_csv_rows((_csv_row(record) for record in records), path)

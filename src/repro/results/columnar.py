@@ -55,7 +55,7 @@ from repro.results.aggregate import (
     SLOTally,
     StoreAggregate,
 )
-from repro.results.records import record_key
+from repro.results.records import RESULT_SCHEMA_VERSION, record_key
 from repro.results.segment import (
     MASK_ABSENT,
     MASK_NUMBER,
@@ -690,6 +690,69 @@ class ColumnarResultStore(ResultStore):
             entry = self._index.get(record_key(record))
             metrics = record.get("metrics", {})
             yield entry, metrics if isinstance(metrics, dict) else {}
+
+    def entry_metrics_at(
+            self, keys: "Sequence[Key]",
+    ) -> Iterator[Tuple[IndexEntry, Dict[str, Any]]]:
+        """Keyed metric fetch off the metrics blobs: sealed rows never
+        decompress their payload page, tail rows parse their one
+        line."""
+        handle = None
+        try:
+            for key in keys:
+                key = tuple(key)
+                loc = self._loc[key]
+                if loc[0] == "s":
+                    seg = self._segments[loc[1]]
+                    metrics = json.loads(seg.metrics_bytes(loc[2]))
+                else:
+                    if handle is None:
+                        handle = open(self.records_path, "rb")
+                    handle.seek(loc[1])
+                    record = json.loads(handle.readline())
+                    metrics = record.get("metrics", {})
+                    if not isinstance(metrics, dict):
+                        metrics = {}
+                yield self._index[key], metrics
+        finally:
+            if handle is not None:
+                handle.close()
+
+    def iter_csv_rows(
+            self) -> "Iterator[Tuple[Dict[str, Any], List[str]]]":
+        """CSV export off the index / metrics / SLO columns: a healthy
+        sealed row never decompresses its payload page.  Errored rows
+        (their error *string* lives only inside the record) and the
+        tail go through the record path.  Healthy sealed rows report
+        the current ``RESULT_SCHEMA_VERSION`` — the only version
+        ``append`` ever seals into a segment."""
+        from repro.results.aggregate import _csv_row, flatten_csv_row
+
+        for si, seg in enumerate(self._segments):
+            dead = self._dead[si]
+            if len(dead) >= seg.rows:
+                continue
+            idx = seg.index_columns()
+            offsets, label_ids, status_ids, labels, statuses = seg.slo()
+            for row in range(seg.rows):
+                if row in dead:
+                    continue
+                if idx["error"][row]:
+                    yield _csv_row(seg.record(row))
+                    continue
+                lo, hi = int(offsets[row]), int(offsets[row + 1])
+                yield flatten_csv_row(
+                    {"name": idx["name"][row],
+                     "seed": idx["seed"][row],
+                     "spec_hash": idx["spec_hash"][row],
+                     "fingerprint": idx["fingerprint"][row],
+                     "schema_version": RESULT_SCHEMA_VERSION},
+                    json.loads(seg.metrics_bytes(row)),
+                    [(labels[int(label_ids[i])], statuses[int(status_ids[i])])
+                     for i in range(lo, hi)],
+                    None)
+        for record in super().iter_records():
+            yield _csv_row(record)
 
     def aggregate(self) -> StoreAggregate:
         """The report in one vectorized pass over the metric columns —

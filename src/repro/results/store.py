@@ -666,6 +666,34 @@ class ResultStore:
             metrics = record.get("metrics", {})
             yield entry, metrics if isinstance(metrics, dict) else {}
 
+    def entry_metrics_at(
+            self, keys: "Sequence[Tuple[str, int]]",
+    ) -> "Iterator[Tuple[IndexEntry, Dict[str, Any]]]":
+        """(index entry, metrics) for ``keys``, in that order — the
+        keyed form of :meth:`iter_entry_metrics` the search scoring
+        loop uses.  ``entry.error`` carries the errored-record flag, so
+        callers never need the full record to score a candidate; the
+        columnar subclass serves sealed rows straight off the metrics
+        column without decompressing payloads."""
+        for record in self.records_at([tuple(key) for key in keys]):
+            entry = self._index[record_key(record)]
+            metrics = record.get("metrics", {})
+            yield entry, metrics if isinstance(metrics, dict) else {}
+
+    def iter_csv_rows(
+            self) -> "Iterator[Tuple[Dict[str, Any], List[str]]]":
+        """(flat CSV row, column names) per live record, in record
+        order — the source ``repro campaign report --csv`` writes out
+        via :func:`repro.results.aggregate.write_csv_rows`.  The
+        columnar subclass builds healthy rows straight from its index,
+        metrics and SLO columns and only parses the payloads of
+        errored rows (the ones whose error string lives in the
+        record)."""
+        from repro.results.aggregate import _csv_row
+
+        for record in self.iter_records():
+            yield _csv_row(record)
+
     def schema_versions(self) -> Dict[int, int]:
         """schema_version -> record count (streaming scan)."""
         versions: Dict[int, int] = {}

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional
 from repro.api.control_setup import (
     setup_bgp_for_routers,
     setup_ospf_for_routers,
+    setup_static_routes,
 )
 from repro.api.experiment import Experiment
 from repro.api.metrics import (
@@ -254,10 +255,14 @@ class ScenarioRunner:
 
         sim_params = dict(spec.sim_params)
         sim_params["seed"] = spec.seed
-        exp = Experiment(spec.name, config=SimulationConfig(**sim_params))
-        exp.load_topo(spec.topology.build())
+        config = SimulationConfig(**sim_params)
+        exp = Experiment(spec.name, config=config)
+        topo = spec.topology.build()
+        exp.load_topo(topo)
 
         self._setup_protocol(exp, spec)
+        if config.symmetry:
+            self._setup_symmetry(exp, spec, topo)
         self._setup_traffic(exp, spec)
 
         outcomes: List[InjectionOutcome] = []
@@ -277,6 +282,9 @@ class ScenarioRunner:
         start_wall = _time.perf_counter()
         exp, outcomes = self.materialize(spec)
         result = exp.run(until=spec.duration)
+        # Lift any quotient state back to concrete per-flow values
+        # before anything below reads them (no-op without symmetry).
+        exp.network.finalize_accounting()
 
         converged, convergence_time = self._convergence(exp, spec)
         demanded = sum(
@@ -301,10 +309,7 @@ class ScenarioRunner:
             control_messages=cm_stats["control_messages"],
             control_bytes=cm_stats["control_bytes"],
             injections=outcomes,
-            diagnostics={
-                "realloc": dict(exp.network.realloc.stats),
-                "incremental_realloc": exp.network.incremental_realloc,
-            },
+            diagnostics=self._diagnostics(exp),
             wall_seconds=_time.perf_counter() - start_wall,
         )
         # Strip wall_seconds from the SLO namespace: verdicts are
@@ -318,6 +323,44 @@ class ScenarioRunner:
     # -- internals ---------------------------------------------------------
 
     @staticmethod
+    def _diagnostics(exp: Experiment) -> Dict[str, Any]:
+        diagnostics: Dict[str, Any] = {
+            "realloc": dict(exp.network.realloc.stats),
+            "incremental_realloc": exp.network.incremental_realloc,
+        }
+        if getattr(exp.sim.config, "symmetry", False):
+            quotient = exp.network.realloc.quotient
+            if quotient is not None:
+                diagnostics["symmetry"] = quotient.stats()
+            else:
+                diagnostics["symmetry"] = {
+                    "active": False,
+                    "reason": getattr(exp.network, "symmetry_note",
+                                      None) or "unavailable",
+                }
+        return diagnostics
+
+    # Protocols whose runs the quotient layer can compress: no control
+    # plane (or one fully resolved at setup time) and nothing reading
+    # the per-hop/port byte counters class accrual skips.
+    _QUOTIENTABLE_PROTOCOLS = ("none", "static")
+
+    @classmethod
+    def _setup_symmetry(cls, exp: Experiment, spec: ScenarioSpec,
+                        topo) -> None:
+        from repro.symmetry import SymmetryMap, injection_pins
+
+        kind = spec.protocol.kind
+        if kind not in cls._QUOTIENTABLE_PROTOCOLS:
+            exp.network.symmetry_note = (
+                f"protocol {kind!r} is not quotientable; running concrete")
+            return
+        symmetry_map = SymmetryMap.from_topo(
+            topo, pins=injection_pins(spec.injections))
+        exp.network.symmetry_map = symmetry_map
+        exp.network.realloc.enable_quotient(symmetry_map)
+
+    @staticmethod
     def _setup_protocol(exp: Experiment, spec: ScenarioSpec) -> None:
         kind = spec.protocol.kind
         params = dict(spec.protocol.params)
@@ -326,6 +369,8 @@ class ScenarioRunner:
             setup_bgp_for_routers(exp, **params)
         elif kind == "ospf":
             setup_ospf_for_routers(exp, **params)
+        elif kind == "static":
+            setup_static_routes(exp, **params)
         elif kind == "sdn":
             from repro.controllers.ecmp import FiveTupleEcmpApp
 

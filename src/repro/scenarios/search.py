@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.results.records import VOLATILE_METRIC_FIELDS, record_error
+from repro.results.records import VOLATILE_METRIC_FIELDS
 from repro.results.slo import evaluate_expression
 from repro.results.store import ResultStore
 from repro.scenarios.campaign import Campaign
@@ -566,11 +566,15 @@ class ScenarioSearch:
             stats.evaluated += run_stats.executed
             stats.skipped += run_stats.skipped
             stats.failed += run_stats.failed
-            for spec in specs:
-                record = self.store.get(spec.spec_hash(), spec.seed)
-                value = (None if record_error(record) is not None
+            # Score off the index + metrics column (entry_metrics_at):
+            # a columnar store ranks a generation without decompressing
+            # one payload; entry.error is exactly the record_error flag.
+            keys = [(spec.spec_hash(), spec.seed) for spec in specs]
+            for spec, (entry, metrics) in zip(
+                    specs, self.store.entry_metrics_at(keys)):
+                value = (None if entry.error
                          else objective_value(self.config.objective,
-                                              record.get("metrics", {}),
+                                              metrics,
                                               self.config.duration))
                 evaluated.append((value, spec))
         entries = leaderboard(self.store, self.config)

@@ -33,16 +33,20 @@ from repro.topology.builders import (
     wan_topo,
 )
 from repro.topology.fattree import FatTreeTopo
+from repro.topology.graphml import graphml_topo
 from repro.topology.topo import Topo
 from repro.traffic import patterns
 
 
 #: Version of the serialized spec schema.  v1 was the PR 1 shape; v2
-#: added the ``slos`` assertion list; v3 adds the traffic ``flows``
+#: added the ``slos`` assertion list; v3 added the traffic ``flows``
 #: list (explicit per-flow [src, dst, rate_bps] entries — the
-#: traffic-matrix families).  Older spec files load fine — the new
-#: fields default empty.
-SPEC_SCHEMA_VERSION = 3
+#: traffic-matrix families); v4 adds the "static" protocol kind, the
+#: "graphml" topology kind, and the ``symmetry`` sim_params knob
+#: (quotient simulation — fingerprint-covered via the spec hash like
+#: every sim_params field).  Older spec files load fine — the new
+#: fields default off.
+SPEC_SCHEMA_VERSION = 4
 
 
 def _fattree(**params) -> Topo:
@@ -58,9 +62,10 @@ TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topo]] = {
     "wan": wan_topo,
     "jellyfish": jellyfish_topo,
     "fattree": _fattree,
+    "graphml": graphml_topo,
 }
 
-PROTOCOL_KINDS = ("none", "bgp", "ospf", "sdn")
+PROTOCOL_KINDS = ("none", "static", "bgp", "ospf", "sdn")
 
 TRAFFIC_PATTERNS = ("none", "permutation", "stride", "random",
                     "all_to_one", "one_to_all", "pairs", "matrix")
@@ -265,10 +270,24 @@ class ScenarioSpec:
             "sim_params": dict(self.sim_params),
         }
 
+    #: Every top-level key a serialized spec may carry (any schema
+    #: version to date).  Anything else is rejected by name — a typo
+    #: like "injectionss" must not be silently ignored.
+    KNOWN_KEYS = frozenset((
+        "schema_version", "name", "seed", "duration", "topology",
+        "protocol", "traffic", "injections", "slos", "sim_params",
+    ))
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
         # Accepts any schema version to date: v1 files simply have no
         # "slos" (or "schema_version") key.
+        unknown = sorted(set(data) - cls.KNOWN_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown spec key{'s' if len(unknown) > 1 else ''} "
+                f"{', '.join(repr(k) for k in unknown)}; known keys: "
+                f"{', '.join(sorted(cls.KNOWN_KEYS))}")
         return cls(
             name=data.get("name", "scenario"),
             seed=data.get("seed", 0),

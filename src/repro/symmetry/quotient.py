@@ -1,0 +1,556 @@
+"""The runtime quotient layer: class-level solves and accrual.
+
+:class:`QuotientState` rides the incremental reallocation engine
+(:class:`~repro.dataplane.realloc.ReallocEngine`).  After every
+concrete recompute it re-partitions the *delivered* flows and the link
+directions they cross by joint color refinement (1-WL over the
+flow/direction incidence structure, seeded with demands, current
+rates, delivered bytes, capacities and the topology-level
+:class:`~repro.symmetry.refine.SymmetryMap` classes).  At the WL
+fixpoint the partition is *equitable*: all members of a flow class
+cross the same multiset of direction classes, and every member link
+of a direction class is crossed by the same per-class flow counts.
+
+While the partition holds, a reallocation whose only dirt is
+class-closed capacity change (every affected direction class uniform
+at its new capacity — e.g. an SRLG degrading a whole pod tier) takes
+the **fast path**: a class-level connected-component walk plus
+:func:`quotient_bottleneck_filling`, a replay of the concrete
+bottleneck-filling kernel over class representatives.  Byte accrual
+runs per *class* accumulator instead of per flow.
+
+Anything else — a flow starting or stopping, a forwarding-state or
+reachability change, a capacity change that splits a class —
+**materializes** the class values back onto the concrete flows
+(copy-on-write refinement: the quotient dissolves, the existing
+concrete engine handles the event exactly as it would without
+symmetry, and the next rebuild re-compresses whatever symmetry is
+left, with the divergent region falling into singleton classes).
+
+Bit-for-bit contract
+--------------------
+
+The fast path reproduces the concrete engine's floating-point results
+exactly, not approximately:
+
+* the kernel replay performs the *same sequential additions* on a
+  representative link's ``frozen_load`` that the concrete kernel
+  performs on every member link — one two-operand ``+= rate`` per
+  crossing member flow, in non-decreasing water-level order (runs of
+  equal addends commute, so per-event batching is exact); a plain
+  ``count * rate`` multiplication would **not** be (``fl(k*v)`` is
+  not ``k`` sequential adds);
+* class components are solved per component, exactly as the concrete
+  engine solves per concrete component — a WL class component is a
+  union of isomorphically-behaving concrete components, so one
+  representative trajectory equals each member's solo trajectory;
+* class accrual applies the identical ``rate * dt / 8.0`` expression
+  once per class to an accumulator equal to every member's
+  ``delivered_bytes`` (equality of the bases is part of the seed
+  colors, so it is checked, not assumed).
+
+Per-hop/port byte counters and flow-table ``last_used_at`` stamps are
+*not* maintained on the fast path; the quotient therefore only
+activates for protocols without flow-table timeout coupling ("none",
+"static") — the runner gates this.  A rebuild also refuses to
+activate when some flow crosses two links of the same direction class
+(ring-like quotients), where per-event batching is not provably
+exact; those scenarios simply run concrete.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.dataplane.fluid import EPSILON
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.link import Link, LinkDirection
+    from repro.dataplane.realloc import ReallocEngine
+    from repro.symmetry.refine import SymmetryMap
+
+
+def quotient_bottleneck_filling(
+    demands: Sequence[float],
+    capacities: Sequence[float],
+    alive_counts: Sequence[int],
+    link_members: Sequence[Sequence[int]],
+    flow_links: Sequence[Sequence[Tuple[int, int]]],
+) -> List[float]:
+    """Class-level replay of :func:`repro.dataplane.fluid.bottleneck_filling`.
+
+    Indices are *classes*: ``demands[i]`` is the (uniform) demand of
+    flow class ``i``; ``capacities[j]`` the (uniform) capacity of a
+    representative member link of direction class ``j``;
+    ``alive_counts[j]`` how many member *flows* cross that
+    representative link; ``link_members[j]`` the flow classes crossing
+    it; ``flow_links[i]`` the ``(class, crossing_count)`` pairs of
+    flow class ``i``'s path.  Freezing a class replays
+    ``crossing_count`` sequential additions per representative link —
+    the exact float trajectory every concrete member link follows.
+    """
+    num_flows = len(demands)
+    num_links = len(capacities)
+    rates = [0.0] * num_flows
+    frozen = [demands[i] <= EPSILON for i in range(num_flows)]
+    alive_count = list(alive_counts)
+    frozen_load = [0.0] * num_links
+    current_key = [0.0] * num_links
+
+    demand_heap = [(demands[i], i) for i in range(num_flows) if not frozen[i]]
+    heapq.heapify(demand_heap)
+    sat_heap: List = []
+
+    def push_sat(link: int) -> None:
+        count = alive_count[link]
+        if count > 0:
+            level = (capacities[link] - frozen_load[link]) / count
+            current_key[link] = level
+            heapq.heappush(sat_heap, (level, link))
+
+    for link in range(num_links):
+        push_sat(link)
+
+    level = 0.0
+
+    def freeze(i: int, rate: float) -> None:
+        frozen[i] = True
+        rates[i] = rate
+        for link, mult in flow_links[i]:
+            load = frozen_load[link]
+            for __ in range(mult):
+                load += rate
+            frozen_load[link] = load
+            alive_count[link] -= mult
+            push_sat(link)
+
+    while True:
+        while demand_heap and frozen[demand_heap[0][1]]:
+            heapq.heappop(demand_heap)
+        while sat_heap and (alive_count[sat_heap[0][1]] == 0
+                            or sat_heap[0][0] != current_key[sat_heap[0][1]]):
+            heapq.heappop(sat_heap)
+        if not demand_heap and not sat_heap:
+            break
+        if sat_heap and (not demand_heap
+                         or sat_heap[0][0] < demand_heap[0][0]):
+            sat_level, link = heapq.heappop(sat_heap)
+            if sat_level > level:
+                level = sat_level
+            for i in link_members[link]:
+                if not frozen[i]:
+                    freeze(i, level if level < demands[i] else demands[i])
+        else:
+            demand, i = heapq.heappop(demand_heap)
+            if frozen[i]:
+                continue
+            if demand > level:
+                level = demand
+            freeze(i, demand)
+    return rates
+
+
+class _FlowClass:
+    """One class of interchangeable delivered flows."""
+
+    __slots__ = ("flows", "demand", "rate", "delivered", "qlinks")
+
+    def __init__(self, flows, demand, rate, delivered) -> None:
+        self.flows = flows          # FluidFlow objects, fid order
+        self.demand = demand
+        self.rate = rate
+        self.delivered = delivered  # the shared delivered_bytes value
+        # (dir class index, members-per-representative-link) pairs in
+        # path order.
+        self.qlinks: List[Tuple[int, int]] = []
+
+
+class _DirClass:
+    """One class of interchangeable link directions."""
+
+    __slots__ = ("dirs", "capacity", "member_fclasses", "load")
+
+    def __init__(self, dirs, capacity) -> None:
+        self.dirs = dirs            # LinkDirection members, canonical order
+        self.capacity = capacity
+        self.member_fclasses: List[int] = []
+        self.load = 0.0
+
+
+class QuotientState:
+    """Class partition + class-level rates/bytes, owned by the engine."""
+
+    def __init__(self, engine: "ReallocEngine",
+                 symmetry_map: "Optional[SymmetryMap]" = None) -> None:
+        self.engine = engine
+        self.symmetry_map = symmetry_map
+        self.active = False
+        self.reason: Optional[str] = "not built yet"
+        self.flow_classes: List[_FlowClass] = []
+        self.dir_classes: List[_DirClass] = []
+        self._dir_class_of: Dict[int, int] = {}  # id(direction) -> class
+        # Counters / snapshot for diagnostics.
+        self.rebuilds = 0
+        self.fast_recomputes = 0
+        self.materializations = 0
+        self.class_components_solved = 0
+        self.class_solves = 0
+        self._snapshot: Dict[str, Any] = {}
+        # id(Link) -> topology-level link class (creation order aligns
+        # Network.links with SymmetryMap.link_classes).
+        self._link_class: Dict[int, int] = {}
+        if symmetry_map is not None:
+            links = engine.network.links
+            if len(links) == len(symmetry_map.link_classes):
+                self._link_class = {
+                    id(link): symmetry_map.link_classes[i]
+                    for i, link in enumerate(links)
+                }
+
+    # -- partition maintenance --------------------------------------------
+
+    def deactivate(self, reason: str) -> None:
+        self.active = False
+        self.reason = reason
+        self.flow_classes = []
+        self.dir_classes = []
+        self._dir_class_of = {}
+
+    def rebuild(self, now: float) -> None:
+        """Re-refine from the engine's cached walks (after a concrete
+        recompute, when every value is concrete and consistent)."""
+        self.rebuilds += 1
+        engine = self.engine
+        cache = engine._cache
+        dir_flows = engine._dir_flows
+
+        fids = [fid for fid in sorted(cache) if cache[fid].dirs]
+        if not fids:
+            self.deactivate("no delivered flows")
+            return
+        dirs = sorted(dir_flows, key=lambda d: d.key())
+        fid_pos = {fid: i for i, fid in enumerate(fids)}
+        dir_pos = {id(d): j for j, d in enumerate(dirs)}
+
+        node_class = (self.symmetry_map.class_of
+                      if self.symmetry_map is not None else {})
+        link_class = self._link_class
+
+        fseeds = []
+        for fid in fids:
+            flow = cache[fid].flow
+            fseeds.append((
+                flow.demand_bps, flow.rate_bps, flow.delivered_bytes,
+                node_class.get(flow.src.name, -1),
+                node_class.get(flow.dst.name, -1),
+            ))
+        dseeds = []
+        for d in dirs:
+            dseeds.append((
+                d.capacity_bps,
+                node_class.get(d.src_port.node.name, -1),
+                node_class.get(d.dst_port.node.name, -1),
+                link_class.get(id(d.link), -1),
+            ))
+        fcolor = _intern(fseeds)
+        dcolor = _intern(dseeds)
+        paths = [[dir_pos[id(d)] for d in cache[fid].dirs] for fid in fids]
+        members = [sorted(fid_pos[fid] for fid in dir_flows[d]) for d in dirs]
+
+        # Joint refinement to the fixpoint: a flow's color folds in its
+        # ordered direction-color sequence; a direction's color folds
+        # in the multiset (with counts) of its crossing flows' colors.
+        while True:
+            new_f = _intern([
+                (fcolor[i], tuple(dcolor[j] for j in paths[i]))
+                for i in range(len(fids))
+            ])
+            dsigs = []
+            for j in range(len(dirs)):
+                counts: Dict[int, int] = {}
+                for i in members[j]:
+                    color = new_f[i]
+                    counts[color] = counts.get(color, 0) + 1
+                dsigs.append((dcolor[j], tuple(sorted(counts.items()))))
+            new_d = _intern(dsigs)
+            stable = (len(set(new_f)) == len(set(fcolor))
+                      and len(set(new_d)) == len(set(dcolor)))
+            fcolor, dcolor = new_f, new_d
+            if stable:
+                break
+
+        # Canonical classes: flow classes ordered by smallest fid,
+        # direction classes by smallest direction key.
+        fgroups = _group(fcolor)
+        dgroups = _group(dcolor)
+
+        dir_classes: List[_DirClass] = []
+        dir_class_of: Dict[int, int] = {}
+        for group in dgroups:
+            rep = dirs[group[0]]
+            dc = _DirClass([dirs[j] for j in group], rep.capacity_bps)
+            for j in group:
+                dir_class_of[id(dirs[j])] = len(dir_classes)
+            dir_classes.append(dc)
+
+        flow_classes: List[_FlowClass] = []
+        fclass_of_pos: Dict[int, int] = {}
+        for group in fgroups:
+            rep_flow = cache[fids[group[0]]].flow
+            fc = _FlowClass(
+                [cache[fids[i]].flow for i in group],
+                rep_flow.demand_bps, rep_flow.rate_bps,
+                rep_flow.delivered_bytes,
+            )
+            for i in group:
+                fclass_of_pos[i] = len(flow_classes)
+            flow_classes.append(fc)
+
+        # Per-representative-link crossing counts, path-ordered qlinks,
+        # and the multi-crossing guard.
+        rep_counts: List[Dict[int, int]] = []
+        for dci, dc in enumerate(dir_classes):
+            rep_j = dir_pos[id(dc.dirs[0])]
+            counts = {}
+            for i in members[rep_j]:
+                fci = fclass_of_pos[i]
+                counts[fci] = counts.get(fci, 0) + 1
+            rep_counts.append(counts)
+            dc.member_fclasses = sorted(counts)
+
+        for group, fc in zip(fgroups, flow_classes):
+            seq = [dir_class_of[id(d)]
+                   for d in cache[fids[group[0]]].dirs]
+            if len(set(seq)) != len(seq):
+                self.deactivate("a flow crosses one direction class twice")
+                return
+            fci = fclass_of_pos[group[0]]
+            fc.qlinks = [(dci, rep_counts[dci].get(fci, 0)) for dci in seq]
+
+        # Equitability double-check (conservative belt and braces): the
+        # total (flow class, dir class) incidence must spread evenly
+        # over the dir class's member links.
+        totals: Dict[Tuple[int, int], int] = {}
+        for i, path in enumerate(paths):
+            fci = fclass_of_pos[i]
+            for j in path:
+                key = (fci, dir_class_of[id(dirs[j])])
+                totals[key] = totals.get(key, 0) + 1
+        for (fci, dci), total in totals.items():
+            expected = rep_counts[dci].get(fci, 0) * len(dir_classes[dci].dirs)
+            if total != expected:
+                self.deactivate("partition is not equitable")
+                return
+
+        for dci, dc in enumerate(dir_classes):
+            load = 0.0
+            for fci, count in rep_counts[dci].items():
+                load += flow_classes[fci].rate * count
+            dc.load = load
+
+        self.flow_classes = flow_classes
+        self.dir_classes = dir_classes
+        self._dir_class_of = dir_class_of
+        self.active = True
+        self.reason = None
+        self._snapshot = {
+            "flows": len(fids),
+            "flow_classes": len(flow_classes),
+            "dirs": len(dirs),
+            "dir_classes": len(dir_classes),
+            "flow_compression": len(fids) / len(flow_classes),
+            "dir_compression": len(dirs) / len(dir_classes),
+        }
+
+    def materialize(self) -> None:
+        """Write class values back onto concrete flows/links and drop
+        to concrete mode (no-op when already concrete)."""
+        if not self.active:
+            return
+        self.materializations += 1
+        engine = self.engine
+        net = engine.network
+        for fc in self.flow_classes:
+            rate = fc.rate
+            delivered = fc.delivered
+            for flow in fc.flows:
+                flow.rate_bps = rate
+                flow.delivered_bytes = delivered
+        # Rebuild direction loads, host rates and the accruing set the
+        # way a concrete recompute does (fid order), so the values are
+        # the exact floats the concrete engine would hold.
+        for direction in engine._dir_flows:
+            direction.current_load_bps = 0.0
+        for host in net.hosts():
+            host.rx_rate_bps = 0.0
+            host.tx_rate_bps = 0.0
+        accruing = []
+        for fid in sorted(engine._cache):
+            entry = engine._cache[fid]
+            if not entry.delivered:
+                continue
+            flow = entry.flow
+            rate = flow.rate_bps
+            for direction in entry.dirs:
+                direction.current_load_bps += rate
+            flow.dst.rx_rate_bps += rate
+            flow.src.tx_rate_bps += rate
+            if rate > 0:
+                accruing.append(flow)
+        net._accruing = accruing
+        self.active = False
+        self.reason = "materialized"
+
+    # -- the fast path -----------------------------------------------------
+
+    def try_fast_cap_update(self, cap_dirty_links: "List[Link]") -> bool:
+        """Handle a capacity-only reallocation at class level.
+
+        Returns False (caller materializes and runs concrete) unless
+        every affected direction class is capacity-uniform after the
+        change — the class-closure check that keeps the partition
+        honest when an injection breaks symmetry.
+        """
+        affected = set()
+        for link in cap_dirty_links:
+            for direction in (link.forward, link.reverse):
+                dci = self._dir_class_of.get(id(direction))
+                if dci is not None:
+                    affected.add(dci)
+        for dci in affected:
+            dc = self.dir_classes[dci]
+            cap = dc.dirs[0].capacity_bps
+            for direction in dc.dirs:
+                if direction.capacity_bps != cap:
+                    return False
+        for dci in affected:
+            dc = self.dir_classes[dci]
+            dc.capacity = dc.dirs[0].capacity_bps
+
+        # Class-level connected components seeded by the dirty classes
+        # (the quotient of the concrete engine's component walk).
+        visited = set()
+        components: List[List[int]] = []
+        for start in sorted(affected):
+            if start in visited:
+                continue
+            visited.add(start)
+            comp = set()
+            stack = [start]
+            while stack:
+                dci = stack.pop()
+                for fci in self.dir_classes[dci].member_fclasses:
+                    if fci in comp:
+                        continue
+                    comp.add(fci)
+                    for other, __ in self.flow_classes[fci].qlinks:
+                        if other not in visited:
+                            visited.add(other)
+                            stack.append(other)
+            if comp:
+                components.append(sorted(comp))
+
+        for comp in components:
+            self._solve_class_component(comp)
+
+        for dci in visited:
+            dc = self.dir_classes[dci]
+            load = 0.0
+            for fci in dc.member_fclasses:
+                fc = self.flow_classes[fci]
+                for other, count in fc.qlinks:
+                    if other == dci:
+                        load += fc.rate * count
+            dc.load = load
+        self.fast_recomputes += 1
+        return True
+
+    def _solve_class_component(self, comp: List[int]) -> None:
+        """Build and solve one class component, mirroring the concrete
+        engine's instance construction (classes in canonical order,
+        direction classes interned in first-appearance path order)."""
+        self.class_components_solved += 1
+        self.class_solves += len(comp)
+        fcs = [self.flow_classes[fci] for fci in comp]
+        demands: List[float] = []
+        local: Dict[int, int] = {}
+        capacities: List[float] = []
+        alive: List[int] = []
+        link_members: List[List[int]] = []
+        flow_links: List[List[Tuple[int, int]]] = []
+        for pos, fc in enumerate(fcs):
+            demands.append(fc.demand)
+            member = fc.demand > EPSILON
+            links_here: List[Tuple[int, int]] = []
+            for dci, count in fc.qlinks:
+                loc = local.get(dci)
+                if loc is None:
+                    loc = len(capacities)
+                    local[dci] = loc
+                    capacities.append(self.dir_classes[dci].capacity)
+                    alive.append(0)
+                    link_members.append([])
+                links_here.append((loc, count))
+                if member:
+                    alive[loc] += count
+                    link_members[loc].append(pos)
+            flow_links.append(links_here)
+        rates = quotient_bottleneck_filling(
+            demands, capacities, alive, link_members, flow_links)
+        for pos, fc in enumerate(fcs):
+            fc.rate = rates[pos]
+
+    # -- class-level byte accrual ------------------------------------------
+
+    def accrue(self, dt: float, now: float) -> None:
+        """One accrual step per class — the same ``rate * dt / 8.0``
+        float expression every member flow would apply to an identical
+        accumulator.  (Per-hop/port counters are not maintained; the
+        runner only activates the quotient where nothing reads them.)
+        """
+        for fc in self.flow_classes:
+            rate = fc.rate
+            if rate <= 0:
+                continue
+            fc.delivered += rate * dt / 8.0
+
+    # -- diagnostics --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        smap = self.symmetry_map
+        out: Dict[str, Any] = {
+            "active": self.active,
+            "reason": self.reason,
+            "rebuilds": self.rebuilds,
+            "fast_recomputes": self.fast_recomputes,
+            "materializations": self.materializations,
+            "class_components_solved": self.class_components_solved,
+            "class_solves": self.class_solves,
+        }
+        if smap is not None:
+            out["node_classes"] = smap.class_count
+            out["node_compression"] = smap.node_compression()
+        out.update(self._snapshot)
+        return out
+
+
+def _intern(signatures: Sequence[Any]) -> List[int]:
+    table: Dict[Any, int] = {}
+    out: List[int] = []
+    for sig in signatures:
+        color = table.get(sig)
+        if color is None:
+            color = len(table)
+            table[sig] = color
+        out.append(color)
+    return out
+
+
+def _group(colors: Sequence[int]) -> List[List[int]]:
+    """Positions grouped by color, each group sorted, groups ordered
+    by smallest position (canonical for sorted inputs)."""
+    groups: Dict[int, List[int]] = {}
+    for pos, color in enumerate(colors):
+        groups.setdefault(color, []).append(pos)
+    return sorted(groups.values(), key=lambda g: g[0])

@@ -1,0 +1,285 @@
+"""Structural symmetry detection: color refinement over a ``Topo``.
+
+:meth:`SymmetryMap.from_topo` partitions the declared nodes (and
+links) of a topology into *structural automorphism classes* by
+color refinement — the 1-dimensional Weisfeiler-Leman algorithm:
+
+1. every node starts with a *seed color* — its role (host / switch /
+   router) plus any *pin* attached to it (see below);
+2. every link starts with a seed color of (capacity, delay) plus its
+   pin;
+3. rounds alternate: a node's new color is its old color joined with
+   the multiset of (incident link color, peer color) pairs; a link's
+   new color is its old color joined with the unordered pair of
+   endpoint colors.  Rounds repeat until neither partition refines.
+
+At the fixpoint the partition is *equitable*: two nodes share a class
+only if they see identical color-degree profiles, the necessary
+condition for an automorphism to map one onto the other.  1-WL can
+fail to *split* nodes that no automorphism relates (regular-graph
+corner cases), which is why the runtime quotient layer re-checks
+value uniformity on every class before trusting it — the map is a
+candidate partition, and every consumer treats it conservatively.
+
+**Pins** keep the partition honest about the experiment, not just the
+graph: a node or link that an injection (or explicit traffic
+endpoint) targets gets the injection's *shape* — kind, timing,
+magnitude, everything except the target names — folded into its seed
+color.  Two links degraded by the same SRLG injection at the same
+instants keep identical seeds (the shared-risk group stays one
+class), while a link singled out by a lone ``link-fail`` is split
+from its untouched siblings before the simulation even starts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.topology.topo import Topo
+
+
+def _canon(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+class Pins:
+    """Seed-color annotations for injection/traffic target sites."""
+
+    def __init__(self) -> None:
+        self.node_pins: Dict[str, List[str]] = {}
+        self.link_pins: Dict[Tuple[str, str], List[str]] = {}
+
+    def pin_node(self, name: str, signature: str) -> None:
+        self.node_pins.setdefault(name, []).append(signature)
+
+    def pin_link(self, node_a: str, node_b: str, signature: str) -> None:
+        key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        self.link_pins.setdefault(key, []).append(signature)
+
+    def node_seed(self, name: str) -> Tuple[str, ...]:
+        return tuple(sorted(self.node_pins.get(name, ())))
+
+    def link_seed(self, node_a: str, node_b: str) -> Tuple[str, ...]:
+        key = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        return tuple(sorted(self.link_pins.get(key, ())))
+
+
+#: Injection parameters that name concrete targets.  They are stripped
+#: from the pin signature so that symmetric targets of one correlated
+#: family (an SRLG, a partition group) keep identical seeds.
+_TARGET_FIELDS = ("node_a", "node_b", "node", "group", "pairs")
+
+
+def injection_pins(injections: Iterable[Any]) -> Pins:
+    """Pins for every node/link a list of injections touches.
+
+    The pin signature is the injection's serialized form minus its
+    target names — its kind, schedule and magnitude.  Identically
+    shaped injections therefore pin their targets identically.
+    """
+    pins = Pins()
+    for injection in injections:
+        data = injection.to_dict()
+        shape = {k: v for k, v in data.items() if k not in _TARGET_FIELDS}
+        signature = _canon(shape)
+        if "node_a" in data and "node_b" in data:
+            pins.pin_link(data["node_a"], data["node_b"], signature)
+        if data.get("node"):
+            pins.pin_node(data["node"], signature)
+        for name in data.get("group", ()) or ():
+            pins.pin_node(name, signature)
+        for pair in data.get("pairs", ()) or ():
+            for name in pair:
+                pins.pin_node(name, signature)
+    return pins
+
+
+class SymmetryMap:
+    """The detected class partition of one topology's nodes and links."""
+
+    def __init__(
+        self,
+        topo_name: str,
+        classes: List[List[str]],
+        link_classes: List[int],
+        link_class_count: int,
+        link_names: List[Tuple[str, str]],
+    ) -> None:
+        self.topo_name = topo_name
+        #: Node classes: each a sorted member-name list; classes are
+        #: ordered by their smallest member, so ids are canonical.
+        self.classes = classes
+        self.class_of: Dict[str, int] = {}
+        for class_id, members in enumerate(classes):
+            for name in members:
+                self.class_of[name] = class_id
+        #: Per-link class id, aligned with ``topo.link_specs`` (which
+        #: is also the creation order of ``Network.links``).
+        self.link_classes = link_classes
+        self.link_class_count = link_class_count
+        self.link_names = link_names
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_topo(cls, topo: Topo, pins: Optional[Pins] = None) -> "SymmetryMap":
+        pins = pins or Pins()
+        names: List[str] = list(topo.host_specs) + list(topo.switch_specs)
+        roles: Dict[str, str] = {name: "host" for name in topo.host_specs}
+        for spec in topo.switch_specs.values():
+            roles[spec.name] = spec.kind
+
+        links = topo.link_specs
+        incident: Dict[str, List[int]] = {name: [] for name in names}
+        for index, link in enumerate(links):
+            incident[link.node_a].append(index)
+            incident[link.node_b].append(index)
+
+        # Seed colors, interned to small ints.
+        node_color = _intern(
+            [(roles[name], pins.node_seed(name)) for name in names])
+        link_color = _intern(
+            [(link.capacity_bps, link.delay,
+              pins.link_seed(link.node_a, link.node_b))
+             for link in links])
+        node_index = {name: i for i, name in enumerate(names)}
+
+        # Refine to the joint fixpoint.
+        while True:
+            node_sigs = []
+            for name in names:
+                profile = sorted(
+                    (link_color[e],
+                     node_color[node_index[_peer(links[e], name)]])
+                    for e in incident[name]
+                )
+                node_sigs.append((node_color[node_index[name]],
+                                  tuple(profile)))
+            new_node = _intern(node_sigs)
+
+            link_sigs = []
+            for index, link in enumerate(links):
+                a = new_node[node_index[link.node_a]]
+                b = new_node[node_index[link.node_b]]
+                pair = (a, b) if a <= b else (b, a)
+                link_sigs.append((link_color[index], pair))
+            new_link = _intern(link_sigs)
+
+            stable = (_class_count(new_node) == _class_count(node_color)
+                      and _class_count(new_link) == _class_count(link_color))
+            node_color, link_color = new_node, new_link
+            if stable:
+                break
+
+        # Canonicalize: classes ordered by their smallest member name.
+        groups: Dict[int, List[str]] = {}
+        for name in names:
+            groups.setdefault(node_color[node_index[name]], []).append(name)
+        classes = sorted((sorted(members) for members in groups.values()),
+                         key=lambda members: members[0])
+
+        link_groups: Dict[int, List[int]] = {}
+        for index in range(len(links)):
+            link_groups.setdefault(link_color[index], []).append(index)
+        ordered = sorted(link_groups.values(), key=lambda idxs: idxs[0])
+        link_classes = [0] * len(links)
+        for class_id, idxs in enumerate(ordered):
+            for index in idxs:
+                link_classes[index] = class_id
+
+        return cls(
+            topo_name=topo.name,
+            classes=classes,
+            link_classes=link_classes,
+            link_class_count=len(ordered),
+            link_names=[(link.node_a, link.node_b) for link in links],
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.class_of)
+
+    @property
+    def class_count(self) -> int:
+        return len(self.classes)
+
+    def node_compression(self) -> float:
+        """Concrete nodes per class (1.0 = no symmetry found)."""
+        if not self.classes:
+            return 1.0
+        return self.node_count / len(self.classes)
+
+    def link_compression(self) -> float:
+        if not self.link_classes:
+            return 1.0
+        return len(self.link_classes) / max(1, self.link_class_count)
+
+    def is_identity(self) -> bool:
+        """True when every class is a singleton (no symmetry found)."""
+        return len(self.classes) == self.node_count
+
+    def digest(self) -> str:
+        """Canonical digest of the whole partition — the cross-process
+        determinism pin: same recipe, same digest, any process."""
+        payload = {
+            "classes": self.classes,
+            "link_classes": self.link_classes,
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def describe(self, max_members: int = 6) -> str:
+        """Human-readable class table for the CLI."""
+        lines = [
+            f"topology {self.topo_name!r}: {self.node_count} nodes -> "
+            f"{self.class_count} classes "
+            f"(compression {self.node_compression():.2f}x), "
+            f"{len(self.link_classes)} links -> "
+            f"{self.link_class_count} classes "
+            f"(compression {self.link_compression():.2f}x)",
+            f"digest {self.digest()}",
+        ]
+        for class_id, members in enumerate(self.classes):
+            shown = ", ".join(members[:max_members])
+            more = ("" if len(members) <= max_members
+                    else f", ... +{len(members) - max_members}")
+            lines.append(
+                f"  class {class_id:>3} ({len(members):>4} nodes): "
+                f"{shown}{more}")
+        return "\n".join(lines)
+
+
+def symmetry_map_for_spec(spec: Any) -> SymmetryMap:
+    """The map a scenario's runner would use: the spec's topology with
+    every injection target pinned."""
+    topo = spec.topology.build()
+    return SymmetryMap.from_topo(topo, pins=injection_pins(spec.injections))
+
+
+# -- helpers --------------------------------------------------------------
+
+
+def _peer(link, name: str) -> str:
+    return link.node_b if link.node_a == name else link.node_a
+
+
+def _intern(signatures: Sequence[Any]) -> List[int]:
+    """Relabel arbitrary hashable signatures as dense ints, first
+    occurrence order (deterministic for deterministic input order)."""
+    table: Dict[Any, int] = {}
+    out: List[int] = []
+    for sig in signatures:
+        color = table.get(sig)
+        if color is None:
+            color = len(table)
+            table[sig] = color
+        out.append(color)
+    return out
+
+
+def _class_count(colors: Sequence[int]) -> int:
+    return len(set(colors))

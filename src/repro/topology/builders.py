@@ -90,21 +90,37 @@ def leaf_spine_topo(
     hosts_per_leaf: int = 4,
     capacity_bps: float = GBPS,
     delay: float = 0.000_05,
+    device: str = "switch",
 ) -> Topo:
-    """A two-tier Clos: every leaf connects to every spine."""
+    """A two-tier Clos: every leaf connects to every spine.
+
+    ``device="router"`` builds the same fabric out of routers (hosts
+    get leaf gateways), suited to the static/BGP/OSPF control planes.
+    """
     if num_spines < 1 or num_leaves < 1:
         raise TopologyError("need at least one spine and one leaf")
+    if device not in ("switch", "router"):
+        raise TopologyError(f"unknown leaf-spine device kind {device!r}")
+    routers = device == "router"
     topo = Topo(name=f"leafspine-{num_spines}x{num_leaves}")
+
+    def add_device(name: str) -> None:
+        if routers:
+            topo.add_router(name)
+        else:
+            topo.add_switch(name)
+
     for spine in range(num_spines):
-        topo.add_switch(f"spine{spine}")
+        add_device(f"spine{spine}")
     for leaf in range(num_leaves):
-        topo.add_switch(f"leaf{leaf}")
+        add_device(f"leaf{leaf}")
         for spine in range(num_spines):
             topo.add_link(f"leaf{leaf}", f"spine{spine}",
                           capacity_bps=capacity_bps, delay=delay)
         for host_index in range(hosts_per_leaf):
             name = f"h{leaf}_{host_index}"
-            topo.add_host(name, f"10.{leaf}.0.{host_index + 10}")
+            topo.add_host(name, f"10.{leaf}.0.{host_index + 10}",
+                          gateway=f"10.{leaf}.0.1" if routers else None)
             topo.add_link(name, f"leaf{leaf}",
                           capacity_bps=capacity_bps, delay=delay)
     return topo

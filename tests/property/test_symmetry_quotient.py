@@ -1,0 +1,245 @@
+"""Property: quotient simulation is bit-for-bit the concrete one.
+
+Every scenario here runs twice — ``symmetry`` off, then on — and the
+two result fingerprints (which cover delivered/demanded bytes, event
+and recomputation counts, convergence, injection outcomes and SLO
+verdicts) must be EQUAL.  Symmetry compression is a pure speed knob:
+any observable divergence, however small, is a bug, so these tests
+span symmetric fabrics, asymmetric graphs that must degenerate to the
+identity partition, symmetry-preserving SRLG churn, and deliberately
+symmetry-breaking injections that force copy-on-write refinement or
+full fallback to the concrete path.
+"""
+
+import os
+
+import pytest
+
+from repro.scenarios import (
+    CapacityDegrade,
+    LinkFail,
+    ProtocolRecipe,
+    ScenarioSpec,
+    TopologyRecipe,
+    TrafficRecipe,
+    run_scenario,
+)
+from repro.scenarios.injections import injection_from_dict
+from repro.topology.fattree import FatTreeTopo
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "..", "data")
+
+
+def _graphml(name):
+    return os.path.abspath(os.path.join(DATA_DIR, name))
+
+
+def core_agg_links(k=4):
+    """Every core<->agg link of a k-pod fat-tree, as (a, b) names."""
+    topo = FatTreeTopo(k=k, device="router")
+    return [(link.node_a, link.node_b) for link in topo.link_specs
+            if {link.node_a[0], link.node_b[0]} == {"c", "a"}]
+
+
+def run_pair(topology, injections=(), protocol=("static", {}),
+             traffic=None, duration=10.0, seed=7, name="sym"):
+    """Run a spec concrete and quotient; pin fingerprint equality.
+
+    Returns (concrete result, quotient result) so callers can make
+    extra assertions about the quotient diagnostics.
+    """
+    if traffic is None:
+        traffic = TrafficRecipe(pattern="stride", stride=4,
+                                rate_bps=400_000_000.0,
+                                start_time=1.0, duration=duration + 5.0)
+    base = dict(
+        name=name, seed=seed, duration=duration,
+        topology=TopologyRecipe(*topology),
+        protocol=ProtocolRecipe(*protocol),
+        traffic=traffic,
+        injections=[injection_from_dict(d) if isinstance(d, dict) else d
+                    for d in injections],
+    )
+    concrete = run_scenario(ScenarioSpec(**base))
+    quotient = run_scenario(ScenarioSpec(
+        **base, sim_params={"symmetry": True}))
+    assert concrete.fingerprint() == quotient.fingerprint(), (
+        f"quotient diverged from concrete for {name}: "
+        f"{concrete.to_dict()} != {quotient.to_dict()}")
+    return concrete, quotient
+
+
+def symmetry_diag(result):
+    return result.diagnostics.get("symmetry", {})
+
+
+FATTREE4 = ("fattree", {"k": 4, "device": "router"})
+
+
+class TestSymmetricFabrics:
+    def test_fattree_static_stride_compresses(self):
+        concrete, quotient = run_pair(FATTREE4)
+        assert concrete.delivered_bytes > 0
+        diag = symmetry_diag(quotient)
+        # 36 nodes collapse to 4 roles; 16 stride flows to one class.
+        assert diag["node_compression"] > 1.0
+        assert diag["flow_classes"] < diag["flows"]
+
+    def test_fattree_ecmp_static(self):
+        run_pair(FATTREE4, protocol=("static", {"ecmp": True}),
+                 name="sym-ecmp")
+
+    def test_leafspine_static(self):
+        run_pair(("leafspine", {"num_spines": 3, "num_leaves": 4,
+                                "hosts_per_leaf": 2, "device": "router"}),
+                 name="sym-leafspine")
+
+    def test_no_traffic_no_flows(self):
+        # An empty quotient (zero flows) must still track injections.
+        run_pair(FATTREE4,
+                 injections=[LinkFail(at=3.0, node_a="c0_0",
+                                      node_b="a0_0")],
+                 traffic=TrafficRecipe(pattern="none"),
+                 name="sym-noflows")
+
+    def test_graphml_ring_falls_back(self):
+        # A ring's flows can cross one direction class twice; the
+        # quotient layer must detect that and run concrete — with
+        # identical results.
+        run_pair(("graphml", {"path": _graphml("ring4.graphml"),
+                              "hosts_per_node": 1}),
+                 traffic=TrafficRecipe(pattern="stride", stride=1,
+                                       rate_bps=2e9, start_time=1.0,
+                                       duration=15.0),
+                 name="sym-ring")
+
+    def test_graphml_star(self):
+        run_pair(("graphml", {"path": _graphml("star3.graphml"),
+                              "hosts_per_node": 2}),
+                 traffic=TrafficRecipe(pattern="stride", stride=2,
+                                       rate_bps=3e8, start_time=1.0,
+                                       duration=15.0),
+                 name="sym-star")
+
+
+class TestAsymmetricDegeneratesToIdentity:
+    def test_graphml_mesh_identity(self):
+        concrete, quotient = run_pair(
+            ("graphml", {"path": _graphml("mesh5.graphml")}),
+            traffic=TrafficRecipe(pattern="stride", stride=1,
+                                  rate_bps=2e8, start_time=1.0,
+                                  duration=15.0),
+            name="sym-mesh")
+        diag = symmetry_diag(quotient)
+        assert diag.get("node_compression") == 1.0
+
+    def test_wan_identity(self):
+        concrete, quotient = run_pair(
+            ("wan", {}),
+            traffic=TrafficRecipe(pattern="pairs",
+                                  pairs=[["h_seattle", "h_newyork"],
+                                         ["h_denver", "h_atlanta"]],
+                                  rate_bps=5e8, start_time=1.0,
+                                  duration=15.0),
+            duration=12.0, name="sym-wan")
+        diag = symmetry_diag(quotient)
+        assert diag.get("node_compression") == 1.0
+
+
+class TestSymmetryPreservingChurn:
+    def test_srlg_degrade_takes_fast_path(self):
+        # Degrade EVERY core-agg link together, twice: a class-closed
+        # event the quotient handles without materializing.
+        srlg = []
+        for at in (3.0, 6.0):
+            for a, b in core_agg_links():
+                srlg.append(CapacityDegrade(at=at, node_a=a, node_b=b,
+                                            factor=0.5, until=at + 1.5))
+        concrete, quotient = run_pair(FATTREE4, injections=srlg,
+                                      name="sym-srlg")
+        diag = symmetry_diag(quotient)
+        assert diag["fast_recomputes"] > 0
+
+    def test_whole_tier_fail_and_heal(self):
+        agg_edge = []
+        topo = FatTreeTopo(k=4, device="router")
+        pairs = [(l.node_a, l.node_b) for l in topo.link_specs
+                 if {l.node_a[0], l.node_b[0]} == {"a", "e"}]
+        for a, b in pairs:
+            agg_edge.append(CapacityDegrade(at=4.0, node_a=a, node_b=b,
+                                            factor=0.25, until=7.0))
+        run_pair(FATTREE4, injections=agg_edge, name="sym-tier")
+
+
+class TestSymmetryBreakingInjections:
+    def test_lone_degrade(self):
+        a, b = core_agg_links()[0]
+        run_pair(FATTREE4,
+                 injections=[CapacityDegrade(at=3.0, node_a=a, node_b=b,
+                                             factor=0.25, until=6.0)],
+                 name="sym-lone-degrade")
+
+    def test_lone_link_fail(self):
+        a, b = core_agg_links()[0]
+        concrete, quotient = run_pair(
+            FATTREE4, injections=[LinkFail(at=3.0, node_a=a, node_b=b)],
+            name="sym-lone-fail")
+        # A lone topology cut cannot ride the capacity fast path; the
+        # layer must have fallen back through materialize+rebuild.
+        assert symmetry_diag(quotient)["rebuilds"] > 0
+
+    def test_link_flap(self):
+        a, b = core_agg_links()[0]
+        run_pair(FATTREE4,
+                 injections=[{"kind": "link-flap", "node_a": a,
+                              "node_b": b, "at": 2.0, "cycles": 3,
+                              "period": 1.0, "duty": 0.5}],
+                 name="sym-flap")
+
+
+class TestTimeStructure:
+    def test_staggered_starts(self):
+        # Stagger breaks the "every class member has equal delivered
+        # bytes" invariant at rebuild time; classes must split.
+        run_pair(FATTREE4,
+                 traffic=TrafficRecipe(pattern="stride", stride=4,
+                                       rate_bps=4e8, start_time=1.0,
+                                       duration=20.0, stagger=0.37),
+                 name="sym-stagger")
+
+    def test_traffic_ends_before_horizon(self):
+        run_pair(FATTREE4,
+                 traffic=TrafficRecipe(pattern="stride", stride=4,
+                                       rate_bps=4e8, start_time=1.0,
+                                       duration=4.0),
+                 duration=12.0, name="sym-shortflows")
+
+    def test_seed_variation(self):
+        for seed in (1, 2, 3):
+            run_pair(FATTREE4,
+                     traffic=TrafficRecipe(pattern="random",
+                                           rate_bps=3e8, start_time=1.0,
+                                           duration=15.0),
+                     seed=seed, name=f"sym-random-{seed}")
+
+
+class TestProtocolGating:
+    def test_ospf_runs_concrete_with_note(self):
+        spec = dict(
+            name="sym-ospf", seed=3, duration=14.0,
+            topology=TopologyRecipe("wan", {}),
+            protocol=ProtocolRecipe("ospf", {"hello_interval": 1.0,
+                                             "dead_interval": 4.0}),
+            traffic=TrafficRecipe(pattern="pairs",
+                                  pairs=[["h_seattle", "h_newyork"]],
+                                  rate_bps=5e8, start_time=2.0,
+                                  duration=10.0),
+            injections=[],
+        )
+        concrete = run_scenario(ScenarioSpec(**spec))
+        gated = run_scenario(ScenarioSpec(
+            **spec, sim_params={"symmetry": True}))
+        assert concrete.fingerprint() == gated.fingerprint()
+        diag = symmetry_diag(gated)
+        assert diag.get("active") is False
+        assert "not quotientable" in diag.get("reason", "")

@@ -25,6 +25,7 @@ from repro.results import (
     make_record,
     record_key,
     write_csv,
+    write_csv_rows,
 )
 from repro.results.columnar import (
     MANIFEST_FILE,
@@ -194,6 +195,52 @@ class TestBasicsParity:
         assert write_csv(jstore.iter_records(), jpath) == 6
         with open(cpath) as c, open(jpath) as j:
             assert c.read() == j.read()
+
+    def test_iter_csv_rows_parity(self, tmp_path):
+        """The columnar CSV fast path (index/metrics/SLO columns, no
+        healthy-payload decompression) writes byte-identical CSV to
+        the record-streaming path — across sealed segments (healthy,
+        SLO-failing and errored rows) and the live tail."""
+        store = columnar(tmp_path)  # segment_rows=4: rows 0-7 seal
+        jstore = ResultStore(str(tmp_path / "jstore"))
+        for seed in range(10):
+            record = fake_record(
+                seed, slo_status="fail" if seed == 2 else "pass",
+                error="boom" if seed in (3, 9) else None)
+            store.append(record)
+            jstore.append(record)
+        assert len(store._segments) == 2
+        fast, slow = str(tmp_path / "fast.csv"), str(tmp_path / "slow.csv")
+        assert write_csv_rows(store.iter_csv_rows(), fast) == 10
+        assert write_csv_rows(jstore.iter_csv_rows(), slow) == 10
+        with open(fast) as f, open(slow) as s:
+            fast_text, slow_text = f.read(), s.read()
+        assert fast_text == slow_text
+        # and both equal the original record-streaming export
+        ref = str(tmp_path / "ref.csv")
+        assert write_csv(jstore.iter_records(), ref) == 10
+        with open(ref) as r:
+            assert fast_text == r.read()
+
+    def test_entry_metrics_at_parity(self, tmp_path):
+        """Keyed metric fetch agrees between formats, including the
+        errored-entry flag the search scoring loop ranks on."""
+        store = columnar(tmp_path)
+        jstore = ResultStore(str(tmp_path / "jstore"))
+        keys = []
+        for seed in range(7):
+            record = fake_record(
+                seed, error="crash" if seed == 5 else None)
+            store.append(record)
+            jstore.append(record)
+            keys.append(record_key(record))
+        keys = keys[::-1]  # caller order, not store order
+        got = [(e.spec_hash, e.seed, e.error, m)
+               for e, m in store.entry_metrics_at(keys)]
+        want = [(e.spec_hash, e.seed, e.error, m)
+                for e, m in jstore.entry_metrics_at(keys)]
+        assert got == want
+        assert [e for _, s, e, _ in got if s == 5] == [True]
 
 
 class TestSealAndReopen:

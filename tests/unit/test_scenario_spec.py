@@ -202,6 +202,25 @@ class TestScenarioSpecRoundTrip:
         with pytest.raises(ConfigurationError):
             spec.validate()
 
+    def test_unknown_top_level_key_named_in_error(self):
+        """The classic typo: 'injectionss' silently dropping every
+        injection.  from_dict must reject it BY NAME."""
+        data = self.make_spec().to_dict()
+        data["injectionss"] = data.pop("injections")
+        with pytest.raises(ConfigurationError) as excinfo:
+            ScenarioSpec.from_dict(data)
+        assert "injectionss" in str(excinfo.value)
+        assert "known keys" in str(excinfo.value)
+
+    def test_multiple_unknown_keys_all_named(self):
+        data = self.make_spec().to_dict()
+        data["trafic"] = {}
+        data["extra"] = 1
+        with pytest.raises(ConfigurationError) as excinfo:
+            ScenarioSpec.from_dict(data)
+        message = str(excinfo.value)
+        assert "trafic" in message and "extra" in message
+
 
 class TestSpecSlos:
     """The v2 spec schema: the slos field, version stamp, and the
@@ -225,8 +244,8 @@ class TestSpecSlos:
         from repro.scenarios import SPEC_SCHEMA_VERSION
 
         data = self.make_spec_with_slos().to_dict()
-        # v3: the traffic "flows" list (matrix families) joined in
-        assert data["schema_version"] == SPEC_SCHEMA_VERSION == 3
+        # v4: "static" protocol, "graphml" topologies, symmetry knob
+        assert data["schema_version"] == SPEC_SCHEMA_VERSION == 4
         assert len(data["slos"]) == 2
 
     def test_v1_dict_still_loads(self):
