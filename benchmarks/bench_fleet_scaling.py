@@ -35,7 +35,7 @@ from repro.fleet import FleetExecutor
 from repro.results import ResultStore
 from repro.scenarios import Campaign, generate_scenario
 
-from conftest import record_rows
+from conftest import record_json, record_rows
 
 _results = {}  # label -> (wall_seconds, scenario_count, digest)
 
@@ -109,6 +109,7 @@ def test_fleet_scaling_report(benchmark):
     digests = {digest for __, __, digest in _results.values()}
     assert digests == {base_digest}
     rows = []
+    variants = {}
     for label in sorted(_results):
         wall, scenarios, __ = _results[label]
         rate = scenarios / wall if wall else float("inf")
@@ -120,9 +121,22 @@ def test_fleet_scaling_report(benchmark):
             f"{label:>10} {scenarios:>9} {wall:>8.2f} {rate:>12.2f} "
             f"{speedup:>8.2f}x {efficiency * 100:>9.0f}%"
         )
+        variants[label] = {
+            "workers": workers,
+            "scenarios": scenarios,
+            "wall_seconds": wall,
+            "scenarios_per_second": rate,
+            "speedup": speedup,
+            "efficiency": efficiency,
+        }
     record_rows(
         "fleet_scaling",
         f"{'variant':>10} {'scenarios':>9} {'wall_s':>8} "
         f"{'scen_per_s':>12} {'speedup':>9} {'efficiency':>10}",
         rows,
     )
+    record_json("fleet_scaling", {
+        "scenarios": count,
+        "digests_match": True,
+        "variants": variants,
+    })

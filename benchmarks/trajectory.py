@@ -1,0 +1,255 @@
+"""Fold per-bench ``BENCH_*.json`` files into the perf trajectory.
+
+ROADMAP item 2's complaint was that speedups were "claimed in prose
+and regressions invisible": every benchmark writes a machine-readable
+``BENCH_<name>.json`` (stamped by ``conftest.record_json`` with schema
+version, git commit and timestamp), but nothing collected them.  This
+script is the collector and the gate:
+
+* **fold** (default): read every ``BENCH_*.json`` in the results dir,
+  append/replace one trajectory entry for the stamped commit in
+  ``BENCH_trajectory.json`` — a list of ``{git_commit, recorded_at,
+  benches: {name: payload}}`` entries, oldest first.  Re-folding the
+  same commit replaces its entry, so CI re-runs don't duplicate.
+* **--gate**: after folding, evaluate the threshold rules in
+  ``trajectory_thresholds.json`` against the newest entry (absolute
+  ``min``/``max`` bounds on dotted metric paths) and against the
+  previous entry for the same bench (``max_regression_frac``); exit 1
+  on any violation, printing every failed rule.
+
+Zero dependencies, argparse only::
+
+    python benchmarks/trajectory.py                 # fold
+    python benchmarks/trajectory.py --gate          # fold + gate
+    python benchmarks/trajectory.py --gate --strict # missing metric fails
+
+Threshold rules (``trajectory_thresholds.json``)::
+
+    [{"bench": "reallocation",
+      "metric": "cases.1000.speedup",
+      "min": 2.0,
+      "max_regression_frac": 0.5}]
+
+``metric`` is a dotted path into the bench payload.  ``min``/``max``
+bound the absolute value; ``max_regression_frac`` bounds the drop (for
+higher-is-better metrics) relative to the previous trajectory entry
+that carries the same bench — 0.5 means "fail if the value halved".
+Rules whose bench or metric is absent are skipped unless ``--strict``
+(a bench CI didn't run that day must not fail the gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+THRESHOLDS_NAME = "trajectory_thresholds.json"
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_RESULTS_DIR = os.path.join(_HERE, "results")
+DEFAULT_THRESHOLDS = os.path.join(_HERE, THRESHOLDS_NAME)
+
+
+def load_bench_payloads(results_dir: str) -> Dict[str, Dict[str, Any]]:
+    """Every ``BENCH_<name>.json`` in the dir (the trajectory file and
+    unparseable files are skipped with a note)."""
+    payloads: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        if os.path.basename(path) == TRAJECTORY_NAME:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"trajectory: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        if not isinstance(payload, dict):
+            print(f"trajectory: skipping non-object {path}",
+                  file=sys.stderr)
+            continue
+        name = payload.get("bench")
+        if not isinstance(name, str) or not name:
+            # Pre-stamp payloads: derive the name from the filename.
+            name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        payloads[name] = payload
+    return payloads
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    if not os.path.exists(path):
+        return {"trajectory_schema_version": TRAJECTORY_SCHEMA_VERSION,
+                "entries": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or not isinstance(doc.get("entries"), list):
+        raise SystemExit(f"trajectory file {path!r} is not a trajectory "
+                         f"document (corrupt? delete it to restart)")
+    return doc
+
+
+def fold(results_dir: str, trajectory_path: str) -> Dict[str, Any]:
+    """Fold the dir's bench payloads into one trajectory entry; write
+    the updated trajectory; return it."""
+    payloads = load_bench_payloads(results_dir)
+    if not payloads:
+        raise SystemExit(
+            f"trajectory: no BENCH_*.json files in {results_dir!r} "
+            f"(run a benchmark first)")
+    commits = {p.get("git_commit") for p in payloads.values()
+               if isinstance(p.get("git_commit"), str)}
+    commit = sorted(commits)[0] if commits else "unknown"
+    if len(commits) > 1:
+        print(f"trajectory: payloads span {len(commits)} commits "
+              f"({', '.join(sorted(c[:12] for c in commits))}); "
+              f"stamping the entry with {commit[:12]}", file=sys.stderr)
+    recorded = sorted(
+        p.get("recorded_at") for p in payloads.values()
+        if isinstance(p.get("recorded_at"), str)) or [None]
+    doc = load_trajectory(trajectory_path)
+    entry = {
+        "git_commit": commit,
+        "recorded_at": recorded[-1],
+        "benches": payloads,
+    }
+    entries = [e for e in doc["entries"]
+               if not (isinstance(e, dict)
+                       and e.get("git_commit") == commit)]
+    replaced = len(entries) != len(doc["entries"])
+    entries.append(entry)
+    doc["entries"] = entries
+    doc["trajectory_schema_version"] = TRAJECTORY_SCHEMA_VERSION
+    tmp = trajectory_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, trajectory_path)
+    verb = "replaced" if replaced else "appended"
+    print(f"trajectory: {verb} entry for {commit[:12]} "
+          f"({len(payloads)} bench(es)); {len(entries)} entries total "
+          f"-> {trajectory_path}")
+    return doc
+
+
+def metric_at(payload: Dict[str, Any], dotted: str) -> Optional[float]:
+    """Resolve a dotted path to a number, or None (absent/non-numeric)."""
+    node: Any = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def previous_value(entries: List[Dict[str, Any]], bench: str,
+                   dotted: str) -> Optional[float]:
+    """The newest value of the metric among entries *before* the last
+    one (the last entry is the run being gated)."""
+    for entry in reversed(entries[:-1]):
+        benches = entry.get("benches")
+        if not isinstance(benches, dict) or bench not in benches:
+            continue
+        value = metric_at(benches[bench], dotted)
+        if value is not None:
+            return value
+    return None
+
+
+def gate(doc: Dict[str, Any], thresholds_path: str,
+         strict: bool = False) -> "Tuple[int, int]":
+    """Evaluate threshold rules against the newest entry; returns
+    (violations, rules checked) and prints each verdict."""
+    with open(thresholds_path, "r", encoding="utf-8") as handle:
+        rules = json.load(handle)
+    if not isinstance(rules, list):
+        raise SystemExit(f"thresholds file {thresholds_path!r} must hold "
+                         f"a JSON list of rules")
+    entries = doc["entries"]
+    latest = entries[-1]["benches"] if entries else {}
+    violations = 0
+    checked = 0
+    for rule in rules:
+        bench = rule.get("bench")
+        dotted = rule.get("metric")
+        label = f"{bench}:{dotted}"
+        payload = latest.get(bench) if isinstance(bench, str) else None
+        value = (metric_at(payload, dotted)
+                 if payload is not None and isinstance(dotted, str)
+                 else None)
+        if value is None:
+            if strict:
+                violations += 1
+                print(f"GATE FAIL {label}: metric absent from the "
+                      f"latest entry (--strict)")
+            else:
+                print(f"gate skip {label}: not in the latest entry")
+            continue
+        checked += 1
+        ok = True
+        minimum = rule.get("min")
+        if isinstance(minimum, (int, float)) and value < minimum:
+            ok = False
+            print(f"GATE FAIL {label}: {value:g} < min {minimum:g}")
+        maximum = rule.get("max")
+        if isinstance(maximum, (int, float)) and value > maximum:
+            ok = False
+            print(f"GATE FAIL {label}: {value:g} > max {maximum:g}")
+        frac = rule.get("max_regression_frac")
+        if isinstance(frac, (int, float)):
+            prev = previous_value(entries, bench, dotted)
+            if prev is not None and prev > 0:
+                floor = prev * (1.0 - frac)
+                if value < floor:
+                    ok = False
+                    print(f"GATE FAIL {label}: {value:g} regressed "
+                          f">{frac:.0%} from previous {prev:g} "
+                          f"(floor {floor:g})")
+        if ok:
+            print(f"gate ok   {label}: {value:g}")
+        if not ok:
+            violations += 1
+    return violations, checked
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fold BENCH_*.json files into the perf trajectory "
+                    "and optionally gate on regression thresholds")
+    parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
+                        help="where BENCH_*.json files live "
+                             "(default benchmarks/results)")
+    parser.add_argument("--trajectory", default=None,
+                        help="trajectory file to update (default "
+                             "<results-dir>/BENCH_trajectory.json)")
+    parser.add_argument("--thresholds", default=DEFAULT_THRESHOLDS,
+                        help="threshold rules JSON "
+                             "(default benchmarks/trajectory_thresholds.json)")
+    parser.add_argument("--gate", action="store_true",
+                        help="evaluate thresholds after folding; "
+                             "exit 1 on any violation")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --gate: a rule whose metric is "
+                             "missing fails instead of skipping")
+    args = parser.parse_args(argv)
+    trajectory_path = args.trajectory or os.path.join(
+        args.results_dir, TRAJECTORY_NAME)
+    doc = fold(args.results_dir, trajectory_path)
+    if not args.gate:
+        return 0
+    violations, checked = gate(doc, args.thresholds, strict=args.strict)
+    print(f"trajectory gate: {checked} rule(s) checked, "
+          f"{violations} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,12 @@ Subcommands:
   columnar`` on the store-creating commands (``campaign run``,
   ``fleet serve``, ``search run``, ``store merge``) picks the
   numpy-backed columnar layout for million-record campaigns.
+* ``trace``    — telemetry: ``trace run`` executes one scenario with
+  the span tracer armed and exports the timeline as Chrome
+  trace-event JSON (drop it on https://ui.perfetto.dev) plus a text
+  top-spans report; ``REPRO_OBS=1`` arms the tracer for *any*
+  subcommand without changing results — spans and metrics live
+  outside every fingerprint.
 * ``search``   — adversarial scenario search: ``search run`` explores
   a scenario family (seeded random baseline, or an evolutionary loop
   that mutates the worst specs found — shifting injection times,
@@ -339,6 +345,66 @@ def _generator_options_string(args: argparse.Namespace) -> str:
     for slo in getattr(args, "slo", None) or []:
         parts.append(f"--slo {shlex.quote(slo)}")
     return " ".join(parts)
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    """Run one scenario with the span tracer armed and export the
+    timeline as Chrome trace-event JSON (loadable in Perfetto /
+    chrome://tracing), plus a text top-spans report."""
+    from repro.obs import (
+        TRACER,
+        enable_tracing,
+        metrics,
+        top_spans,
+        top_spans_report,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+    from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+    if args.spec is not None:
+        from repro.core.errors import SimulationError
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError,
+                SimulationError) as exc:
+            raise SystemExit(
+                f"cannot load scenario spec {args.spec!r}: {exc!r}")
+        spec.slos = list(spec.slos) + _parse_slos(args.slo)
+    else:
+        spec = _build_generated_spec(args, args.seed)
+
+    enable_tracing(args.capacity)
+    TRACER.clear()
+    result = ScenarioRunner().run(spec)
+    spans = TRACER.spans()
+    snapshot = metrics().snapshot()
+    write_chrome_trace(args.out, spans, snapshot)
+    if args.jsonl:
+        write_spans_jsonl(args.jsonl, spans)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps({
+            "result": result.to_dict(),
+            "fingerprint": result.fingerprint(),
+            "trace": args.out,
+            "spans": len(spans),
+            "spans_dropped": TRACER.dropped,
+            "top_spans": top_spans(spans)[:args.top],
+            "metrics": snapshot,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(result.summary())
+    print(f"trace: {args.out} ({len(spans)} span(s), "
+          f"{TRACER.dropped} dropped)")
+    if args.jsonl:
+        print(f"spans jsonl: {args.jsonl}")
+    print()
+    print(top_spans_report(spans, args.top))
+    return 0
 
 
 def _open_store(path: str, must_exist: bool, readonly: bool = False,
@@ -936,7 +1002,11 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
         print(f"  worker {name:<24} {state:<5} "
               f"records={info.get('records', 0)} "
               f"chunks={info.get('chunks_done', 0)} "
+              f"reconnects={info.get('reconnects', 0)} "
               f"idle={info.get('idle_seconds', 0):.1f}s")
+    quarantined = status.get("quarantined", [])
+    print(f"quarantined: {len(quarantined)}"
+          + (f" ({', '.join(quarantined)})" if quarantined else ""))
     print(f"done: {status.get('done')}")
     return 0
 
@@ -1101,6 +1171,33 @@ def build_parser() -> argparse.ArgumentParser:
     timport.add_argument("--out", default=None, metavar="FILE",
                          help="write the recipe JSON here (default stdout)")
     timport.set_defaults(func=_cmd_topo_import)
+
+    trace = sub.add_parser(
+        "trace",
+        help="telemetry: run a scenario with the span tracer armed "
+             "and export a Perfetto-loadable timeline")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trun = trace_sub.add_parser(
+        "run", help="trace one scenario (generated by seed, or from "
+                    "a JSON spec) into Chrome trace-event JSON")
+    trun.add_argument("--seed", type=int, default=0,
+                      help="generator seed (ignored with --spec)")
+    trun.add_argument("--spec", default=None, metavar="FILE",
+                      help="load the scenario from a JSON spec file")
+    trun.add_argument("--out", default="trace.json", metavar="FILE",
+                      help="trace-event JSON output path "
+                           "(default trace.json; open in "
+                           "https://ui.perfetto.dev)")
+    trun.add_argument("--jsonl", default=None, metavar="FILE",
+                      help="also dump raw spans as JSONL")
+    trun.add_argument("--top", type=int, default=20,
+                      help="rows in the top-spans report (default 20)")
+    trun.add_argument("--capacity", type=int, default=None,
+                      help="span ring-buffer capacity (default 65536; "
+                           "oldest spans are dropped beyond it)")
+    _add_scenario_generator_options(trun)
+    trun.set_defaults(func=_cmd_trace_run)
 
     campaign = sub.add_parser(
         "campaign",
@@ -1369,6 +1466,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "List[str] | None" = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.obs import maybe_enable_from_env
+
+    # REPRO_OBS=1 arms the span tracer for any subcommand; tracing is
+    # observation-only, so fingerprints and digests stay bit-for-bit.
+    maybe_enable_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -46,6 +46,7 @@ from repro.dataplane.fluid import (
     bottleneck_filling,
     progressive_filling,
 )
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataplane.link import LinkDirection
@@ -134,6 +135,12 @@ class ReallocEngine:
 
     def recompute(self, now: float, full: bool = False) -> None:
         """Refresh paths and rates; called by :meth:`Network.recompute`."""
+        with span("realloc.recompute", full=full) as sp:
+            self._recompute(now, full)
+            sp.set(flows_walked=self.flows_walked,
+                   components_solved=self.components_solved)
+
+    def _recompute(self, now: float, full: bool) -> None:
         net = self.network
         if self._seen_topo_epoch != net.topo_epoch:
             self._seen_topo_epoch = net.topo_epoch
@@ -234,8 +241,11 @@ class ReallocEngine:
             if comp:
                 components.append(sorted(comp))
 
-        for comp in components:
-            self._solve_component(comp)
+        if components:
+            with span("realloc.solve", components=len(components)) as sp:
+                for comp in components:
+                    self._solve_component(comp)
+                sp.set(flows=sum(len(c) for c in components))
 
         # Refresh link loads: only directions in the affected region
         # can have changed.  (A full recompute zeroes everything: stale

@@ -61,6 +61,8 @@ from repro.results.store import (
     shard_store_name,
 )
 from repro.fleet.journal import FleetJournal, default_journal_path
+from repro.obs.metrics import metrics
+from repro.obs.spans import span
 from repro.fleet.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -447,10 +449,41 @@ class FleetCoordinator:
         elif kind == "chunk_error":
             self._on_chunk_error(worker, message)
         elif kind == "heartbeat":
-            self._touch_leases(worker)
+            self._on_heartbeat(worker, message)
         else:
             raise ProtocolError(f"unknown message type {kind!r}")
         return worker
+
+    #: Heartbeat metric snapshots retained per worker (newest last).
+    METRICS_SERIES_CAP = 60
+
+    def _on_heartbeat(self, worker: str, message: Dict[str, Any]) -> None:
+        """Keep-alive, plus the optional telemetry payload.
+
+        Workers since PR 9 attach progress counters (``stats``) and a
+        metrics registry snapshot (``metrics``) to every beat; both
+        fields are optional on the wire and type-guarded here — a
+        hostile or stale peer degrades to a plain keep-alive.
+        """
+        self._touch_leases(worker)
+        stats = message.get("stats")
+        snap = message.get("metrics")
+        with self._lock:
+            info = self._worker_info.get(worker)
+            if info is None:
+                return
+            if isinstance(stats, dict):
+                progress = info.setdefault("worker_stats", {})
+                for key in ("chunks", "records", "errors", "reconnects"):
+                    value = stats.get(key)
+                    if (isinstance(value, (int, float))
+                            and not isinstance(value, bool)):
+                        progress[key] = value
+            if isinstance(snap, dict):
+                info["metrics"] = snap
+                series = info.setdefault("metrics_series", [])
+                series.append(snap)
+                del series[:-self.METRICS_SERIES_CAP]
 
     def _on_hello(self, sock: socket.socket,
                   message: Dict[str, Any]) -> str:
@@ -484,8 +517,13 @@ class FleetCoordinator:
                 worker = f"{requested}~{suffix}"
                 suffix += 1
             self._connected.add(worker)
+            reconnects = message.get("reconnects")
+            if isinstance(reconnects, bool) or not isinstance(
+                    reconnects, int):
+                reconnects = 0
             self._worker_info[worker] = {
                 "records": 0, "chunks_done": 0,
+                "reconnects": reconnects,
                 "last_seen": _time.monotonic(),
             }
             if worker not in self.stats.workers:
@@ -725,18 +763,42 @@ class FleetCoordinator:
             for state in self._chunks.values():
                 by_status[state.status] = by_status.get(state.status, 0) + 1
             now = _time.monotonic()
-            workers = {
-                name: {"records": info["records"],
-                       "chunks_done": info["chunks_done"],
-                       "connected": name in self._connected,
-                       "idle_seconds": round(now - info["last_seen"], 3)}
-                for name, info in self._worker_info.items()}
+            workers: Dict[str, Dict[str, Any]] = {}
+            fleet_counters: Dict[str, float] = {}
+            for name, info in self._worker_info.items():
+                entry: Dict[str, Any] = {
+                    "records": info["records"],
+                    "chunks_done": info["chunks_done"],
+                    "reconnects": info.get("reconnects", 0),
+                    "connected": name in self._connected,
+                    "idle_seconds": round(now - info["last_seen"], 3),
+                }
+                progress = info.get("worker_stats")
+                if progress:
+                    entry["worker_stats"] = dict(progress)
+                    reconnects = progress.get("reconnects")
+                    if isinstance(reconnects, (int, float)):
+                        entry["reconnects"] = max(
+                            entry["reconnects"], int(reconnects))
+                snap = info.get("metrics")
+                if snap is not None:
+                    entry["metrics"] = snap
+                    counters = snap.get("counters")
+                    if isinstance(counters, dict):
+                        for key, value in counters.items():
+                            if isinstance(value, (int, float)):
+                                fleet_counters[key] = (
+                                    fleet_counters.get(key, 0) + value)
+                entry["metrics_samples"] = len(
+                    info.get("metrics_series", ()))
+                workers[name] = entry
             return {
                 "chunks": {"total": len(self._chunks), **by_status},
                 "records_ingested": self.stats.records_ingested,
                 "duplicates_dropped": self.stats.duplicates_dropped,
                 "reclaimed": self.stats.reclaimed,
                 "workers": workers,
+                "fleet_metrics": {"counters": fleet_counters},
                 "quarantined": sorted(self._quarantined),
                 "resumed": self.stats.resumed,
                 "done": self._done.is_set(),
@@ -758,8 +820,9 @@ class FleetCoordinator:
         # what they claim.
         signature_before = {(e.spec_hash, e.seed): (e.fingerprint, e.error)
                             for e in self.store.iter_entries()}
-        self.stats.merged = self.store.merge_from(
-            shards, order=self._order_keys, replace_errors=True)
+        with span("fleet.merge", shards=len(shards)):
+            self.stats.merged = self.store.merge_from(
+                shards, order=self._order_keys, replace_errors=True)
         signature_after = {(e.spec_hash, e.seed): (e.fingerprint, e.error)
                            for e in self.store.iter_entries()}
         merged_keys = [key for key in self._order_keys
@@ -796,6 +859,9 @@ class FleetCoordinator:
                             unfinished=self.stats.unfinished)
         if self._journal is not None:
             self._journal.close()
+        # Mirror the run counters into the metrics registry (numeric
+        # fields only; lists/flags are skipped by set_stats).
+        metrics().set_stats("fleet.coordinator", self.stats.to_dict())
         return self.stats
 
 

@@ -19,13 +19,19 @@ Message vocabulary (informal; unknown types are rejected by the
 coordinator, tolerated-and-ignored by workers for forward compat):
 
 worker -> coordinator
-    ``hello``        {worker, protocol}   introduce + version check
+    ``hello``        {worker, protocol,   introduce + version check
+                      reconnects?}        (reconnects: sessions this
+                                          worker lost before this one)
     ``request``      {}                   ask for a chunk lease
     ``record``       {chunk, record}      one finished scenario record
     ``chunk_done``   {chunk}              lease completed
     ``chunk_error``  {chunk, error}       lease failed outside scenario
                                           isolation (re-queued)
-    ``heartbeat``    {}                   lease keep-alive
+    ``heartbeat``    {stats?, metrics?}   lease keep-alive; optionally
+                                          carries progress counters and
+                                          a metrics registry snapshot
+                                          (see :mod:`repro.obs`) — both
+                                          type-guarded, never trusted
     ``status``       {}                   snapshot request (monitoring
                                           clients send this without hello)
     ``bye``          {}                   clean goodbye

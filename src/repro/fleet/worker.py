@@ -58,6 +58,8 @@ from repro.fleet.protocol import (
     recv_message,
     send_message,
 )
+from repro.obs.metrics import metrics
+from repro.obs.spans import maybe_enable_from_env, span
 from repro.results.records import make_record
 from repro.scenarios.campaign import run_scenario_dict_safe
 from repro.scenarios.runner import result_fingerprint
@@ -171,18 +173,34 @@ class FleetWorker:
         return message
 
     def _start_heartbeat(
-            self, sock: Any,
-            interval: float) -> "Tuple[threading.Event, threading.Thread]":
+            self, sock: Any, interval: float,
+            stats: WorkerStats) -> "Tuple[threading.Event, threading.Thread]":
         """One session's keep-alive thread.  The socket is captured
         here, not read off ``self``, so a reconnect can never hand the
-        old thread a new session's connection."""
+        old thread a new session's connection.
+
+        Each beat carries the worker's progress counters plus a metrics
+        registry snapshot, so the coordinator can expose live per-worker
+        telemetry (``repro fleet status --json``).  Both fields are
+        optional on the wire — an old coordinator ignores them.
+        """
         stop = threading.Event()
 
         def loop() -> None:
             while not stop.wait(interval):
+                beat = {
+                    "type": "heartbeat",
+                    "stats": {
+                        "chunks": stats.chunks,
+                        "records": self._records_sent,
+                        "errors": stats.errors,
+                        "reconnects": stats.reconnects,
+                    },
+                    "metrics": metrics().snapshot(),
+                }
                 try:
                     with self._send_lock:
-                        send_message(sock, {"type": "heartbeat"})
+                        send_message(sock, beat)
                 except OSError:
                     return  # the session died; its reader will notice
 
@@ -213,16 +231,20 @@ class FleetWorker:
     def _run_chunk(self, chunk_id: int, specs: Any) -> None:
         if not isinstance(specs, list):
             raise ProtocolError("chunk message without a spec list")
-        for payload in specs:
-            record = self._run_payload(payload)
-            self._send({"type": "record", "chunk": chunk_id,
-                        "record": record})
-            self._records_sent += 1
-            if 0 < self._selfkill_after <= self._records_sent:
-                _log.warning("fleet worker %s: self-kill test hook firing",
-                             self.worker_id)
-                os.kill(os.getpid(), signal.SIGKILL)
-        self._send({"type": "chunk_done", "chunk": chunk_id})
+        with span("fleet.chunk", chunk=chunk_id, specs=len(specs)):
+            for payload in specs:
+                record = self._run_payload(payload)
+                self._send({"type": "record", "chunk": chunk_id,
+                            "record": record})
+                self._records_sent += 1
+                metrics().counter("fleet.worker.records").inc()
+                if 0 < self._selfkill_after <= self._records_sent:
+                    _log.warning(
+                        "fleet worker %s: self-kill test hook firing",
+                        self.worker_id)
+                    os.kill(os.getpid(), signal.SIGKILL)
+            self._send({"type": "chunk_done", "chunk": chunk_id})
+        metrics().counter("fleet.worker.chunks").inc()
 
     def _session(self, stats: WorkerStats) -> WorkerStats:
         """One connection's lifetime: hello, then the request loop
@@ -233,7 +255,8 @@ class FleetWorker:
         heartbeat: Optional[threading.Thread] = None
         try:
             self._send({"type": "hello", "worker": self.requested_id,
-                        "protocol": PROTOCOL_VERSION})
+                        "protocol": PROTOCOL_VERSION,
+                        "reconnects": stats.reconnects})
             welcome = self._recv()
             if welcome["type"] != "welcome":
                 raise ProtocolError(
@@ -244,7 +267,7 @@ class FleetWorker:
             stats.worker_id = self.worker_id
             interval = float(welcome.get("heartbeat", 5.0))
             heartbeat_stop, heartbeat = self._start_heartbeat(
-                self._sock, max(0.05, interval))
+                self._sock, max(0.05, interval), stats)
             while True:
                 self._send({"type": "request"})
                 reply = self._recv()
@@ -321,6 +344,7 @@ def worker_main(host: str, port: int,
                 ) -> int:
     """Process/thread entry point (module-level so it pickles into
     ``multiprocessing`` children); returns an exit code."""
+    maybe_enable_from_env()
     if socket_wrapper is None:
         from repro.fleet.chaos import schedule_from_env
 

@@ -1,0 +1,154 @@
+"""Span/metric exporters: JSONL, Chrome trace-event JSON, text report.
+
+The Chrome trace-event output loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Two process tracks:
+
+* **pid 1 — wall clock**: every span as a complete ``"X"`` event,
+  timestamps normalized to the earliest span so the timeline starts
+  at t=0; one tid per Python thread.
+* **pid 2 — virtual time**: spans that captured the simulated clock,
+  re-plotted against virtual seconds.  Comparing the two tracks shows
+  where wall time is spent per simulated second.
+
+Metric gauges/counters can ride along as ``"C"`` counter events so the
+trajectory of e.g. ``realloc.flows_solved`` is visible in-line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.spans import Span
+
+TRACE_DISPLAY_UNIT = "ms"
+
+WALL_PID = 1
+VIRTUAL_PID = 2
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line; stable key order for diffability."""
+    lines = [json.dumps(sp.to_dict(), sort_keys=True) for sp in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(path, spans: Iterable[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(spans_to_jsonl(spans))
+
+
+def _thread_ids(spans: Sequence[Span]) -> Dict[str, int]:
+    names = sorted({sp.thread for sp in spans})
+    return {name: i + 1 for i, name in enumerate(names)}
+
+
+def chrome_trace_events(
+    spans: Sequence[Span],
+    metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Build a Chrome trace-event / Perfetto JSON document."""
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "pid": WALL_PID, "name": "process_name",
+         "args": {"name": "wall clock"}},
+        {"ph": "M", "pid": VIRTUAL_PID, "name": "process_name",
+         "args": {"name": "virtual time"}},
+    ]
+    if spans:
+        tids = _thread_ids(spans)
+        wall_zero = min(sp.wall_start for sp in spans)
+        for name, tid in tids.items():
+            events.append({"ph": "M", "pid": WALL_PID, "tid": tid,
+                           "name": "thread_name", "args": {"name": name}})
+        for sp in spans:
+            tid = tids[sp.thread]
+            cat = sp.name.split(".", 1)[0]
+            args = {k: v for k, v in sp.attrs.items()}
+            if sp.virtual_start is not None:
+                args["virtual_start"] = sp.virtual_start
+            events.append({
+                "ph": "X",
+                "pid": WALL_PID,
+                "tid": tid,
+                "name": sp.name,
+                "cat": cat,
+                "ts": (sp.wall_start - wall_zero) * 1e6,
+                "dur": max(0.0, sp.wall_duration) * 1e6,
+                "args": args,
+            })
+            if sp.virtual_start is not None and sp.virtual_end is not None:
+                events.append({
+                    "ph": "X",
+                    "pid": VIRTUAL_PID,
+                    "tid": tid,
+                    "name": sp.name,
+                    "cat": cat,
+                    "ts": sp.virtual_start * 1e6,
+                    "dur": max(0.0, sp.virtual_end - sp.virtual_start) * 1e6,
+                    "args": {"wall_duration_s": sp.wall_duration},
+                })
+    if metrics_snapshot:
+        # Counter samples at the end of the timeline: one "C" event per
+        # numeric metric so Perfetto shows final values as tracks.
+        ts = 0.0
+        if spans:
+            ts = (max(sp.wall_end for sp in spans)
+                  - min(sp.wall_start for sp in spans)) * 1e6
+        for kind in ("counters", "gauges"):
+            for name, value in sorted(
+                    metrics_snapshot.get(kind, {}).items()):
+                if isinstance(value, (int, float)):
+                    events.append({
+                        "ph": "C", "pid": WALL_PID, "tid": 0,
+                        "name": name, "ts": ts,
+                        "args": {"value": value},
+                    })
+    return {"traceEvents": events, "displayTimeUnit": TRACE_DISPLAY_UNIT}
+
+
+def write_chrome_trace(
+    path,
+    spans: Sequence[Span],
+    metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+) -> None:
+    doc = chrome_trace_events(spans, metrics_snapshot)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+
+
+def top_spans(spans: Iterable[Span]) -> List[Dict[str, object]]:
+    """Aggregate spans by name: count, total/mean/max wall seconds."""
+    agg: Dict[str, Dict[str, float]] = {}
+    for sp in spans:
+        entry = agg.setdefault(sp.name, {"count": 0, "total": 0.0,
+                                         "max": 0.0})
+        entry["count"] += 1
+        entry["total"] += sp.wall_duration
+        if sp.wall_duration > entry["max"]:
+            entry["max"] = sp.wall_duration
+    rows = []
+    for name, entry in agg.items():
+        rows.append({
+            "name": name,
+            "count": int(entry["count"]),
+            "total_s": entry["total"],
+            "mean_s": entry["total"] / entry["count"],
+            "max_s": entry["max"],
+        })
+    rows.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return rows
+
+
+def top_spans_report(spans: Iterable[Span], limit: int = 20) -> str:
+    rows = top_spans(spans)[:limit]
+    lines = ["top spans by total wall time",
+             f"{'span':<28} {'count':>7} {'total_s':>9} "
+             f"{'mean_ms':>9} {'max_ms':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<28} {r['count']:>7} {r['total_s']:>9.3f} "
+            f"{r['mean_s'] * 1e3:>9.3f} {r['max_s'] * 1e3:>9.3f}")
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)

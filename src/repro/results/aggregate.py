@@ -11,6 +11,7 @@ with the store like the store itself does.
 from __future__ import annotations
 
 import csv
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -30,6 +31,19 @@ ROLLUP_METRICS = (
 )
 
 PERCENTILES = (50.0, 90.0, 99.0)
+
+#: Generated scenario names look like ``flap-storm-seed17``; the wall
+#: time section groups seeds of one scenario into a *family* so slow
+#: scenarios surface as one row, not one row per seed.
+_SEED_SUFFIX = re.compile(r"-seed\d+$")
+
+#: Rows shown in the per-scenario wall time section (slowest first).
+WALL_SECTION_LIMIT = 12
+
+
+def scenario_family(name: str) -> str:
+    """Strip the generator's ``-seed<N>`` suffix (identity otherwise)."""
+    return _SEED_SUFFIX.sub("", name)
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -102,6 +116,8 @@ class StoreAggregate:
     converged: int = 0
     metric_rollups: Dict[str, MetricRollup] = field(default_factory=dict)
     slo_tallies: Dict[str, SLOTally] = field(default_factory=dict)
+    # family -> wall_seconds values (healthy records only).
+    scenario_walls: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def slo_failures(self) -> int:
@@ -133,6 +149,11 @@ class StoreAggregate:
                 if name in metrics:
                     self.metric_rollups.setdefault(
                         name, MetricRollup(name)).add(metrics[name])
+            wall = metrics.get("wall_seconds")
+            if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+                family = scenario_family(str(record.get("name", "")))
+                self.scenario_walls.setdefault(family, []).append(
+                    float(wall))
         for verdict in record_slos(record):
             tally = self.slo_tallies.setdefault(
                 verdict["slo"], SLOTally(verdict["slo"]))
@@ -160,6 +181,10 @@ class StoreAggregate:
                     f"{name:<24} {stats['count']:>6.0f} {stats['mean']:>12.4f} "
                     f"{stats['p50']:>12.4f} {stats['p90']:>12.4f} "
                     f"{stats['p99']:>12.4f} {stats['max']:>12.4f}")
+        wall_lines = self.wall_time_lines()
+        if wall_lines:
+            lines.append("")
+            lines.extend(wall_lines)
         if self.slo_tallies:
             lines.append("")
             lines.append(f"{'SLO':<44} {'pass':>6} {'fail':>6} {'error':>6}")
@@ -170,6 +195,38 @@ class StoreAggregate:
             verdict = "OK" if self.gate_ok else "FAILING"
             lines.append(f"gate: {verdict} ({self.gate_detail()})")
         return "\n".join(lines)
+
+    def wall_time_percentiles(self) -> "List[Dict[str, Any]]":
+        """Per-scenario-family wall time: count, p50/p95/max seconds,
+        slowest (by p95) first."""
+        rows = []
+        for family, values in self.scenario_walls.items():
+            ordered = sorted(values)
+            rows.append({
+                "scenario": family,
+                "count": len(ordered),
+                "p50_s": percentile(ordered, 50.0),
+                "p95_s": percentile(ordered, 95.0),
+                "max_s": ordered[-1],
+            })
+        rows.sort(key=lambda r: (-r["p95_s"], r["scenario"]))
+        return rows
+
+    def wall_time_lines(self) -> List[str]:
+        """The wall-time section of the text report (slowest first)."""
+        rows = self.wall_time_percentiles()
+        if not rows:
+            return []
+        lines = [f"{'scenario wall time':<36} {'runs':>6} {'p50_s':>10} "
+                 f"{'p95_s':>10} {'max_s':>10}"]
+        for r in rows[:WALL_SECTION_LIMIT]:
+            lines.append(
+                f"{r['scenario']:<36} {r['count']:>6} {r['p50_s']:>10.4f} "
+                f"{r['p95_s']:>10.4f} {r['max_s']:>10.4f}")
+        hidden = len(rows) - WALL_SECTION_LIMIT
+        if hidden > 0:
+            lines.append(f"(+{hidden} faster scenario(s) not shown)")
+        return lines
 
     def gate_detail(self) -> str:
         """The gate tally, without double-counting: errored scenarios

@@ -48,12 +48,15 @@ import tempfile
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ConfigurationError
+from repro.obs.metrics import metrics
+from repro.obs.spans import span
 from repro.results import segment as segment_codec
 from repro.results.aggregate import (
     ROLLUP_METRICS,
     MetricRollup,
     SLOTally,
     StoreAggregate,
+    scenario_family,
 )
 from repro.results.records import RESULT_SCHEMA_VERSION, record_key
 from repro.results.segment import (
@@ -408,6 +411,13 @@ class ColumnarResultStore(ResultStore):
         return len(self._segments) - 1
 
     def _seal_rows(self, count: int) -> None:
+        with span("store.seal", rows=count):
+            self._seal_rows_inner(count)
+        reg = metrics()
+        reg.counter("store.seals").inc()
+        reg.counter("store.sealed_rows").inc(count)
+
+    def _seal_rows_inner(self, count: int) -> None:
         keys = self._tail_keys[:count]
         records = [json.loads(line)
                    for line in self._read_tail_lines(keys)]
@@ -476,6 +486,7 @@ class ColumnarResultStore(ResultStore):
                     best[key] = (source, entry)
         if not best:
             return 0
+        metrics().counter("store.merges").inc()
         appended = 0
         superseded_tail = False
         # Segment fast path: one pass per source segment, admitting
@@ -565,6 +576,7 @@ class ColumnarResultStore(ResultStore):
                 for reader in readers.values():
                     reader.close()
             appended += len(keys)
+        metrics().counter("store.merged_records").inc(appended)
         return appended
 
     def compact(self) -> int:
@@ -786,6 +798,17 @@ class ColumnarResultStore(ResultStore):
                 numeric = (mask == MASK_NUMBER) & healthy
                 if bool(numeric.any()):
                     column_values[name].append(values[numeric])
+            wall_column = seg.metric("wall_seconds")
+            if wall_column is not None:
+                wall_values, wall_mask = wall_column
+                wall_rows = np.nonzero((wall_mask == MASK_NUMBER)
+                                       & healthy)[0]
+                if len(wall_rows):
+                    names = seg.index_columns()["name"]
+                    for row in wall_rows:
+                        family = scenario_family(str(names[int(row)]))
+                        agg.scenario_walls.setdefault(family, []).append(
+                            float(wall_values[int(row)]))
             offsets, label_ids, status_ids, labels, statuses = seg.slo()
             if len(label_ids):
                 counts = np.diff(offsets.astype(np.int64))

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
+from repro.obs.metrics import metrics
 from repro.results.records import (
     RESULT_SCHEMA_VERSION,
     VOLATILE_METRIC_FIELDS,
@@ -306,6 +307,7 @@ class ResultStore:
         with open(self.index_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
         self._admit(entry)
+        metrics().counter("store.appends").inc()
         return entry
 
     def append_many(self, records: "Sequence[Dict[str, Any]]",
@@ -352,6 +354,7 @@ class ResultStore:
                              + "\n")
         for entry in entries:
             self._admit(entry)
+        metrics().counter("store.appends").inc(len(entries))
         return entries
 
     # -- merge / compaction ------------------------------------------------
@@ -420,6 +423,7 @@ class ResultStore:
         # persistent reader (picks interleave sources in canonical
         # order, so per-pick get() opens would defeat streaming);
         # _open_reader lets columnar sources serve segment rows.
+        metrics().counter("store.merges").inc()
         entries: List[IndexEntry] = []
         readers: Dict[int, _RecordReader] = {}
         try:
@@ -452,6 +456,7 @@ class ResultStore:
                              + "\n")
         for entry in entries:
             self._admit(entry)
+        metrics().counter("store.merged_records").inc(len(entries))
         return len(entries)
 
     def compact(self) -> int:

@@ -48,6 +48,8 @@ from repro.dataplane.flow import FluidFlow
 from repro.dataplane.link import Link
 from repro.dataplane.node import reset_auto_macs
 from repro.dataplane.switch import reset_dpids
+from repro.obs.metrics import metrics
+from repro.obs.spans import TRACER, span
 from repro.results.records import (
     RESULT_SCHEMA_VERSION,
     VOLATILE_RESULT_FIELDS,
@@ -279,9 +281,23 @@ class ScenarioRunner:
         """Materialize, inject, simulate to the horizon, summarize —
         including the SLO verdicts and engine diagnostics every
         persisted record carries."""
+        with span("scenario.run", name=spec.name, seed=spec.seed):
+            return self._run(spec)
+
+    def _run(self, spec: ScenarioSpec) -> ScenarioResult:
         start_wall = _time.perf_counter()
-        exp, outcomes = self.materialize(spec)
-        result = exp.run(until=spec.duration)
+        with span("scenario.materialize", name=spec.name):
+            exp, outcomes = self.materialize(spec)
+        # Spans recorded while simulating carry the virtual clock too,
+        # so a Perfetto trace shows wall vs simulated time side by side.
+        # Tracing only *reads* the clock — fingerprints cannot move.
+        TRACER.set_virtual_clock(lambda: exp.sim.clock.now)
+        try:
+            with span("scenario.simulate", name=spec.name,
+                      duration=spec.duration):
+                result = exp.run(until=spec.duration)
+        finally:
+            TRACER.set_virtual_clock(None)
         # Lift any quotient state back to concrete per-flow values
         # before anything below reads them (no-op without symmetry).
         exp.network.finalize_accounting()
@@ -318,7 +334,27 @@ class ScenarioRunner:
         slo_metrics = scenario_result.metrics()
         slo_metrics.pop("wall_seconds", None)
         scenario_result.slos = evaluate_slos(spec.slos, slo_metrics)
+        self._publish_metrics(exp, scenario_result)
         return scenario_result
+
+    @staticmethod
+    def _publish_metrics(exp: Experiment,
+                         scenario_result: ScenarioResult) -> None:
+        """Mirror subsystem stats into the process metrics registry.
+
+        Read-only with respect to simulation state; registry contents
+        never feed fingerprints.
+        """
+        reg = metrics()
+        reg.counter("scenario.runs").inc()
+        reg.counter("scenario.events_fired").inc(
+            scenario_result.events_fired)
+        reg.histogram("scenario.wall_seconds").observe(
+            scenario_result.wall_seconds)
+        reg.set_stats("realloc", exp.network.realloc.stats)
+        quotient = exp.network.realloc.quotient
+        if quotient is not None:
+            reg.set_stats("quotient", quotient.stats())
 
     # -- internals ---------------------------------------------------------
 

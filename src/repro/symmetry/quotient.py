@@ -64,6 +64,7 @@ import heapq
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.dataplane.fluid import EPSILON
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataplane.link import Link, LinkDirection
@@ -220,6 +221,12 @@ class QuotientState:
     def rebuild(self, now: float) -> None:
         """Re-refine from the engine's cached walks (after a concrete
         recompute, when every value is concrete and consistent)."""
+        with span("quotient.rebuild") as sp:
+            self._rebuild(now)
+            sp.set(active=self.active,
+                   flow_classes=len(self.flow_classes))
+
+    def _rebuild(self, now: float) -> None:
         self.rebuilds += 1
         engine = self.engine
         cache = engine._cache
@@ -369,6 +376,10 @@ class QuotientState:
         if not self.active:
             return
         self.materializations += 1
+        with span("quotient.materialize"):
+            self._materialize()
+
+    def _materialize(self) -> None:
         engine = self.engine
         net = engine.network
         for fc in self.flow_classes:
@@ -451,8 +462,9 @@ class QuotientState:
             if comp:
                 components.append(sorted(comp))
 
-        for comp in components:
-            self._solve_class_component(comp)
+        with span("quotient.fast_cap", components=len(components)):
+            for comp in components:
+                self._solve_class_component(comp)
 
         for dci in visited:
             dc = self.dir_classes[dci]

@@ -58,6 +58,67 @@ class TestClassify:
         protocol, __ = classify(b"\x99" * 30)
         assert protocol == "unknown"
 
+    # -- hostile input: classify must degrade, never raise ------------
+
+    def test_empty_payload(self):
+        assert classify(b"") == ("unknown", "0 bytes")
+
+    def test_truncated_bgp_marker_is_unknown(self):
+        from repro.bgp.messages import BGP_MARKER
+
+        # marker present but shorter than a BGP header (19 bytes)
+        protocol, __ = classify(BGP_MARKER + b"\x00\x13")
+        assert protocol == "unknown"
+
+    def test_bgp_marker_with_garbage_body(self):
+        from repro.bgp.messages import BGP_MARKER
+
+        protocol, summary = classify(BGP_MARKER + b"\xff" * 10)
+        assert protocol == "bgp"
+        assert "<undecodable>" in summary
+
+    def test_bgp_valid_message_plus_trailing_garbage(self):
+        data = BGPOpen(asn=7).encode() + b"\xde\xad\xbe\xef"
+        protocol, summary = classify(data)
+        assert protocol == "bgp"
+        # the decoded prefix survives; the tail is flagged
+        assert "OPEN AS7" in summary
+        assert "<undecodable>" in summary
+
+    def test_openflow_version_byte_with_invalid_type(self):
+        from repro.openflow.constants import OFP_VERSION
+
+        # version matches but the msg-type byte is garbage: not OF
+        protocol, __ = classify(bytes([OFP_VERSION, 0xEE]) + b"\x00" * 10)
+        assert protocol == "unknown"
+
+    def test_openflow_header_lying_about_length(self):
+        data = bytearray(Hello(xid=1).encode())
+        data[2:4] = (100).to_bytes(2, "big")  # claims 100B, carries 8
+        protocol, summary = classify(bytes(data))
+        assert protocol == "openflow"
+        assert "<undecodable>" in summary
+
+    def test_truncated_ospf_body(self):
+        from repro.ospf.packets import OSPF_VERSION
+
+        # version + HELLO type, then garbage instead of a packet body
+        protocol, summary = classify(
+            bytes([OSPF_VERSION, 1]) + b"\xff" * 10)
+        assert protocol == "ospf"
+        assert summary == "<undecodable>"
+
+    def test_random_garbage_never_raises(self):
+        import random
+
+        rng = random.Random(0)
+        for __ in range(300):
+            payload = bytes(rng.randrange(256)
+                            for __ in range(rng.randrange(64)))
+            protocol, summary = classify(payload)
+            assert isinstance(protocol, str)
+            assert isinstance(summary, str)
+
 
 def two_router_bgp_exp():
     exp = Experiment("trace", config=SimulationConfig())

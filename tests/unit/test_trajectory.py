@@ -1,0 +1,207 @@
+"""Unit tests: the perf-trajectory folder/gate (`benchmarks/trajectory.py`).
+
+The script lives outside the package (it is CI tooling, not library
+code), so it is loaded by path here.  Under test: folding BENCH_*.json
+payloads into commit entries, same-commit replacement, dotted metric
+resolution, and the gate's min/max/regression rules with and without
+``--strict``.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TRAJECTORY_PY = (pathlib.Path(__file__).resolve().parents[2]
+                  / "benchmarks" / "trajectory.py")
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("bench_trajectory",
+                                                  _TRAJECTORY_PY)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+traj = _load()
+
+
+def write_bench(results_dir, name, payload, commit="c1",
+                recorded_at="2026-08-07T00:00:00+00:00"):
+    results_dir.mkdir(exist_ok=True)
+    doc = {"bench_schema_version": 1, "bench": name,
+           "git_commit": commit, "recorded_at": recorded_at}
+    doc.update(payload)
+    (results_dir / f"BENCH_{name}.json").write_text(
+        json.dumps(doc) + "\n")
+
+
+class TestLoadPayloads:
+    def test_reads_stamped_payloads(self, tmp_path):
+        write_bench(tmp_path, "realloc", {"speedup": 3.5})
+        payloads = traj.load_bench_payloads(str(tmp_path))
+        assert payloads["realloc"]["speedup"] == 3.5
+
+    def test_skips_trajectory_file_itself(self, tmp_path):
+        write_bench(tmp_path, "realloc", {"speedup": 3.5})
+        (tmp_path / traj.TRAJECTORY_NAME).write_text("{}")
+        assert set(traj.load_bench_payloads(str(tmp_path))) == {"realloc"}
+
+    def test_skips_garbage_files(self, tmp_path, capsys):
+        write_bench(tmp_path, "ok", {"v": 1})
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+        payloads = traj.load_bench_payloads(str(tmp_path))
+        assert set(payloads) == {"ok"}
+
+    def test_unstamped_payload_named_from_filename(self, tmp_path):
+        (tmp_path / "BENCH_legacy.json").write_text('{"speedup": 2.0}')
+        payloads = traj.load_bench_payloads(str(tmp_path))
+        assert payloads["legacy"]["speedup"] == 2.0
+
+
+class TestFold:
+    def test_appends_entry(self, tmp_path):
+        write_bench(tmp_path, "realloc", {"speedup": 3.0})
+        out = tmp_path / "BENCH_trajectory.json"
+        doc = traj.fold(str(tmp_path), str(out))
+        assert doc["trajectory_schema_version"] == 1
+        assert len(doc["entries"]) == 1
+        entry = doc["entries"][0]
+        assert entry["git_commit"] == "c1"
+        assert entry["benches"]["realloc"]["speedup"] == 3.0
+        # and it was written to disk
+        assert json.loads(out.read_text())["entries"] == doc["entries"]
+
+    def test_same_commit_replaces_not_duplicates(self, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        write_bench(tmp_path, "realloc", {"speedup": 3.0})
+        traj.fold(str(tmp_path), str(out))
+        write_bench(tmp_path, "realloc", {"speedup": 3.5})
+        doc = traj.fold(str(tmp_path), str(out))
+        assert len(doc["entries"]) == 1
+        assert doc["entries"][0]["benches"]["realloc"]["speedup"] == 3.5
+
+    def test_new_commit_appends_oldest_first(self, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        write_bench(tmp_path, "realloc", {"speedup": 3.0}, commit="c1")
+        traj.fold(str(tmp_path), str(out))
+        write_bench(tmp_path, "realloc", {"speedup": 4.0}, commit="c2")
+        doc = traj.fold(str(tmp_path), str(out))
+        assert [e["git_commit"] for e in doc["entries"]] == ["c1", "c2"]
+
+    def test_empty_dir_refuses(self, tmp_path):
+        with pytest.raises(SystemExit):
+            traj.fold(str(tmp_path), str(tmp_path / "t.json"))
+
+    def test_corrupt_trajectory_refuses(self, tmp_path):
+        write_bench(tmp_path, "realloc", {"speedup": 3.0})
+        out = tmp_path / "BENCH_trajectory.json"
+        out.write_text('"not a trajectory doc"')
+        with pytest.raises(SystemExit):
+            traj.fold(str(tmp_path), str(out))
+
+
+class TestMetricAt:
+    PAYLOAD = {"speedup": 2.5, "cases": {"1000": {"speedup": 5}},
+               "flag": True, "label": "x"}
+
+    def test_top_level(self):
+        assert traj.metric_at(self.PAYLOAD, "speedup") == 2.5
+
+    def test_dotted_path(self):
+        assert traj.metric_at(self.PAYLOAD, "cases.1000.speedup") == 5.0
+
+    def test_absent_and_non_numeric_are_none(self):
+        assert traj.metric_at(self.PAYLOAD, "missing") is None
+        assert traj.metric_at(self.PAYLOAD, "cases.2000.speedup") is None
+        assert traj.metric_at(self.PAYLOAD, "label") is None
+        assert traj.metric_at(self.PAYLOAD, "flag") is None  # bool != number
+
+
+def _gate(tmp_path, entries, rules, strict=False):
+    thresholds = tmp_path / "thresholds.json"
+    thresholds.write_text(json.dumps(rules))
+    doc = {"trajectory_schema_version": 1, "entries": entries}
+    return traj.gate(doc, str(thresholds), strict=strict)
+
+
+def entry(commit, **benches):
+    return {"git_commit": commit, "recorded_at": None,
+            "benches": {name: payload
+                        for name, payload in benches.items()}}
+
+
+class TestGate:
+    def test_min_rule_passes_and_fails(self, tmp_path):
+        rules = [{"bench": "b", "metric": "speedup", "min": 2.0}]
+        ok, checked = _gate(tmp_path, [entry("c1", b={"speedup": 3.0})],
+                            rules)
+        assert (ok, checked) == (0, 1)
+        bad, __ = _gate(tmp_path, [entry("c1", b={"speedup": 1.0})], rules)
+        assert bad == 1
+
+    def test_max_rule(self, tmp_path):
+        rules = [{"bench": "b", "metric": "wall_s", "max": 10.0}]
+        bad, __ = _gate(tmp_path, [entry("c1", b={"wall_s": 11.0})], rules)
+        assert bad == 1
+
+    def test_regression_rule_vs_previous_entry(self, tmp_path):
+        rules = [{"bench": "b", "metric": "speedup",
+                  "max_regression_frac": 0.5}]
+        history = [entry("c1", b={"speedup": 4.0}),
+                   entry("c2", b={"speedup": 2.1})]  # -47%: inside budget
+        assert _gate(tmp_path, history, rules)[0] == 0
+        history[-1] = entry("c2", b={"speedup": 1.9})  # -52%: regression
+        assert _gate(tmp_path, history, rules)[0] == 1
+
+    def test_regression_skips_benches_missing_from_history(self, tmp_path):
+        rules = [{"bench": "b", "metric": "speedup",
+                  "max_regression_frac": 0.5}]
+        history = [entry("c1", other={"x": 1}),
+                   entry("c2", b={"speedup": 1.0})]  # no prior b: no rule
+        assert _gate(tmp_path, history, rules)[0] == 0
+
+    def test_missing_metric_skips_unless_strict(self, tmp_path):
+        rules = [{"bench": "absent", "metric": "speedup", "min": 1.0}]
+        history = [entry("c1", b={"speedup": 3.0})]
+        violations, checked = _gate(tmp_path, history, rules)
+        assert (violations, checked) == (0, 0)
+        violations, __ = _gate(tmp_path, history, rules, strict=True)
+        assert violations == 1
+
+    def test_empty_trajectory_gates_clean(self, tmp_path):
+        rules = [{"bench": "b", "metric": "speedup", "min": 1.0}]
+        assert _gate(tmp_path, [], rules) == (0, 0)
+
+
+class TestMain:
+    def test_fold_and_gate_end_to_end(self, tmp_path):
+        write_bench(tmp_path, "realloc", {"speedup": 3.0})
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(json.dumps(
+            [{"bench": "realloc", "metric": "speedup", "min": 2.0}]))
+        rc = traj.main(["--results-dir", str(tmp_path),
+                        "--thresholds", str(thresholds), "--gate"])
+        assert rc == 0
+        write_bench(tmp_path, "realloc", {"speedup": 1.0})
+        rc = traj.main(["--results-dir", str(tmp_path),
+                        "--thresholds", str(thresholds), "--gate"])
+        assert rc == 1
+
+    def test_fold_only_never_gates(self, tmp_path):
+        write_bench(tmp_path, "realloc", {"speedup": 0.0})
+        rc = traj.main(["--results-dir", str(tmp_path)])
+        assert rc == 0
+
+    def test_shipped_thresholds_file_is_valid(self):
+        rules = json.loads(
+            (_TRAJECTORY_PY.parent / traj.THRESHOLDS_NAME).read_text())
+        assert isinstance(rules, list) and rules
+        for rule in rules:
+            assert isinstance(rule["bench"], str)
+            assert isinstance(rule["metric"], str)
+            assert any(key in rule for key in
+                       ("min", "max", "max_regression_frac"))
