@@ -21,6 +21,15 @@ from repro.dataplane.switch import Switch
 from repro.dataplane.router import Router
 from repro.dataplane.flow import FluidFlow, PathResult, PathStatus
 from repro.dataplane.fluid import max_min_allocation, validate_allocation
+from repro.dataplane.solver import (
+    KERNEL_CHOICES,
+    MaxMinSolver,
+    available_kernels,
+    canonical_kernel,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
 from repro.dataplane.network import Network
 from repro.dataplane.stats import StatsCollector, Sample
 
@@ -42,6 +51,13 @@ __all__ = [
     "PathStatus",
     "max_min_allocation",
     "validate_allocation",
+    "KERNEL_CHOICES",
+    "MaxMinSolver",
+    "available_kernels",
+    "canonical_kernel",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
     "Network",
     "StatsCollector",
     "Sample",

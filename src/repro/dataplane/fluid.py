@@ -38,210 +38,40 @@ the id-keyed dicts and sets of the original implementation:
   link's member set, removing the O(rounds × links × flows) set churn
   of the original progressive filling.
 
-Two kernels share the interned-array representation:
-
-* :func:`progressive_filling` — the original round-based filling with
-  its arithmetic preserved operation-for-operation, so
-  :func:`max_min_allocation` stays bit-for-bit identical to the
-  pre-PR-2 implementation on the existing property-test corpus.  Cost:
-  O(rounds × (flows + links)); with distinct demands rounds ≈ flows,
-  i.e. quadratic.
-* :func:`bottleneck_filling` — **bottleneck-ordered filling**, the
-  reallocation engine's kernel.  In progressive filling every active
-  flow carries the same water level λ; the next freeze is therefore
-  either the smallest remaining demand or the smallest link saturation
-  level (capacity − frozen load) / active members.  Two lazy heaps
-  order those events, so each flow is frozen once at
-  min(demand, bottleneck level) in O(path × log) — O(flows × hops ×
-  log) total instead of quadratic.  Same unique max-min allocation,
-  different (exact) float arithmetic.
+The kernels themselves live in :mod:`repro.dataplane.solver` (the
+unified facade: ``reference``, ``heap`` and ``arrays`` behind one
+registry); this module keeps the mapping-level API
+(:func:`max_min_allocation`, :func:`validate_allocation`) and, for one
+release, deprecation shims for the old direct kernel imports
+(``fluid.progressive_filling`` / ``fluid.bottleneck_filling``).
 """
 
 from __future__ import annotations
 
-import heapq
+import warnings
 from typing import Dict, Hashable, List, Mapping, Sequence
 
-EPSILON = 1e-9
+from repro.dataplane.solver import EPSILON
+from repro.dataplane.solver import progressive_filling as _progressive_filling
+
+__all__ = ["EPSILON", "max_min_allocation", "validate_allocation"]
+
+_DEPRECATED_KERNELS = ("progressive_filling", "bottleneck_filling")
 
 
-def progressive_filling(
-    demands: Sequence[float],
-    residuals: List[float],
-    capacities: Sequence[float],
-    link_members: Sequence[Sequence[int]],
-    flow_links: Sequence[Sequence[int]],
-) -> List[float]:
-    """Array-kernel progressive filling over interned flow/link indices.
+def __getattr__(name: str):
+    # PEP 562 shims: the kernels moved to repro.dataplane.solver.
+    if name in _DEPRECATED_KERNELS:
+        warnings.warn(
+            f"repro.dataplane.fluid.{name} is deprecated; import it from "
+            "repro.dataplane.solver (or use solver.get_kernel())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.dataplane import solver
 
-    Parameters
-    ----------
-    demands:
-        per-flow demand, indexed 0..F-1.
-    residuals:
-        per-link residual capacity, indexed 0..L-1.  **Mutated in
-        place** (callers pass a fresh copy).
-    capacities:
-        per-link original capacity (for the saturation epsilon scale).
-    link_members:
-        per-link array of member flow indices (only flows with demand
-        above ``EPSILON``; duplicates must be pre-deduplicated).
-    flow_links:
-        per-flow array of link indices on its path (deduplicated).
-
-    Returns
-    -------
-    list
-        per-flow allocated rate.
-    """
-    num_flows = len(demands)
-    num_links = len(residuals)
-    rates = [0.0] * num_flows
-    # Zero-demand flows are born frozen at 0.
-    alive = [demands[i] > EPSILON for i in range(num_flows)]
-    active = [i for i in range(num_flows) if alive[i]]
-    live = [len(members) for members in link_members]
-
-    # Each round raises all active flows by the largest uniform
-    # increment any constraint allows, then freezes the flows that hit
-    # their constraint.  Every round freezes at least one flow, so the
-    # loop runs at most F times.
-    while active:
-        increment = min(demands[i] - rates[i] for i in active)
-        limiting: List[int] = []
-        for link in range(num_links):
-            count = live[link]
-            if count == 0:
-                continue
-            share = residuals[link] / count
-            if share < increment - EPSILON:
-                increment = share
-                limiting = [link]
-            elif share <= increment + EPSILON:
-                limiting.append(link)
-        if increment < 0:
-            increment = 0.0
-
-        for i in active:
-            rates[i] += increment
-        for link in range(num_links):
-            count = live[link]
-            if count:
-                residuals[link] -= increment * count
-                if residuals[link] < 0:
-                    residuals[link] = 0.0
-
-        frozen: List[int] = []
-        for i in active:
-            if rates[i] >= demands[i] - EPSILON:
-                rates[i] = demands[i]
-                if alive[i]:
-                    alive[i] = False
-                    frozen.append(i)
-        for link in limiting:
-            if residuals[link] <= EPSILON * max(1.0, capacities[link]):
-                for i in link_members[link]:
-                    if alive[i]:
-                        alive[i] = False
-                        frozen.append(i)
-        if not frozen:
-            # Zero-increment round with nothing freezing would spin
-            # forever; freeze the flows on the tightest link outright.
-            if limiting:
-                for link in limiting:
-                    for i in link_members[link]:
-                        if alive[i]:
-                            alive[i] = False
-                            frozen.append(i)
-            else:
-                for i in active:
-                    alive[i] = False
-                    frozen.append(i)
-        for i in frozen:
-            for link in flow_links[i]:
-                live[link] -= 1
-        active = [i for i in active if alive[i]]
-
-    return rates
-
-
-def bottleneck_filling(
-    demands: Sequence[float],
-    capacities: Sequence[float],
-    link_members: Sequence[Sequence[int]],
-    flow_links: Sequence[Sequence[int]],
-) -> List[float]:
-    """Bottleneck-ordered max-min filling over interned indices.
-
-    Equivalent allocation to :func:`progressive_filling` (max-min is
-    unique) but event-driven: the global water level λ jumps straight
-    to the next constraint — the smallest unfrozen demand or the
-    smallest link saturation level — instead of being raised round by
-    round.  Freezing a flow updates only the links on its own path.
-
-    Parameters as for :func:`progressive_filling`, except capacities
-    are not mutated (no residual array needed).
-    """
-    num_flows = len(demands)
-    num_links = len(capacities)
-    rates = [0.0] * num_flows
-    # Zero-demand flows are born frozen at 0.
-    frozen = [demands[i] <= EPSILON for i in range(num_flows)]
-    alive_count = [len(members) for members in link_members]
-    frozen_load = [0.0] * num_links
-    current_key = [0.0] * num_links  # latest valid sat-heap key per link
-
-    demand_heap = [(demands[i], i) for i in range(num_flows) if not frozen[i]]
-    heapq.heapify(demand_heap)
-    sat_heap: List = []
-
-    def push_sat(link: int) -> None:
-        count = alive_count[link]
-        if count > 0:
-            level = (capacities[link] - frozen_load[link]) / count
-            current_key[link] = level
-            heapq.heappush(sat_heap, (level, link))
-
-    for link in range(num_links):
-        push_sat(link)
-
-    level = 0.0  # monotonically non-decreasing water level
-
-    def freeze(i: int, rate: float) -> None:
-        frozen[i] = True
-        rates[i] = rate
-        for link in flow_links[i]:
-            frozen_load[link] += rate
-            alive_count[link] -= 1
-            push_sat(link)
-
-    while True:
-        while demand_heap and frozen[demand_heap[0][1]]:
-            heapq.heappop(demand_heap)
-        while sat_heap and (alive_count[sat_heap[0][1]] == 0
-                            or sat_heap[0][0] != current_key[sat_heap[0][1]]):
-            heapq.heappop(sat_heap)
-        if not demand_heap and not sat_heap:
-            break
-        # Ties freeze by demand: the flow then gets its full demand.
-        if sat_heap and (not demand_heap
-                         or sat_heap[0][0] < demand_heap[0][0]):
-            sat_level, link = heapq.heappop(sat_heap)
-            if sat_level > level:
-                level = sat_level  # clamp against float undershoot
-            for i in link_members[link]:
-                if not frozen[i]:
-                    # level can overshoot a member's demand only by
-                    # float noise; never exceed the demand.
-                    freeze(i, level if level < demands[i] else demands[i])
-        else:
-            demand, i = heapq.heappop(demand_heap)
-            if frozen[i]:
-                continue
-            if demand > level:
-                level = demand
-            freeze(i, demand)
-    return rates
+        return getattr(solver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def max_min_allocation(
@@ -304,8 +134,8 @@ def max_min_allocation(
                 link_members[pos].append(flow_pos)
         flow_links.append(links_here)
 
-    rates = progressive_filling(demands, residuals, capacities,
-                                link_members, flow_links)
+    rates = _progressive_filling(demands, residuals, capacities,
+                                 link_members, flow_links)
     return {flow_id: rates[pos] for pos, flow_id in enumerate(flow_ids)}
 
 

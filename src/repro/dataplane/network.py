@@ -74,6 +74,16 @@ class Network:
         # maintained by the realloc engine so accrue() does not scan
         # every flow ever created.
         self._accruing: List[FluidFlow] = []
+        # The rate timeline: piecewise-constant (dt, now) segments
+        # recorded since the last flush.  All pending segments share
+        # one rate vector — any code that changes a rate flushes first
+        # — so recompute storms integrate in one batch instead of
+        # visiting every flow per event.
+        self._pending_accrual: List[tuple] = []
+        # Vectorized accrual pass over the accruing set, rebuilt by the
+        # realloc engine when the arrays kernel is live (None otherwise
+        # — the scalar loop runs instead).
+        self._accrual_batch = None
         # Minimum spacing between reallocations, in simulated seconds.
         # 0 recomputes at every distinct change instant (exact).  A few
         # milliseconds models FIB/TCAM programming latency and lets a
@@ -206,6 +216,7 @@ class Network:
         self._last_accrual = sim.clock.now
         self.incremental_realloc = getattr(
             sim.config, "incremental_realloc", True)
+        self.realloc.kernel = getattr(sim.config, "kernel", "auto")
 
     def _require_sim(self) -> "Simulation":
         if self.sim is None:
@@ -245,6 +256,11 @@ class Network:
         self.accrue(self.now)
         flow.active = False
         flow.rate_bps = 0.0
+        state = self.realloc._arrays
+        if state is not None:
+            # Keep the SoA mirror's rate in lockstep so a later flush
+            # of deferred segments adds exactly 0 for this flow.
+            state.zero_rate(flow.id)
         self.realloc.mark_flow_dirty(flow)
         self.invalidate_routing()
 
@@ -354,7 +370,11 @@ class Network:
         ``incremental_realloc`` off, every recompute walks and solves
         everything — same code path, everything marked dirty.
         """
-        self.accrue(now)
+        # Record the accrual segment but defer the counter work: the
+        # realloc engine flushes the timeline only when rates can
+        # actually change (see ReallocEngine._recompute), so recompute
+        # storms with no dirt skip the per-flow byte loop entirely.
+        self._defer_accrue(now)
         self.recomputations += 1
         self._routing_epoch += 1
         self._last_recompute = now
@@ -396,9 +416,19 @@ class Network:
     def accrue(self, now: float) -> None:
         """Integrate flow rates into byte counters up to ``now``.
 
-        Only the accruing set — flows the last reallocation left active,
-        delivered and with a positive rate — is visited, not every flow
-        ever created; the guards below cover flows stopped since.
+        Public contract unchanged: counters are current on return.
+        Internally the work is a rate-timeline append plus a flush;
+        :meth:`recompute` appends without flushing and lets the realloc
+        engine flush only when rates can change.
+        """
+        self._defer_accrue(now)
+        self._flush_accrual()
+
+    def _defer_accrue(self, now: float) -> None:
+        """Record one piecewise-constant rate segment ending at ``now``.
+
+        Quotient mode never defers: class-level accrual is already one
+        batched pass, and the quotient owns the counter bookkeeping.
         """
         dt = now - self._last_accrual
         if dt <= 0:
@@ -411,28 +441,51 @@ class Network:
             # activates the quotient for protocols that never read them.
             quotient.accrue(dt, now)
             return
-        for flow in self._accruing:
-            if not flow.active or flow.path is None or not flow.path.delivered:
-                continue
-            if flow.rate_bps <= 0:
-                continue
-            transferred = flow.rate_bps * dt / 8.0  # bits -> bytes
-            flow.delivered_bytes += transferred
-            flow.src.tx_bytes += transferred
-            flow.dst.rx_bytes += transferred
-            for hop in flow.path.hops:
-                hop.bytes_carried += transferred
-                hop.src_port.tx_bytes += transferred
-                hop.dst_port.rx_bytes += transferred
-            for __, entry in flow.path.entries:
-                entry.byte_count += transferred
-                entry.last_used_at = now
+        self._pending_accrual.append((dt, now))
+
+    def _flush_accrual(self) -> None:
+        """Replay the pending rate-timeline segments into the counters.
+
+        Every pending segment was recorded against the current rate
+        vector (rate changes always flush first), so the vectorized
+        pass may collapse them; the scalar pass replays them one by
+        one to keep per-entry ``last_used_at`` stamps exact.
+        """
+        if not self._pending_accrual:
+            return
+        segments = self._pending_accrual
+        self._pending_accrual = []
+        batch = self._accrual_batch
+        if batch is not None:
+            for dt, __ in segments:
+                batch.flush(dt)
+            return
+        for dt, seg_now in segments:
+            for flow in self._accruing:
+                if (not flow.active or flow.path is None
+                        or not flow.path.delivered):
+                    continue
+                if flow.rate_bps <= 0:
+                    continue
+                transferred = flow.rate_bps * dt / 8.0  # bits -> bytes
+                flow.delivered_bytes += transferred
+                flow.src.tx_bytes += transferred
+                flow.dst.rx_bytes += transferred
+                for hop in flow.path.hops:
+                    hop.bytes_carried += transferred
+                    hop.src_port.tx_bytes += transferred
+                    hop.dst_port.rx_bytes += transferred
+                for __, entry in flow.path.entries:
+                    entry.byte_count += transferred
+                    entry.last_used_at = seg_now
 
     def finalize_accounting(self) -> None:
         """Materialize any active quotient state back onto concrete
-        flows (no-op otherwise).  Callers reading per-flow bytes after
-        a run (the scenario runner, result extraction) go through this.
+        flows and flush deferred byte accrual (no-ops otherwise).
+        Callers reading per-flow bytes after a run (the scenario
+        runner, result extraction) go through this.
         """
+        self._flush_accrual()
         quotient = self.realloc.quotient
         if quotient is not None:
             quotient.materialize()

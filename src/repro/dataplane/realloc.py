@@ -20,9 +20,10 @@ component(s) of the flow/link sharing graph that a dirty flow or a
 capacity change touches.  The engine seeds a BFS with the old and new
 link directions of every re-walked flow (and the directions of
 capacity-changed links), partitions the reachable flows into
-components, and re-solves each component independently with the dense
-array kernel (:func:`repro.dataplane.fluid.progressive_filling`),
-splicing unchanged rates through untouched components.
+components, and re-solves each component independently with a dense array kernel from
+the :mod:`repro.dataplane.solver` registry (``reference``/``heap``/
+``arrays``, selected by the engine's ``kernel`` knob), splicing
+unchanged rates through untouched components.
 
 A *full* recompute runs through the same partition-and-solve code with
 every active flow marked dirty, so the incremental path is bit-for-bit
@@ -40,12 +41,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
+from repro.dataplane import arrays as _arrays
+from repro.dataplane import solver as _solver
 from repro.dataplane.flow import FluidFlow, PathStatus
-from repro.dataplane.fluid import (
-    EPSILON,
-    bottleneck_filling,
-    progressive_filling,
-)
+from repro.dataplane.solver import EPSILON
 from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -85,10 +84,15 @@ class ReallocEngine:
 
     def __init__(self, network: "Network") -> None:
         self.network = network
-        # Solver kernel: "bottleneck" (event-ordered, O(F·hops·log)) or
-        # "legacy" (the pre-PR-2 round-based arithmetic, quadratic with
-        # distinct demands; benchmarks use it as the baseline).
-        self.kernel = "bottleneck"
+        # Requested solver kernel (see repro.dataplane.solver):
+        # "auto" resolves per recompute — "arrays" when numpy is
+        # importable and no quotient layer is attached, else "heap".
+        # Legacy names ("bottleneck", "legacy") canonicalize on set.
+        self._kernel = "auto"
+        self._solve_kernel = "heap"  # resolved per recompute
+        # The persisted struct-of-arrays mirror (created lazily the
+        # first time a recompute resolves to the arrays kernel).
+        self._arrays: Optional[_arrays.ArraysState] = None
         self._cache: Dict[int, _CachedWalk] = {}
         self._node_flows: Dict[str, Set[int]] = {}
         self._link_flows: Dict[int, Set[int]] = {}
@@ -107,6 +111,20 @@ class ReallocEngine:
         self.flows_walked = 0
         self.components_solved = 0
         self.flows_solved = 0
+
+    @property
+    def kernel(self) -> str:
+        """The requested solver kernel (canonical name)."""
+        return self._kernel
+
+    @kernel.setter
+    def kernel(self, name: str) -> None:
+        self._kernel = _solver.canonical_kernel(name)
+
+    def effective_kernel(self) -> str:
+        """The kernel the next recompute will actually run."""
+        return _solver.resolve_kernel(
+            self._kernel, quotient=self.quotient is not None)
 
     def enable_quotient(self, symmetry_map=None) -> None:
         """Attach the symmetry quotient layer (SimulationConfig.symmetry)."""
@@ -130,6 +148,9 @@ class ReallocEngine:
         self._dir_flows.clear()
         self._seen_topo_epoch = None
         self._pending.clear()
+        if self._arrays is not None:
+            self._arrays.reset()
+        self.network._accrual_batch = None
 
     # -- the recompute ----------------------------------------------------
 
@@ -146,6 +167,15 @@ class ReallocEngine:
             self._seen_topo_epoch = net.topo_epoch
             full = True
 
+        # Any path below here may change flow rates, so deferred byte
+        # accrual must be brought current first (the pending segments
+        # were integrated against the *old* rate vector).  The one
+        # exception — an incremental recompute that finds no dirt at
+        # all — returns early below, leaving accrual deferred: that is
+        # the rate-epoch short-circuit for recompute storms.
+        if full or self.quotient is not None:
+            net._flush_accrual()
+
         cap_dirty_links: List = []
         if full:
             if self.quotient is not None:
@@ -155,6 +185,8 @@ class ReallocEngine:
             self._node_flows.clear()
             self._link_flows.clear()
             self._dir_flows.clear()
+            if self._arrays is not None:
+                self._arrays.reset()
             dirty = {flow.id: flow for flow in net.flows if flow.active}
             for name, node in net.nodes.items():
                 self._seen_node_epoch[name] = node.fwd_epoch
@@ -173,7 +205,33 @@ class ReallocEngine:
                     self._pending.clear()
                     return
                 quotient.materialize()
+            elif quotient is None and not dirty and not cap_dirty_links:
+                # Nothing changed: no walk, no solve, no rate change —
+                # and no accrual flush needed (rates are unchanged, so
+                # pending segments stay mergeable).
+                self._pending.clear()
+                return
+            net._flush_accrual()
         self._pending.clear()
+
+        # Resolve the solver kernel for this recompute and keep the
+        # struct-of-arrays mirror in lockstep with the cache (created
+        # lazily, bulk-interning surviving walks; dropped when the
+        # kernel switches away so it cannot go stale).
+        effective = self.effective_kernel()
+        if effective == "arrays":
+            state = self._arrays
+            if state is None:
+                state = self._arrays = _arrays.ArraysState()
+                for fid, cached in self._cache.items():
+                    if cached.delivered:
+                        state.intern_flow(fid, cached.flow, cached.dirs)
+        else:
+            state = None
+            if self._arrays is not None:
+                self._arrays = None
+                net._accrual_batch = None
+        self._solve_kernel = effective
 
         # Re-walk dirty flows (in id order, for deterministic PACKET_IN
         # ordering), collecting the seed directions of the re-solve.
@@ -193,6 +251,8 @@ class ReallocEngine:
                 for direction in old.dirs:
                     seed(direction)
             if not flow.active:
+                if state is not None:
+                    state.drop_flow(fid)
                 continue  # stopped: rate already zeroed by the network
             result = net.compute_path(flow)
             flow.path = result
@@ -203,49 +263,70 @@ class ReallocEngine:
             self._cache[fid] = entry
             self._index(fid, entry)
             if entry.delivered:
+                if state is not None:
+                    state.intern_flow(fid, flow, entry.dirs)
                 for direction in entry.dirs:
                     seed(direction)
             else:
+                if state is not None:
+                    state.drop_flow(fid)
                 flow.rate_bps = 0.0
         for link in cap_dirty_links:
             seed(link.forward)
             seed(link.reverse)
+            if state is not None:
+                state.patch_capacity(link)
 
         # Partition the affected region into connected components of
-        # the flow/direction sharing graph and re-solve each.
+        # the flow/direction sharing graph and re-solve each.  With the
+        # SoA mirror live, the BFS itself runs vectorized on the
+        # interned incidence (same graph: only delivered flows carry
+        # directions, and those are exactly the interned rows).
         if full:
             seed_dirs = list(self._dir_flows)
             seen_seeds = {id(d) for d in seed_dirs}
         seed_dirs.sort(key=lambda d: d.key())
-        visited: Set[int] = set()  # id() of LinkDirection
-        touched_dirs: List["LinkDirection"] = []
-        components: List[List[int]] = []
-        for start in seed_dirs:
-            if id(start) in visited:
-                continue
-            visited.add(id(start))
-            touched_dirs.append(start)
-            comp: Set[int] = set()
-            stack = [start]
-            while stack:
-                direction = stack.pop()
-                for fid in self._dir_flows.get(direction, ()):
-                    if fid in comp:
-                        continue
-                    comp.add(fid)
-                    for other in self._cache[fid].dirs:
-                        if id(other) not in visited:
-                            visited.add(id(other))
-                            touched_dirs.append(other)
-                            stack.append(other)
-            if comp:
-                components.append(sorted(comp))
-
-        if components:
-            with span("realloc.solve", components=len(components)) as sp:
-                for comp in components:
-                    self._solve_component(comp)
-                sp.set(flows=sum(len(c) for c in components))
+        comp_loads = []  # arrays path: (dirs, loads) per component
+        if state is not None:
+            arr_components, touched_dirs = state.components(seed_dirs)
+            if arr_components:
+                with span("realloc.solve",
+                          components=len(arr_components),
+                          kernel=effective) as sp:
+                    for fids, slots in arr_components:
+                        comp_loads.append(
+                            self._solve_component_arrays(fids, slots))
+                    sp.set(flows=sum(len(f) for f, __ in arr_components))
+        else:
+            visited: Set[int] = set()  # id() of LinkDirection
+            touched_dirs = []
+            components: List[List[int]] = []
+            for start in seed_dirs:
+                if id(start) in visited:
+                    continue
+                visited.add(id(start))
+                touched_dirs.append(start)
+                comp: Set[int] = set()
+                stack = [start]
+                while stack:
+                    direction = stack.pop()
+                    for fid in self._dir_flows.get(direction, ()):
+                        if fid in comp:
+                            continue
+                        comp.add(fid)
+                        for other in self._cache[fid].dirs:
+                            if id(other) not in visited:
+                                visited.add(id(other))
+                                touched_dirs.append(other)
+                                stack.append(other)
+                if comp:
+                    components.append(sorted(comp))
+            if components:
+                with span("realloc.solve", components=len(components),
+                          kernel=effective) as sp:
+                    for comp in components:
+                        self._solve_component(comp)
+                    sp.set(flows=sum(len(c) for c in components))
 
         # Refresh link loads: only directions in the affected region
         # can have changed.  (A full recompute zeroes everything: stale
@@ -256,30 +337,56 @@ class ReallocEngine:
         else:
             for direction in touched_dirs:
                 direction.current_load_bps = 0.0
-        for comp in components:
-            for fid in comp:
-                entry = self._cache[fid]
-                rate = entry.flow.rate_bps
-                for direction in entry.dirs:
-                    direction.current_load_bps += rate
+        if state is not None:
+            # A direction belongs to exactly one component, and the
+            # vectorized per-component sums replay the scalar loop's
+            # add order, so assignment is exact.
+            for dirs, loads in comp_loads:
+                for direction, load in zip(dirs, loads.tolist()):
+                    direction.current_load_bps = load
+        else:
+            for comp in components:
+                for fid in comp:
+                    entry = self._cache[fid]
+                    rate = entry.flow.rate_bps
+                    for direction in entry.dirs:
+                        direction.current_load_bps += rate
 
         # Host rates and the accruing-flow set, rebuilt in canonical
         # (flow id) order so incremental and full recomputes produce
-        # identical floating-point sums.
+        # identical floating-point sums.  The SoA mirror holds exactly
+        # the delivered flows, so the arrays path gathers both from it
+        # (same fid order, same per-host add order).
         for host in net.hosts():
             host.rx_rate_bps = 0.0
             host.tx_rate_bps = 0.0
-        accruing: List[FluidFlow] = []
-        for fid in sorted(self._cache):
-            entry = self._cache[fid]
-            if not entry.delivered:
-                continue
-            flow = entry.flow
-            flow.dst.rx_rate_bps += flow.rate_bps
-            flow.src.tx_rate_bps += flow.rate_bps
-            if flow.rate_bps > 0:
-                accruing.append(flow)
-        net._accruing = accruing
+        net._accrual_batch = None
+        if state is not None:
+            rx, tx = state.host_rates()
+            for host, rx_rate, tx_rate in zip(state.hosts, rx.tolist(),
+                                              tx.tolist()):
+                host.rx_rate_bps = rx_rate
+                host.tx_rate_bps = tx_rate
+            accruing, accruing_slots, any_entries = state.accruing()
+            net._accruing = accruing
+            # Vectorized accrual needs per-entry last_used_at stamps
+            # that only the scalar loop maintains, so flows carrying
+            # flow-table entries keep the whole set on the scalar path.
+            if accruing and not any_entries:
+                net._accrual_batch = _arrays.AccrualBatch(
+                    state, accruing, accruing_slots)
+        else:
+            accruing: List[FluidFlow] = []
+            for fid in sorted(self._cache):
+                entry = self._cache[fid]
+                if not entry.delivered:
+                    continue
+                flow = entry.flow
+                flow.dst.rx_rate_bps += flow.rate_bps
+                flow.src.tx_rate_bps += flow.rate_bps
+                if flow.rate_bps > 0:
+                    accruing.append(flow)
+            net._accruing = accruing
 
         if self.quotient is not None:
             self.quotient.rebuild(now)
@@ -374,23 +481,55 @@ class ReallocEngine:
                 if member:
                     link_members[dense].append(pos)
             flow_links.append(links_here)
-        if self.kernel == "bottleneck":
-            rates = bottleneck_filling(demands, capacities,
-                                       link_members, flow_links)
-        else:
-            rates = progressive_filling(demands, list(capacities),
-                                        capacities, link_members, flow_links)
+        kernel = _solver.get_kernel(self._solve_kernel)
+        rates = kernel.solve(demands, capacities, link_members, flow_links)
         for pos, entry in enumerate(entries):
             entry.flow.rate_bps = rates[pos]
+
+    def _solve_component_arrays(self, comp, slots=None):
+        """Solve one component on the struct-of-arrays mirror.
+
+        Same instance the scalar builder would produce (the mirror's
+        first-occurrence marks reproduce its per-flow dedup, and
+        :meth:`ArraysState.solve_component` interns directions in the
+        identical first-appearance order), so the allocation is
+        bit-for-bit the heap kernel's.  ``comp`` is the component's fid
+        list; ``slots`` the matching slot vector when the caller got
+        the component from :meth:`ArraysState.components` (which reads
+        the mirror, so every member is interned by construction).
+        Returns the component's ``(dirs, loads)`` for the caller's
+        load refresh.
+        """
+        self.components_solved += 1
+        self.flows_solved += len(comp)
+        state = self._arrays
+        if slots is None:
+            for fid in comp:
+                # Normally interned at walk time; this covers a kernel
+                # switched to "arrays" mid-run (bulk-intern happens on
+                # state creation, walks keep it current thereafter).
+                if fid not in state.slot_of:
+                    cached = self._cache[fid]
+                    state.intern_flow(fid, cached.flow, cached.dirs)
+            slots = state.gather_slots(comp)
+        rates, dirs, loads = state.solve_component(slots)
+        objs = state.objs
+        for slot, rate in zip(slots.tolist(), rates.tolist()):
+            objs[slot].rate_bps = rate
+        return dirs, loads
 
     @property
     def stats(self) -> dict:
         """Counters for benchmarks and tests."""
-        return {
+        stats = {
             "cached_paths": len(self._cache),
             "full_recomputes": self.full_recomputes,
             "incremental_recomputes": self.incremental_recomputes,
             "flows_walked": self.flows_walked,
             "components_solved": self.components_solved,
             "flows_solved": self.flows_solved,
+            "kernel": self._kernel,
         }
+        if self._arrays is not None:
+            stats["arrays"] = self._arrays.stats
+        return stats

@@ -60,96 +60,15 @@ exact; those scenarios simply run concrete.
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.dataplane.fluid import EPSILON
+from repro.dataplane.solver import EPSILON, quotient_bottleneck_filling
 from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataplane.link import Link, LinkDirection
     from repro.dataplane.realloc import ReallocEngine
     from repro.symmetry.refine import SymmetryMap
-
-
-def quotient_bottleneck_filling(
-    demands: Sequence[float],
-    capacities: Sequence[float],
-    alive_counts: Sequence[int],
-    link_members: Sequence[Sequence[int]],
-    flow_links: Sequence[Sequence[Tuple[int, int]]],
-) -> List[float]:
-    """Class-level replay of :func:`repro.dataplane.fluid.bottleneck_filling`.
-
-    Indices are *classes*: ``demands[i]`` is the (uniform) demand of
-    flow class ``i``; ``capacities[j]`` the (uniform) capacity of a
-    representative member link of direction class ``j``;
-    ``alive_counts[j]`` how many member *flows* cross that
-    representative link; ``link_members[j]`` the flow classes crossing
-    it; ``flow_links[i]`` the ``(class, crossing_count)`` pairs of
-    flow class ``i``'s path.  Freezing a class replays
-    ``crossing_count`` sequential additions per representative link —
-    the exact float trajectory every concrete member link follows.
-    """
-    num_flows = len(demands)
-    num_links = len(capacities)
-    rates = [0.0] * num_flows
-    frozen = [demands[i] <= EPSILON for i in range(num_flows)]
-    alive_count = list(alive_counts)
-    frozen_load = [0.0] * num_links
-    current_key = [0.0] * num_links
-
-    demand_heap = [(demands[i], i) for i in range(num_flows) if not frozen[i]]
-    heapq.heapify(demand_heap)
-    sat_heap: List = []
-
-    def push_sat(link: int) -> None:
-        count = alive_count[link]
-        if count > 0:
-            level = (capacities[link] - frozen_load[link]) / count
-            current_key[link] = level
-            heapq.heappush(sat_heap, (level, link))
-
-    for link in range(num_links):
-        push_sat(link)
-
-    level = 0.0
-
-    def freeze(i: int, rate: float) -> None:
-        frozen[i] = True
-        rates[i] = rate
-        for link, mult in flow_links[i]:
-            load = frozen_load[link]
-            for __ in range(mult):
-                load += rate
-            frozen_load[link] = load
-            alive_count[link] -= mult
-            push_sat(link)
-
-    while True:
-        while demand_heap and frozen[demand_heap[0][1]]:
-            heapq.heappop(demand_heap)
-        while sat_heap and (alive_count[sat_heap[0][1]] == 0
-                            or sat_heap[0][0] != current_key[sat_heap[0][1]]):
-            heapq.heappop(sat_heap)
-        if not demand_heap and not sat_heap:
-            break
-        if sat_heap and (not demand_heap
-                         or sat_heap[0][0] < demand_heap[0][0]):
-            sat_level, link = heapq.heappop(sat_heap)
-            if sat_level > level:
-                level = sat_level
-            for i in link_members[link]:
-                if not frozen[i]:
-                    freeze(i, level if level < demands[i] else demands[i])
-        else:
-            demand, i = heapq.heappop(demand_heap)
-            if frozen[i]:
-                continue
-            if demand > level:
-                level = demand
-            freeze(i, demand)
-    return rates
 
 
 class _FlowClass:

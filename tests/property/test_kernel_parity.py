@@ -1,0 +1,347 @@
+"""Property tests: the three max-min kernels are interchangeable.
+
+PR 10's contract is that ``kernel`` is a pure speed knob.  Three layers
+of parity are pinned here:
+
+* **Kernel level** — ``bottleneck_filling_arrays`` replays the heap
+  kernel's float arithmetic in saturation-level batches, so on any
+  interned instance the two must agree *bit for bit* (``==`` per
+  element, not approx).  The round-based ``reference`` kernel uses
+  different (exact) arithmetic and is held to tolerance against the
+  analytical :func:`max_min_allocation` instead.
+* **Engine level** — the arrays kernel runs off a struct-of-arrays
+  mirror of fluid state that persists across recomputes.  Driving an
+  arrays-kernel network and a heap-kernel network through the same
+  random churn must yield bit-identical rates at every step, and a
+  ``forget()`` (drop the persisted mirror, re-intern from scratch)
+  must reproduce the persisted state's rates exactly.
+* **Scenario level** — full scenario fingerprints (delivered bytes,
+  events, recomputations, injection outcomes) are equal across all
+  three kernels and across symmetry on/off.
+
+Plus the config/spec surface: ``SimulationConfig`` is keyword-only and
+rejects unknown kernels at validation time, both directly and through
+scenario ``sim_params``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SimulationConfig
+from repro.core.errors import ConfigurationError
+from repro.core.simulation import Simulation
+from repro.dataplane import solver
+from repro.dataplane.arrays import HAVE_NUMPY
+from repro.dataplane.flow import FluidFlow
+from repro.dataplane.fluid import max_min_allocation, validate_allocation
+from repro.dataplane.network import Network
+from repro.scenarios import (
+    LinkFail,
+    ProtocolRecipe,
+    ScenarioSpec,
+    TopologyRecipe,
+    TrafficRecipe,
+    run_scenario,
+)
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="arrays kernel needs numpy")
+
+GBPS = 1_000_000_000
+
+# Tie-heavy values: uniform demands over power-of-two capacities make
+# exactly-equal saturation levels the common case, which is where the
+# heap's index-ordered tie-breaking (and the arrays kernel's
+# disjoint-prefix replay of it) actually matters.
+CLEAN_DEMANDS = (2.5e8, 5e8, 1e9)
+CLEAN_CAPS = (1e9, 2e9, 4e9)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level parity on random interned instances
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def dense_instances(draw, clean):
+    """A random interned instance (demands, caps, link_members,
+    flow_links) in the shape ``ReallocEngine`` hands to kernels.
+
+    ``clean=True`` draws from small tie-heavy value sets; ``clean=False``
+    draws messy floats (exercises the generic event ordering).
+    """
+    num_flows = draw(st.integers(min_value=1, max_value=24))
+    num_links = draw(st.integers(min_value=1, max_value=12))
+    if clean:
+        demand = st.sampled_from(CLEAN_DEMANDS)
+        capacity = st.sampled_from(CLEAN_CAPS)
+    else:
+        demand = st.floats(min_value=0.0, max_value=3e9)
+        capacity = st.floats(min_value=1e8, max_value=5e9)
+    demands = [draw(demand) for __ in range(num_flows)]
+    capacities = [draw(capacity) for __ in range(num_links)]
+    flow_links = []
+    for __ in range(num_flows):
+        length = draw(st.integers(0, min(6, num_links)))
+        flow_links.append(list(draw(st.permutations(range(num_links)))
+                               [:length]))
+    # Convention from the engine: link_members only lists flows with
+    # demand above EPSILON (zero-demand flows are born frozen).
+    link_members = [[] for __ in range(num_links)]
+    for fid, links in enumerate(flow_links):
+        if demands[fid] > solver.EPSILON:
+            for link in links:
+                link_members[link].append(fid)
+    return demands, capacities, link_members, flow_links
+
+
+@needs_numpy
+@pytest.mark.parametrize("clean", [False, True], ids=["messy", "ties"])
+@given(data=st.data())
+@settings(max_examples=250, deadline=None)
+def test_arrays_bitwise_equals_heap(clean, data):
+    """The vectorized kernel replays the heap kernel bit for bit."""
+    from repro.dataplane.arrays import bottleneck_filling_arrays
+
+    instance = data.draw(dense_instances(clean))
+    demands, capacities, link_members, flow_links = instance
+    heap = solver.bottleneck_filling(demands, capacities,
+                                     link_members, flow_links)
+    arrays = bottleneck_filling_arrays(demands, capacities,
+                                       link_members, flow_links)
+    assert arrays == heap  # exact, element-wise — no tolerance
+
+
+@pytest.mark.parametrize("clean", [False, True], ids=["messy", "ties"])
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_all_kernels_reach_the_maxmin_allocation(clean, data):
+    """Every registered kernel lands on the (unique) max-min point and
+    every result is a valid allocation."""
+    instance = data.draw(dense_instances(clean))
+    demands, capacities, link_members, flow_links = instance
+
+    paths = {fid: list(links) for fid, links in enumerate(flow_links)}
+    dense_demands = dict(enumerate(demands))
+    caps = dict(enumerate(capacities))
+    reference = max_min_allocation(paths, dense_demands, caps)
+
+    for name in solver.available_kernels():
+        rates = solver.get_kernel(name).solve(
+            demands, capacities, link_members, flow_links)
+        for fid in range(len(demands)):
+            scale = max(1.0, demands[fid])
+            assert abs(rates[fid] - reference[fid]) < 1e-6 * scale, (
+                f"kernel {name} diverged on flow {fid}")
+        problems = validate_allocation(
+            paths, dense_demands, caps, dict(enumerate(rates)),
+            tolerance=1e-5)
+        assert problems == [], (name, problems)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level parity: persisted struct-of-arrays state across churn
+# ---------------------------------------------------------------------------
+
+
+def build_leaf_spine(kernel):
+    """2 spines, 3 edge routers, 2 hosts per edge, ECMP uplinks."""
+    sim = Simulation(SimulationConfig(kernel=kernel))
+    net = Network(f"parity-{kernel}")
+    sim.attach_network(net)
+    spines = [net.add_router(f"s{i}") for i in range(2)]
+    edges = [net.add_router(f"e{i}") for i in range(3)]
+    hosts = []
+    links = []
+    for e_idx, edge in enumerate(edges):
+        for h_idx in range(2):
+            host = net.add_host(f"h{e_idx}_{h_idx}",
+                                f"10.0.{e_idx}.{h_idx + 1}",
+                                gateway=f"10.0.{e_idx}.254")
+            hosts.append(host)
+            links.append(net.add_link(host, edge, capacity_bps=GBPS))
+            edge.fib.install(f"10.0.{e_idx}.{h_idx + 1}/32",
+                             [(h_idx + 1, None)])
+    for edge in edges:
+        for spine in spines:
+            links.append(net.add_link(edge, spine,
+                                      capacity_bps=GBPS // 2))
+    for e_idx, edge in enumerate(edges):
+        for other in range(3):
+            if other != e_idx:
+                edge.fib.install(f"10.0.{other}.0/24",
+                                 [(3, None), (4, None)])
+    for spine in spines:
+        for e_idx in range(3):
+            spine.fib.install(f"10.0.{e_idx}.0/24", [(e_idx + 1, None)])
+    return sim, net, hosts, links
+
+
+_churn_ops = st.one_of(
+    st.tuples(st.just("start_flow"), st.integers(0, 5), st.integers(0, 5),
+              st.sampled_from(CLEAN_DEMANDS + (1.7e8, 2e9))),
+    st.tuples(st.just("stop_flow"), st.integers(0, 31)),
+    st.tuples(st.just("fail_link"), st.integers(0, 11)),
+    st.tuples(st.just("restore_link"), st.integers(0, 11)),
+    st.tuples(st.just("degrade"), st.integers(0, 11),
+              st.floats(0.1, 1.0)),
+    st.tuples(st.just("advance"), st.floats(0.001, 0.05)),
+)
+
+
+class _Driver:
+    """Applies one op stream to one network (indices make the same
+    sequence replay identically on differently-kernelled networks)."""
+
+    def __init__(self, kernel):
+        self.sim, self.net, self.hosts, self.links = build_leaf_spine(kernel)
+        self.flows = []
+        self.t = 0.0
+        self.flow_seq = 0
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "start_flow":
+            __, src, dst, demand = op
+            if src != dst:
+                flow = FluidFlow(self.hosts[src], self.hosts[dst],
+                                 demand_bps=demand,
+                                 src_port=41000 + self.flow_seq,
+                                 start_time=self.t)
+                self.flow_seq += 1
+                self.net.flows.append(flow)
+                self.flows.append(flow)
+                self.net.start_flow(flow)
+        elif kind == "stop_flow":
+            if self.flows:
+                self.net.stop_flow(self.flows[op[1] % len(self.flows)])
+        elif kind == "fail_link":
+            self.links[op[1]].set_up(False)
+            self.net.invalidate_routing()
+        elif kind == "restore_link":
+            self.links[op[1]].set_up(True)
+            self.net.invalidate_routing()
+        elif kind == "degrade":
+            link = self.links[op[1]]
+            link.set_capacity(link.nominal_capacity_bps * op[2])
+            self.net.invalidate_routing()
+        self.t += op[1] if kind == "advance" else 1e-4
+        self.sim.run(until=self.t)
+
+
+@needs_numpy
+@given(st.lists(_churn_ops, min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_arrays_engine_matches_heap_under_churn(ops):
+    """Persisted-intern parity: the struct-of-arrays state the arrays
+    kernel keeps across recomputes produces bit-identical rates to the
+    heap engine at every step of a random churn sequence — and
+    dropping it (``forget``) and re-interning from scratch reproduces
+    the persisted rates exactly."""
+    arr = _Driver("arrays")
+    heap = _Driver("heap")
+    assert arr.net.realloc.effective_kernel() == "arrays"
+    assert heap.net.realloc.effective_kernel() == "heap"
+
+    for step, op in enumerate(ops):
+        arr.apply(op)
+        heap.apply(op)
+        assert len(arr.flows) == len(heap.flows)
+        for fa, fb in zip(arr.flows, heap.flows):
+            where = f"step {step} op {op} flow {fa.name}"
+            assert fa.active == fb.active, where
+            assert fa.rate_bps == fb.rate_bps, where  # bit-for-bit
+            assert fa.delivered_bytes == fb.delivered_bytes, where
+        for la, lb in zip(arr.links, heap.links):
+            for da, db in ((la.forward, lb.forward),
+                           (la.reverse, lb.reverse)):
+                assert math.isclose(da.current_load_bps,
+                                    db.current_load_bps,
+                                    rel_tol=1e-9, abs_tol=1e-3)
+
+    # forget() drops the persisted mirror; a from-scratch recompute
+    # (fresh interning, fresh component BFS) must land on the exact
+    # same rates the incrementally-maintained state produced.
+    persisted = [(flow, flow.rate_bps) for flow in arr.flows]
+    arr.net.realloc.forget()
+    arr.net.invalidate_routing()
+    arr.t += 1e-4
+    arr.sim.run(until=arr.t)
+    for flow, rate in persisted:
+        assert flow.rate_bps == rate, f"forget() shifted {flow.name}"
+
+
+# ---------------------------------------------------------------------------
+# Scenario-level parity: fingerprints across kernels and symmetry
+# ---------------------------------------------------------------------------
+
+
+def _scenario_base(injections=()):
+    return dict(
+        name="kernel-parity", seed=7, duration=10.0,
+        topology=TopologyRecipe("fattree", {"k": 4, "device": "router"}),
+        protocol=ProtocolRecipe("static", {}),
+        traffic=TrafficRecipe(pattern="stride", stride=4,
+                              rate_bps=400_000_000.0,
+                              start_time=1.0, duration=15.0),
+        injections=list(injections),
+    )
+
+
+@pytest.mark.parametrize("injections", [
+    pytest.param((), id="steady"),
+    pytest.param((LinkFail(at=3.0, node_a="c0_0", node_b="a0_0"),),
+                 id="linkfail"),
+])
+def test_scenario_fingerprint_equal_across_kernels(injections):
+    """One spec, every kernel, plus symmetry on: identical results."""
+    base = _scenario_base(injections)
+    prints = {}
+    for kernel in ("reference", "heap", "arrays", "auto"):
+        result = run_scenario(ScenarioSpec(
+            **base, sim_params={"kernel": kernel}))
+        assert result.delivered_bytes > 0
+        prints[kernel] = result.fingerprint()
+    quotient = run_scenario(ScenarioSpec(
+        **base, sim_params={"symmetry": True}))
+    prints["symmetry"] = quotient.fingerprint()
+    assert len(set(prints.values())) == 1, prints
+
+
+# ---------------------------------------------------------------------------
+# Config / spec surface
+# ---------------------------------------------------------------------------
+
+
+class TestKernelConfigSurface:
+    def test_simulation_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            SimulationConfig(0.001)
+
+    def test_unknown_kernel_rejected_naming_valid_set(self):
+        cfg = SimulationConfig(kernel="simd")
+        with pytest.raises(ConfigurationError, match="valid kernels"):
+            cfg.validate()
+
+    def test_kernel_aliases_accepted(self):
+        # Pre-PR-10 spellings stay valid for one release.
+        for legacy, canonical in (("legacy", "reference"),
+                                  ("bottleneck", "heap")):
+            SimulationConfig(kernel=legacy).validate()
+            assert solver.canonical_kernel(legacy) == canonical
+
+    def test_spec_sim_params_kernel_validated(self):
+        spec = ScenarioSpec(**_scenario_base(),
+                            sim_params={"kernel": "simd"})
+        with pytest.raises(ConfigurationError, match="valid kernels"):
+            spec.validate()
+
+    def test_explicit_arrays_without_numpy_falls_back(self):
+        # resolve_kernel degrades silently (bit-for-bit equal kernels).
+        assert solver.resolve_kernel("heap") == "heap"
+        if HAVE_NUMPY:
+            assert solver.resolve_kernel("arrays") == "arrays"
+            assert solver.resolve_kernel("auto") == "arrays"
+        assert solver.resolve_kernel("auto", quotient=True) == "heap"

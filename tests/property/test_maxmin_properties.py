@@ -2,12 +2,8 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dataplane.fluid import (
-    EPSILON,
-    bottleneck_filling,
-    max_min_allocation,
-    validate_allocation,
-)
+from repro.dataplane.fluid import max_min_allocation, validate_allocation
+from repro.dataplane.solver import EPSILON, bottleneck_filling
 
 
 @st.composite
@@ -148,8 +144,13 @@ def test_leximin_dominates_random_feasible_allocations(instance, rng):
     ours = sorted(maxmin.values())
     theirs = sorted(candidate.values())
     # Leximin comparison with tolerance: at the first index where the
-    # vectors differ meaningfully, ours must be the larger.
+    # vectors differ meaningfully, ours must be the larger.  The
+    # tolerance only needs to absorb float *rounding* (one uniform
+    # scaling pass makes the candidate exactly feasible, so both
+    # vectors carry ~1e-16 relative noise); a loose tolerance can skip
+    # a genuine ~tolerance-sized win at one index and then flag the
+    # matching trade-off at the next one as a loss.
     for mine, other in zip(ours, theirs):
-        if abs(mine - other) > 1e-6:
+        if abs(mine - other) > 1e-9 * max(1.0, mine, other):
             assert mine > other
             break
